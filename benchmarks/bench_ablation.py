@@ -1,0 +1,120 @@
+"""Ablations over BiG-index design choices (beyond the paper's figures).
+
+DESIGN.md calls out the decisions these sweep:
+
+* **Bisimulation direction** — the paper picks successor matching
+  ("backward bisimulation ... seamlessly aligns with the graph traversals
+  of popular keyword search algorithms"); matching on both sides gives a
+  finer, larger index.
+* **Algorithm 1 budget** (theta, Pi) — the default index uses a large
+  threshold so every label generalizes once per layer; tightening the
+  budget trades compression for lower semantic distortion.
+* **Verification mode** — the paper's qualification-trusted generation
+  vs exact re-verification.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.harness import compare_on_queries, standard_workload
+from repro.bench.reporting import print_table
+from repro.bisim.refinement import BisimDirection
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.search.blinks import Blinks
+
+
+def test_ablation_bisim_direction(benchmark, yago):
+    """Successor vs both-side matching: index size trade-off."""
+
+    def build_both():
+        results = {}
+        for direction in (BisimDirection.SUCCESSORS, BisimDirection.BOTH):
+            index = BiGIndex.build(
+                yago.graph,
+                yago.ontology,
+                num_layers=1,
+                cost_params=CostParams(num_samples=15),
+                direction=direction,
+            )
+            results[direction.value] = index.size_ratio(1)
+        return results
+
+    ratios = benchmark.pedantic(build_both, rounds=1, iterations=1)
+    print_table(
+        "Ablation: bisimulation matching direction (layer-1 size ratio)",
+        ["direction", "size ratio"],
+        [(d, f"{r:.4f}") for d, r in ratios.items()],
+    )
+    # Both-side matching refines the partition -> never smaller.
+    assert ratios["both"] >= ratios["successors"]
+
+
+def test_ablation_algorithm1_budget(benchmark, yago):
+    """Tightening theta / Pi shrinks configurations and compression."""
+
+    def sweep():
+        rows = []
+        for theta, pi in ((1.0, None), (0.6, None), (1.0, 20), (1.0, 5)):
+            index = BiGIndex.build(
+                yago.graph,
+                yago.ontology,
+                num_layers=1,
+                cost_params=CostParams(num_samples=15),
+                theta=theta,
+                max_mappings=pi,
+            )
+            rows.append(
+                (
+                    theta,
+                    pi if pi is not None else "inf",
+                    len(index.layers[0].config),
+                    f"{index.size_ratio(1):.4f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_table(
+        "Ablation: Algorithm 1 budget (theta, Pi)",
+        ["theta", "Pi", "|C^1|", "layer-1 ratio"],
+        rows,
+    )
+    by_key = {(r[0], r[1]): r for r in rows}
+    # A tight mapping budget produces a small configuration...
+    assert by_key[(1.0, 5)][2] <= 5
+    # ...and compresses no better than the unbounded default.
+    assert float(by_key[(1.0, 5)][3]) >= float(by_key[(1.0, "inf")][3])
+
+
+def test_ablation_verify_mode(benchmark, yago, yago_index, yago_queries):
+    """Trust-mode generation vs exact re-verification on the workload."""
+    algorithm = Blinks(d_max=5, k=10, block_size=1000)
+
+    def run_both():
+        results = {}
+        for verify_mode, generation in (
+            ("trust", "path"),
+            ("exact", "root-verify"),
+        ):
+            rows = compare_on_queries(
+                yago,
+                algorithm,
+                yago_index,
+                yago_queries,
+                layer=1,
+                repeats=1,
+                generation=generation,
+                verify_mode=verify_mode,
+            )
+            results[verify_mode] = sum(r.boosted_seconds for r in rows)
+        return results
+
+    totals = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_table(
+        "Ablation: verification mode (total boosted workload time)",
+        ["mode", "seconds"],
+        [(mode, f"{seconds:.4f}") for mode, seconds in totals.items()],
+    )
+    assert totals["trust"] > 0 and totals["exact"] > 0

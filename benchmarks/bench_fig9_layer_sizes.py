@@ -1,0 +1,44 @@
+"""Fig. 9: summary graph sizes (|V| + |E|) at different layers.
+
+The paper computes 7 layers per dataset and shows sizes shrinking with the
+layer number, with diminishing compression gains at higher layers.
+"""
+
+from repro.bench.reporting import print_table
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+
+NUM_LAYERS = 7
+
+
+def test_fig9_layer_size_series(benchmark, yago, dbpedia, imdb):
+    """Build 7 layers per dataset and print the per-layer size series."""
+    datasets = [yago, dbpedia, imdb]
+
+    def build_deep():
+        return [
+            BiGIndex.build(
+                ds.graph,
+                ds.ontology,
+                num_layers=NUM_LAYERS,
+                cost_params=CostParams(num_samples=20),
+            )
+            for ds in datasets
+        ]
+
+    indexes = benchmark.pedantic(build_deep, rounds=1, iterations=1)
+
+    headers = ["dataset"] + [f"G^{m}" for m in range(NUM_LAYERS + 1)]
+    rows = []
+    for ds, index in zip(datasets, indexes):
+        sizes = index.layer_sizes()
+        sizes += ["-"] * (NUM_LAYERS + 1 - len(sizes))
+        rows.append([ds.name] + sizes)
+    print_table("Fig. 9: summary graph sizes per layer", headers, rows)
+
+    for index in indexes:
+        sizes = index.layer_sizes()
+        # Sizes shrink weakly with the layer number (Fig. 9's shape).
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+        # Layer 1 compresses the data graph substantially on KG-shaped data.
+        assert sizes[1] < sizes[0]

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Benchmarks print paper-style tables; run with ``-s`` to see them inline:
+
+    pytest benchmarks/ --benchmark-only -s
+
+Scale via ``REPRO_BENCH_SCALE`` (default 0.2).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import build_index, default_dataset, standard_workload
+
+
+@pytest.fixture(scope="session")
+def yago():
+    return default_dataset("yago-like")
+
+
+@pytest.fixture(scope="session")
+def dbpedia():
+    return default_dataset("dbpedia-like")
+
+
+@pytest.fixture(scope="session")
+def imdb():
+    return default_dataset("imdb-like")
+
+
+@pytest.fixture(scope="session")
+def yago_index(yago):
+    return build_index(yago, num_layers=3)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_index(dbpedia):
+    return build_index(dbpedia, num_layers=3)
+
+
+@pytest.fixture(scope="session")
+def imdb_index(imdb):
+    return build_index(imdb, num_layers=3)
+
+
+@pytest.fixture(scope="session")
+def yago_queries(yago):
+    return standard_workload(yago)
+
+
+@pytest.fixture(scope="session")
+def dbpedia_queries(dbpedia):
+    return standard_workload(dbpedia)
+
+
+@pytest.fixture(scope="session")
+def imdb_queries(imdb):
+    return standard_workload(imdb)

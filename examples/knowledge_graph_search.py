@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Knowledge-graph keyword search at benchmark scale (YAGO-like).
+
+The scenario from the paper's introduction: a user without schema
+knowledge queries a large knowledge graph with a handful of keywords
+("the player who works in an England club") and gets ranked subtree
+answers.  This example:
+
+1. generates the YAGO3-like benchmark dataset;
+2. builds a 3-layer BiG-index and prints its compression profile;
+3. runs a Tab. 4-style workload through Blinks directly and through
+   BiG-index, with the paper's per-phase time breakdown;
+4. demonstrates the generalized-query capability of Example 1.1's Q3:
+   querying with *type* keywords that never appear in the data directly.
+
+Run:  python examples/knowledge_graph_search.py
+"""
+
+import time
+
+from repro import BiGIndex, CostParams, KeywordQuery, Blinks, boost
+from repro.datasets import yago_like
+from repro.datasets.workloads import generate_queries
+
+SCALE = 0.5  # ~5,000 vertices; raise for a heavier demonstration
+
+
+def main() -> None:
+    dataset = yago_like(scale=SCALE)
+    print(f"{dataset.name}: {dataset.stats}  ({dataset.note})")
+
+    start = time.perf_counter()
+    index = BiGIndex.build(
+        dataset.graph,
+        dataset.ontology,
+        num_layers=3,
+        cost_params=CostParams(num_samples=25),
+    )
+    print(
+        f"index built in {time.perf_counter() - start:.1f}s; "
+        f"layer sizes {index.layer_sizes()} "
+        f"(layer-1 ratio {index.size_ratio(1):.3f})"
+    )
+
+    # A Tab. 4-style workload: semantically related, answer-rich keywords.
+    queries = generate_queries(
+        dataset.graph,
+        [2, 3, 3],
+        seed=11,
+        min_support=max(5, dataset.graph.num_vertices // 200),
+        min_answers=5,
+        ontology=dataset.ontology,
+    )
+
+    algorithm = Blinks(d_max=5, k=10, block_size=1000)
+    direct_searcher = algorithm.bind(dataset.graph)
+    # Exact configuration: candidate roots from the summary answers are
+    # re-verified on the data graph (slower than the trust-mode pipeline
+    # the benchmarks use, but answers match direct evaluation exactly).
+    boosted = boost(algorithm, index, generation="root-verify")
+    boosted.warm()
+
+    print("\nquery          direct    BiG-index   layer  breakdown")
+    for spec in queries:
+        query = spec.query
+        start = time.perf_counter()
+        direct = direct_searcher.search(query)
+        direct_ms = (time.perf_counter() - start) * 1e3
+
+        start = time.perf_counter()
+        result = boosted.evaluate(query, layer=1)
+        boosted_ms = (time.perf_counter() - start) * 1e3
+
+        phases = ", ".join(
+            f"{name} {seconds * 1e3:.1f}ms"
+            for name, seconds in sorted(result.breakdown.totals.items())
+            if name != "layer-selection"
+        )
+        print(
+            f"{spec.qid} ({len(spec.keywords)} kw)   "
+            f"{direct_ms:7.1f}ms {boosted_ms:8.1f}ms   "
+            f"{result.layer}      {phases}"
+        )
+        print(
+            f"   direct answers: {len(direct)}, "
+            f"BiG answers: {len(result.answers)}"
+        )
+
+    # Generalized keywords: Example 1.1's Q3 uses *types* as keywords.
+    # Pick an internal ontology type; the raw algorithm finds nothing
+    # (no vertex carries that label), but specializing the keyword through
+    # the ontology turns it into a meaningful query family.
+    internal_types = [
+        t for t in sorted(dataset.ontology.types())
+        if dataset.graph.label_support(t) == 0
+        and any(
+            dataset.graph.label_support(sub) > 0
+            for sub in dataset.ontology.direct_subtypes(t)
+        )
+    ]
+    if internal_types:
+        general_type = internal_types[0]
+        concrete = [
+            sub for sub in dataset.ontology.direct_subtypes(general_type)
+            if dataset.graph.label_support(sub) > 0
+        ]
+        print(
+            f"\ngeneralized keyword {general_type!r}: no vertex carries it "
+            f"(raw search returns nothing), but it covers concrete types "
+            f"{concrete[:4]}... via the ontology — the index's layers are "
+            "exactly the structure that answers it (Example 1.1, Q3)."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The offline environment has no ``wheel`` package, so PEP 517 editable
+installs fail; this classic ``setup.py`` lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

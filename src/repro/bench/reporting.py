@@ -1,0 +1,44 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table."""
+    str_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print a titled table (benchmarks route all output through this)."""
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def percent_reduction(baseline: float, improved: float) -> float:
+    """``(baseline - improved) / baseline`` as a percentage.
+
+    The paper's headline numbers ("BiG-index reduced the runtimes of
+    Blinks by 50.5%") are this metric averaged over queries.
+    """
+    if baseline <= 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

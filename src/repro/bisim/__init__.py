@@ -1,0 +1,19 @@
+"""Bisimulation substrate.
+
+Implements the summarization formalism of Sec. 2: the maximal bisimulation
+relation of a labeled directed graph via partition refinement, the summary
+graph ``Bisim(G)`` with its hash-table reverse ``Bisim^{-1}``, and the
+incremental maintenance used when the data graph is updated (Sec. 3.2).
+"""
+
+from repro.bisim.refinement import maximal_bisimulation, BisimDirection
+from repro.bisim.summary import SummaryGraph, summarize
+from repro.bisim.incremental import IncrementalBisimulation
+
+__all__ = [
+    "maximal_bisimulation",
+    "BisimDirection",
+    "SummaryGraph",
+    "summarize",
+    "IncrementalBisimulation",
+]

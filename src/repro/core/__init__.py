@@ -1,0 +1,48 @@
+"""The BiG-index core: the paper's primary contribution.
+
+* :mod:`repro.core.config` — generalization configurations ``C``.
+* :mod:`repro.core.generalize` — the ``Gen`` / ``Spec`` label rewrites.
+* :mod:`repro.core.cost` — the index cost model (Formula 3) with
+  sampling-based compression estimation.
+* :mod:`repro.core.heuristic` — Algorithm 1's greedy configuration search.
+* :mod:`repro.core.index` — the hierarchical :class:`BiGIndex` itself
+  (Def. 3.1) with maintenance.
+* :mod:`repro.core.query_cost` — the query-generalization cost model
+  (Formula 4) and optimal-layer selection (Def. 4.1).
+* :mod:`repro.core.answer_gen` — Algorithm 3 vertex-at-a-time answer
+  generation with specialization ordering.
+* :mod:`repro.core.path_answer_gen` — Algorithm 4 path-based generation.
+* :mod:`repro.core.evaluator` — Algorithm 2, the hierarchical query
+  processor ``eval_Ont``.
+* :mod:`repro.core.plugins` — boost-bkws / boost-dkws / boost-rkws.
+"""
+
+from repro.core.config import Configuration
+from repro.core.generalize import generalize_graph, generalize_label, specialize_label
+from repro.core.cost import CostModel, CostParams
+from repro.core.heuristic import greedy_configuration
+from repro.core.index import BiGIndex, Layer
+from repro.core.query_cost import QueryCostModel, optimal_query_layer
+from repro.core.evaluator import HierarchicalEvaluator, EvalResult
+from repro.core.persistence import load_index, save_index
+from repro.core.plugins import boost, BoostedSearch
+
+__all__ = [
+    "Configuration",
+    "generalize_graph",
+    "generalize_label",
+    "specialize_label",
+    "CostModel",
+    "CostParams",
+    "greedy_configuration",
+    "BiGIndex",
+    "Layer",
+    "QueryCostModel",
+    "optimal_query_layer",
+    "HierarchicalEvaluator",
+    "EvalResult",
+    "load_index",
+    "save_index",
+    "boost",
+    "BoostedSearch",
+]

@@ -1,0 +1,138 @@
+"""Generalization configurations (Sec. 2 / Def. 2.2).
+
+A configuration ``C`` is a set of mappings ``(l -> l')`` where ``l'`` is a
+direct supertype of ``l`` in the ontology graph (or ``l' = l`` when ``l``
+has no supertype; identity mappings are normalized away here).  Because a
+vertex has exactly one label, ``C`` must be a *function* on labels — two
+mappings may not share a source.  Applying such a ``C`` is automatically
+label-preserving in the sense of Def. 2.2: each vertex's label either
+follows its mapping or stays unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
+
+from repro.ontology.ontology import OntologyGraph
+from repro.utils.errors import ConfigurationError
+
+
+class Configuration:
+    """An immutable label-generalization configuration.
+
+    Parameters
+    ----------
+    mappings:
+        ``{source_label: target_label}`` pairs.
+    ontology:
+        When given, every mapping is validated: the target must be a
+        *direct* supertype of the source (``(l', l) in E_Ont``).
+
+    Example
+    -------
+    >>> from repro.ontology import OntologyGraph
+    >>> ont = OntologyGraph()
+    >>> ont.add_subtype("UC Berkeley", "Univ.")
+    >>> c = Configuration({"UC Berkeley": "Univ."}, ontology=ont)
+    >>> c.target_of("UC Berkeley")
+    'Univ.'
+    """
+
+    def __init__(
+        self,
+        mappings: Mapping[str, str],
+        ontology: Optional[OntologyGraph] = None,
+    ) -> None:
+        normalized: Dict[str, str] = {}
+        for source, target in mappings.items():
+            if source == target:
+                continue  # identity mappings are implicit
+            if ontology is not None:
+                if source not in ontology:
+                    raise ConfigurationError(
+                        f"mapping source {source!r} is not an ontology type"
+                    )
+                if target not in ontology.direct_supertypes(source):
+                    raise ConfigurationError(
+                        f"{target!r} is not a direct supertype of {source!r}"
+                    )
+            normalized[source] = target
+        self._mappings: Dict[str, str] = normalized
+
+    # ------------------------------------------------------------------
+    @property
+    def mappings(self) -> Dict[str, str]:
+        """A copy of the ``source -> target`` mapping dict."""
+        return dict(self._mappings)
+
+    @property
+    def domain(self) -> Set[str]:
+        """The paper's ``X``: labels that get generalized."""
+        return set(self._mappings)
+
+    @property
+    def image(self) -> Set[str]:
+        """The paper's ``Y``: the supertypes produced."""
+        return set(self._mappings.values())
+
+    def target_of(self, label: str) -> str:
+        """The generalized label for ``label`` (identity when unmapped)."""
+        return self._mappings.get(label, label)
+
+    def sources_of(self, target: str) -> Set[str]:
+        """All labels this configuration generalizes to ``target``.
+
+        This is the paper's ``X_{l_i}`` set used by the distortion term.
+        """
+        return {s for s, t in self._mappings.items() if t == target}
+
+    def merged_with(
+        self, source: str, target: str, ontology: Optional[OntologyGraph] = None
+    ) -> "Configuration":
+        """A new configuration with one extra mapping.
+
+        Raises :class:`ConfigurationError` if ``source`` is already mapped
+        to a different target (a configuration is a function on labels).
+        """
+        existing = self._mappings.get(source)
+        if existing is not None and existing != target:
+            raise ConfigurationError(
+                f"label {source!r} already mapped to {existing!r}"
+            )
+        combined = dict(self._mappings)
+        combined[source] = target
+        return Configuration(combined, ontology=ontology)
+
+    def conflicts_with(self, source: str, target: str) -> bool:
+        """Whether adding ``source -> target`` would break functionality."""
+        existing = self._mappings.get(source)
+        return existing is not None and existing != target
+
+    def __len__(self) -> int:
+        return len(self._mappings)
+
+    def __bool__(self) -> bool:
+        return bool(self._mappings)
+
+    def __iter__(self) -> Iterator[Tuple[str, str]]:
+        return iter(sorted(self._mappings.items()))
+
+    def __contains__(self, source: str) -> bool:
+        return source in self._mappings
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._mappings == other._mappings
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._mappings.items())))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{s}->{t}" for s, t in self)
+        return f"Configuration({inner})"
+
+    @staticmethod
+    def empty() -> "Configuration":
+        """The empty configuration (generalizes nothing)."""
+        return Configuration({})

@@ -1,0 +1,473 @@
+"""Algorithm 2: hierarchical query processing (``eval_Ont``).
+
+The evaluator runs the five steps of Fig. 5 / Algo. 2:
+
+1. **Query generalization** — pick the optimal layer ``m`` via the query
+   cost model (Formula 4, Def. 4.1) and generalize the keywords to it.
+2. **Evaluation on the summary graph** — run the plugged algorithm ``f``
+   on ``G^m`` with ``Gen^m(Q)`` (the *explore* phase of the Exp-1 time
+   breakdown).
+3. **Specialization and pruning** — walk each generalized answer's vertex
+   sets down the hierarchy one layer at a time; keyword nodes are pruned
+   by Prop. 4.1 (a specialization survives only if its label generalizes
+   to the keyword's generalization at that layer), implementing the
+   early-specialization-of-keyword-nodes optimization of Sec. 4.3.1
+   (a generalized answer dies as soon as any keyword node's candidate set
+   empties).  Non-keyword vertices specialize without pruning — they are
+   kept only for connectivity (Sec. 5.1).
+4. **Answer generation** — turn candidate sets into concrete answers:
+
+   * ``"root-verify"`` (default for rooted-tree semantics): the candidate
+     roots are the specializations of each generalized answer's root;
+     every candidate root is verified exactly on the data graph with one
+     bounded BFS (``best_answer_for_root``).  Complete because
+     path-preservation guarantees every true root's image is a summary
+     answer root (Lemma 4.1 / Prop. 5.1).
+   * ``"vertex"``: Algorithm 3 assignment enumeration (Def. 4.2
+     qualification + specialization order), each assignment verified by
+     the algorithm.
+   * ``"path"``: Algorithm 4 path-based enumeration (Def. 4.3).
+
+5. **Early termination after the first k answers** (Sec. 4.3.4) —
+   generalized answers are processed in ascending summary score; since
+   summary distances lower-bound data-graph distances (Prop. 5.2), the
+   evaluation stops once k answers are verified and the k-th best score
+   is at most the next unprocessed summary score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.answer_gen import (
+    GeneralizedAnswerGraph,
+    ans_graph_gen,
+)
+from repro.core.generalize import generalize_label
+from repro.core.index import BiGIndex
+from repro.core.path_answer_gen import p_ans_graph_gen
+from repro.core.query_cost import QueryCostModel
+from repro.search.base import (
+    Answer,
+    GraphSearcher,
+    KeywordQuery,
+    KeywordSearchAlgorithm,
+    top_k,
+)
+from repro.utils.errors import QueryError
+from repro.utils.timers import TimeBreakdown
+
+#: Answer-generation strategies.
+GENERATION_STRATEGIES = ("root-verify", "vertex", "path")
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one ``eval_Ont`` run with its instrumentation."""
+
+    answers: List[Answer]
+    layer: int
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: |A^m|: generalized answers found on the summary graph.
+    num_generalized: int = 0
+    #: candidates examined during generation (roots or assignments).
+    num_candidates: int = 0
+    #: candidates that survived exact verification.
+    num_verified: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Total measured query time across phases."""
+        return self.breakdown.total
+
+
+class HierarchicalEvaluator:
+    """``eval_Ont`` for one (index, algorithm) pair.
+
+    Per-layer searchers (the algorithm's own indexes over summary graphs)
+    are cached across queries, mirroring the paper's setup where the
+    BiG-index layers and the plugged algorithm's indexes are built offline.
+
+    Parameters
+    ----------
+    index:
+        The BiG-index hierarchy.
+    algorithm:
+        The plugged keyword search algorithm ``f``.
+    beta:
+        Query cost model weight (Formula 4).
+    generation:
+        Answer-generation strategy (see module docstring).
+    use_spec_order:
+        Toggle for the Sec. 4.3.2 specialization-order optimization
+        (``"vertex"`` strategy only; the Exp-5 ablation flips it).
+    """
+
+    def __init__(
+        self,
+        index: BiGIndex,
+        algorithm: KeywordSearchAlgorithm,
+        beta: float = 0.5,
+        generation: str = "root-verify",
+        use_spec_order: bool = True,
+        verify_mode: str = "exact",
+        allow_layer_zero: bool = False,
+    ) -> None:
+        if generation not in GENERATION_STRATEGIES:
+            raise QueryError(f"unknown generation strategy: {generation!r}")
+        if verify_mode not in ("exact", "trust"):
+            raise QueryError(f"unknown verify mode: {verify_mode!r}")
+        self.index = index
+        self.algorithm = algorithm
+        self.cost_model = QueryCostModel(
+            index, beta=beta, allow_layer_zero=allow_layer_zero
+        )
+        self.generation = generation
+        self.use_spec_order = use_spec_order
+        #: "exact" re-checks every generated assignment with the
+        #: algorithm's own verifier; "trust" accepts assignments that pass
+        #: Def. 4.2/4.3 qualification and scores them with the summary
+        #: answer's score — the paper's pipeline, justified by its
+        #: path-preservation argument (Prop. 5.3 claims score equality).
+        self.verify_mode = verify_mode
+        self._searchers: Dict[int, GraphSearcher] = {}
+
+    # ------------------------------------------------------------------
+    def searcher_for_layer(self, m: int) -> GraphSearcher:
+        """The algorithm bound to ``G^m`` (cached)."""
+        searcher = self._searchers.get(m)
+        if searcher is None:
+            searcher = self.algorithm.bind(self.index.layer_graph(m))
+            self._searchers[m] = searcher
+        return searcher
+
+    def evaluate(
+        self,
+        query: KeywordQuery,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+    ) -> EvalResult:
+        """Run ``eval_Ont(G, Q, f)``.
+
+        Parameters
+        ----------
+        query:
+            The keyword query on the *data graph's* vocabulary.
+        layer:
+            Force a specific layer ``m`` (Exp-4/6 sweep layers); ``None``
+            uses the cost model's optimal layer.
+        k:
+            Top-k cutoff with early termination; ``None`` uses the
+            algorithm's own ``k`` if any, returning all answers otherwise.
+        max_generalized:
+            Optional cap on the number of generalized answers consumed
+            from the summary stream once the top-k is already populated
+            or the stream keeps failing to specialize.  Implements the
+            practical reading of Sec. 4.3.4 ("specialize one a^m at a
+            time ... terminate when the number of answer graphs is k")
+            for workloads where semantic distortion makes parts of the
+            stream unproductive; ``None`` (default, used by the exactness
+            tests) never truncates.
+        """
+        breakdown = TimeBreakdown()
+        if k is None:
+            k = getattr(self.algorithm, "k", None)
+
+        with breakdown.phase("layer-selection"):
+            if layer is None:
+                layer = self.cost_model.optimal_layer(query)
+            elif layer > 0 and not self.index.query_distinct_at(query, layer):
+                raise QueryError(
+                    f"keywords collide at layer {layer}; Def. 4.1 requires "
+                    "|Gen^m(Q)| = |Q|"
+                )
+
+        if layer == 0:
+            # Degenerate case: evaluate directly on the data graph.
+            with breakdown.phase("explore"):
+                answers = self.searcher_for_layer(0).search(query)
+            return EvalResult(
+                answers=top_k(answers, k),
+                layer=0,
+                breakdown=breakdown,
+                num_generalized=len(answers),
+                num_candidates=len(answers),
+                num_verified=len(answers),
+            )
+
+        generalized_keywords = self.index.generalize_query(query, layer)
+        keyword_by_generalized = dict(zip(generalized_keywords, query.keywords))
+        generalized_query = KeywordQuery(generalized_keywords)
+
+        # Stream summary answers lazily: specialization is interleaved
+        # with enumeration so top-k runs stop as soon as the verified
+        # answers dominate everything unexplored (Sec. 4.3.4 and
+        # boost-dkws's interleaved decomposition, Sec. 5.2).  Streams are
+        # not necessarily score-sorted; searchers that emit out of order
+        # expose a running ``stream_lower_bound`` instead.
+        searcher = self.searcher_for_layer(layer)
+        with breakdown.phase("explore"):
+            summary_stream = searcher.iter_search(generalized_query)
+
+        result = EvalResult(answers=[], layer=layer, breakdown=breakdown)
+        verified: Dict[Tuple, Answer] = {}
+        seen_roots: Set[int] = set()
+
+        while True:
+            with breakdown.phase("explore"):
+                summary_answer = next(summary_stream, None)
+            if summary_answer is None:
+                break
+            result.num_generalized += 1
+            if (
+                max_generalized is not None
+                and result.num_generalized > max_generalized
+            ):
+                break
+            if k is not None and len(verified) >= k:
+                kth = sorted(a.score for a in verified.values())[k - 1]
+                stream_bound = getattr(
+                    searcher, "stream_lower_bound", summary_answer.score
+                )
+                if kth <= stream_bound:
+                    break  # Sec. 4.3.4: the rest cannot beat the top-k.
+                if kth <= summary_answer.score:
+                    continue  # this answer cannot improve; keep streaming
+            root_verify = (
+                self.generation == "root-verify"
+                and summary_answer.root is not None
+                and hasattr(self.algorithm, "best_answer_for_root")
+            )
+            with breakdown.phase("specialize"):
+                spec = self._specialize_answer(
+                    summary_answer,
+                    layer,
+                    query,
+                    keyword_by_generalized,
+                    root_only=root_verify,
+                )
+            if spec is None:
+                continue
+            with breakdown.phase("generate"):
+                self._generate(
+                    summary_answer, spec, query, verified, seen_roots, result, k
+                )
+
+        result.answers = top_k(list(verified.values()), k)
+        result.num_verified = len(verified)
+        return result
+
+    # ------------------------------------------------------------------
+    # Step 3: specialization with pruning
+    # ------------------------------------------------------------------
+    def _specialize_answer(
+        self,
+        summary_answer: Answer,
+        layer: int,
+        query: KeywordQuery,
+        keyword_by_generalized: Mapping[str, str],
+        root_only: bool = False,
+    ) -> Optional[GeneralizedAnswerGraph]:
+        """Walk one generalized answer's vertex sets down to layer 0.
+
+        With ``root_only`` (the root-verify strategy) only the answer root
+        is specialized, without pruning: root verification re-derives the
+        keyword matches exactly on the data graph, so the summary answer's
+        particular keyword supernodes — which a distinct-root search picks
+        as the *nearest* generalized matches — must not constrain it.
+
+        Otherwise every answer vertex specializes, keyword nodes pruned by
+        Prop. 4.1, and the method returns ``None`` when early keyword
+        specialization (Sec. 4.3.1) kills the answer (some keyword node
+        has no label-qualified specialization).
+        """
+        configs = self.index.configs_up_to(layer)
+        # supernode -> keyword for the isKey vertices of this answer.
+        keyword_of: Dict[int, str] = {}
+        for generalized_kw, supernode in summary_answer.keyword_nodes:
+            keyword_of[supernode] = keyword_by_generalized.get(
+                generalized_kw, generalized_kw
+            )
+
+        if root_only:
+            root = summary_answer.root
+            assert root is not None
+            return GeneralizedAnswerGraph(
+                vertices=(root,),
+                edges=(),
+                spec_sets={root: sorted(self.index.spec_to_base(root, layer))},
+                keyword_of={},
+            )
+
+        spec_sets: Dict[int, List[int]] = {}
+        for supernode in summary_answer.vertices:
+            keyword = keyword_of.get(supernode)
+            members = [supernode]
+            for level in range(layer, 0, -1):
+                extent = self.index.layers[level - 1].extent
+                members = [child for s in members for child in extent[s]]
+                if keyword is not None:
+                    # Prop. 4.1: keep v only if its label at layer level-1
+                    # equals the keyword's generalization to that layer.
+                    expected = generalize_label(keyword, configs[: level - 1])
+                    level_graph = self.index.layer_graph(level - 1)
+                    members = [
+                        v for v in members if level_graph.label(v) == expected
+                    ]
+                    if not members:
+                        return None  # early keyword specialization prune
+            spec_sets[supernode] = sorted(members)
+        return GeneralizedAnswerGraph(
+            vertices=summary_answer.vertices,
+            edges=summary_answer.edges,
+            spec_sets=spec_sets,
+            keyword_of=keyword_of,
+        )
+
+    # ------------------------------------------------------------------
+    # Step 5: answer generation
+    # ------------------------------------------------------------------
+    def _generate(
+        self,
+        summary_answer: Answer,
+        spec: GeneralizedAnswerGraph,
+        query: KeywordQuery,
+        verified: Dict[Tuple, Answer],
+        seen_roots: Set[int],
+        result: EvalResult,
+        k: Optional[int],
+    ) -> None:
+        root_capable = hasattr(self.algorithm, "best_answer_for_root")
+        if (
+            self.generation == "root-verify"
+            and summary_answer.root is not None
+            and root_capable
+        ):
+            self._generate_by_root(
+                summary_answer, spec, query, verified, seen_roots, result, k
+            )
+        else:
+            self._generate_by_assignment(
+                summary_answer, spec, query, verified, result
+            )
+
+    def _generate_by_root(
+        self,
+        summary_answer: Answer,
+        spec: GeneralizedAnswerGraph,
+        query: KeywordQuery,
+        verified: Dict[Tuple, Answer],
+        seen_roots: Set[int],
+        result: EvalResult,
+        k: Optional[int],
+    ) -> None:
+        """Verify every specialized candidate root with one bounded BFS.
+
+        The summary answer's score lower-bounds the exact score of every
+        root specialized from it (Prop. 5.2), so once the top-k verified
+        scores all fall at or below it, the rest of this answer's
+        candidates cannot improve the result (Sec. 4.3.4).
+        """
+        candidate_roots = spec.spec_sets[summary_answer.root]
+        best_for_root = self.algorithm.best_answer_for_root  # type: ignore[attr-defined]
+        for root in candidate_roots:
+            if root in seen_roots:
+                continue
+            if k is not None and len(verified) >= k:
+                kth = sorted(a.score for a in verified.values())[k - 1]
+                if kth <= summary_answer.score:
+                    return
+            seen_roots.add(root)
+            result.num_candidates += 1
+            answer = best_for_root(self.index.base_graph, root, query)
+            if answer is not None:
+                verified[answer.signature()] = answer
+
+    def _generate_by_assignment(
+        self,
+        summary_answer: Answer,
+        spec: GeneralizedAnswerGraph,
+        query: KeywordQuery,
+        verified: Dict[Tuple, Answer],
+        result: EvalResult,
+    ) -> None:
+        """Algorithm 3 / 4 enumeration, each assignment exactly verified."""
+
+        def qualify(partial: Mapping[int, int], supernode: int, vertex: int) -> bool:
+            keyword = spec.keyword_of.get(supernode)
+            if keyword is None:
+                return True
+            partial_keywords = {
+                spec.keyword_of[s]: v
+                for s, v in partial.items()
+                if s in spec.keyword_of
+            }
+            return self.algorithm.enlarge_ok(
+                self.index.base_graph, partial_keywords, keyword, vertex, query
+            )
+
+        if self.generation == "path":
+            assignments = p_ans_graph_gen(
+                self.index.base_graph, spec, qualify=qualify
+            )
+        else:
+            assignments = ans_graph_gen(
+                self.index.base_graph,
+                spec,
+                qualify=qualify,
+                use_spec_order=self.use_spec_order,
+            )
+        for assignment in assignments:
+            result.num_candidates += 1
+            keyword_nodes = {
+                keyword: assignment[supernode]
+                for supernode, keyword in spec.keyword_of.items()
+            }
+            root = (
+                assignment.get(summary_answer.root)
+                if summary_answer.root is not None
+                else None
+            )
+            if self.verify_mode == "trust":
+                answer = Answer.make(
+                    keyword_nodes,
+                    score=summary_answer.score,
+                    root=root,
+                    vertices=assignment.values(),
+                    edges=(
+                        (assignment[u], assignment[v])
+                        for u, v in spec.edges
+                    ),
+                )
+            else:
+                answer = self.algorithm.verify(
+                    self.index.base_graph, keyword_nodes, query, root=root
+                )
+            if answer is not None:
+                existing = verified.get(answer.signature())
+                if existing is None or answer.score < existing.score:
+                    verified[answer.signature()] = answer
+
+
+def eval_direct(
+    graph,
+    algorithm: KeywordSearchAlgorithm,
+    query: KeywordQuery,
+    searcher: Optional[GraphSearcher] = None,
+) -> Tuple[List[Answer], TimeBreakdown]:
+    """Plain ``eval(G, Q, f)`` with the same timing instrumentation.
+
+    The benchmark harness compares this against
+    :meth:`HierarchicalEvaluator.evaluate` for the Exp-1/2 figures.  Pass a
+    pre-bound ``searcher`` to keep the algorithm's offline index build out
+    of the measured query time (as the paper does).
+    """
+    breakdown = TimeBreakdown()
+    if searcher is None:
+        with breakdown.phase("bind"):
+            searcher = algorithm.bind(graph)
+    with breakdown.phase("explore"):
+        answers = searcher.search(query)
+    return answers, breakdown

@@ -1,0 +1,79 @@
+"""Graph and label generalization (``Gen``) and specialization (``Spec``).
+
+``Gen(G, C)`` simultaneously applies every mapping of the configuration to
+the vertex labels of ``G`` (Sec. 3.1); the topology is untouched.  ``Spec``
+reverses the rewrite: on labels it follows the configurations backwards, on
+answer vertices the BiG-index layers' extent tables play that role (Sec. 2:
+``Bisim^{-1}`` "is implemented by hash tables").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.core.config import Configuration
+from repro.graph.digraph import Graph
+from repro.search.base import KeywordQuery
+
+
+def generalize_graph(graph: Graph, config: Configuration) -> Graph:
+    """``Gen(G, C)``: a copy of ``graph`` with labels rewritten by ``config``.
+
+    The returned graph shares the input's label table so label ids remain
+    comparable across BiG-index layers.
+    """
+    result = graph.copy(share_label_table=True)
+    if not config:
+        return result
+    # Pre-intern targets once; rewrite via the inverted label index so the
+    # pass is proportional to the affected vertices, not |V| * |C|.
+    for source, target in config:
+        source_id = result.label_table.get_id(source)
+        if source_id is None:
+            continue
+        target_id = result.label_table.intern(target)
+        for v in list(result.vertices_with_label_id(source_id)):
+            result.relabel_vertex_by_id(v, target_id)
+    return result
+
+
+def generalize_label(label: str, configs: Sequence[Configuration]) -> str:
+    """``Gen^m`` on a single label: thread it through ``configs`` in order."""
+    current = label
+    for config in configs:
+        current = config.target_of(current)
+    return current
+
+
+def generalize_query(
+    query: KeywordQuery, configs: Sequence[Configuration]
+) -> List[str]:
+    """``Gen^m(Q)``: the generalized keyword list (may contain collisions).
+
+    Returns a plain list rather than a :class:`KeywordQuery` because two
+    keywords may generalize to the same label; Def. 4.1's condition 1
+    (``|Gen^m(Q)| = |Q|``) is checked by the caller against this list.
+    """
+    return [generalize_label(keyword, configs) for keyword in query]
+
+
+def specialize_label(
+    label: str, configs: Sequence[Configuration]
+) -> Set[str]:
+    """``Spec`` on a label: all layer-0 labels that generalize to ``label``.
+
+    Walks the configuration sequence backwards, expanding through each
+    configuration's preimages (a label is its own preimage when unmapped —
+    generalization leaves unmapped labels alone).
+    """
+    current: Set[str] = {label}
+    for config in reversed(configs):
+        expanded: Set[str] = set()
+        for item in current:
+            if item not in config:
+                # Unmapped labels pass through Gen unchanged, so the label
+                # is its own preimage; a mapped label cannot survive Gen.
+                expanded.add(item)
+            expanded.update(config.sources_of(item))
+        current = expanded
+    return current

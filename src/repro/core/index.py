@@ -1,0 +1,383 @@
+"""The BiG-index hierarchy (Def. 3.1) with construction and maintenance.
+
+A BiG-index of a graph ``G`` and ontology ``G_Ont`` is ``(G, C)``: graphs
+``{G^0, ..., G^h}`` and configurations ``[C^1, ..., C^h]`` with ``G^0 = G``
+and ``G^i = chi(G^{i-1}, C^i) = Bisim(Gen(G^{i-1}, C^i))``.
+
+Construction (Sec. 3.2) picks each layer's configuration with Algorithm 1's
+greedy heuristic and stops when adding layers stops paying: either the layer
+budget is reached, no candidate generalization exists, or summarization no
+longer compresses (the paper: "until it cannot be further summarized
+efficiently").
+
+Maintenance (Sec. 3.2):
+
+* **Data-graph updates** — edge insertions/deletions at layer 0 propagate
+  upward layer by layer.  Each layer's partition is recomputed by signature
+  refinement *seeded from the previous partition* (the incremental scheme of
+  :mod:`repro.bisim.incremental`), so the refreshed index stays a valid
+  bisimulation hierarchy; it may drift finer than minimal, and
+  :meth:`BiGIndex.rebuild` restores minimality — matching the paper's
+  "recomputed occasionally to maintain its efficiency".
+* **Ontology updates** — additions never invalidate the index (existing
+  configurations remain label-preserving).  Removing a subtype edge calls
+  :meth:`BiGIndex.remove_ontology_edge`, which drops the affected mappings
+  from every configuration and rebuilds from the first affected layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.bisim.refinement import BisimDirection, maximal_bisimulation
+from repro.bisim.summary import summarize
+from repro.core.config import Configuration
+from repro.core.cost import CostModel, CostParams
+from repro.core.generalize import (
+    generalize_graph,
+    generalize_label,
+    generalize_query,
+)
+from repro.core.heuristic import greedy_configuration
+from repro.graph.digraph import Graph
+from repro.ontology.ontology import OntologyGraph
+from repro.search.base import KeywordQuery
+from repro.utils.errors import BigIndexError, QueryError
+
+
+@dataclass
+class Layer:
+    """One index layer ``G^i`` plus its link to the layer below.
+
+    Attributes
+    ----------
+    config:
+        ``C^i``, the configuration applied to ``G^{i-1}``'s labels.
+    graph:
+        ``G^i = Bisim(Gen(G^{i-1}, C^i))``.
+    parent_of:
+        ``parent_of[v]`` is the supernode of layer-(i-1) vertex ``v`` —
+        the per-layer ``chi`` map.
+    extent:
+        ``extent[s]`` lists the layer-(i-1) vertices of supernode ``s`` —
+        the per-layer ``chi^{-1}`` hash table.
+    build_seconds:
+        Wall-clock construction time of this layer (Exp-3).
+    """
+
+    config: Configuration
+    graph: Graph
+    parent_of: List[int]
+    extent: List[List[int]]
+    build_seconds: float = 0.0
+
+
+@dataclass
+class ConstructionReport:
+    """Summary of one build for the Exp-3 benchmarks."""
+
+    layer_sizes: List[int] = field(default_factory=list)
+    layer_seconds: List[float] = field(default_factory=list)
+    total_seconds: float = 0.0
+
+
+class BiGIndex:
+    """The hierarchical Bisimulation-of-Generalized-Graph index.
+
+    Use :meth:`build` to construct one; direct instantiation is reserved
+    for tests that assemble layers manually.
+    """
+
+    def __init__(
+        self,
+        base_graph: Graph,
+        ontology: OntologyGraph,
+        direction: BisimDirection = BisimDirection.SUCCESSORS,
+    ) -> None:
+        self.base_graph = base_graph
+        self.ontology = ontology
+        self.direction = direction
+        self.layers: List[Layer] = []
+        self.report = ConstructionReport()
+        #: updates applied since the last full (re)build.
+        self.drift = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: Graph,
+        ontology: OntologyGraph,
+        num_layers: Optional[int] = None,
+        theta: float = 1.0,
+        max_mappings: Optional[int] = None,
+        cost_params: Optional[CostParams] = None,
+        direction: BisimDirection = BisimDirection.SUCCESSORS,
+        stop_ratio: float = 0.98,
+    ) -> "BiGIndex":
+        """Construct a BiG-index bottom-up.
+
+        Parameters
+        ----------
+        graph:
+            The data graph ``G^0`` (not copied; treat as owned by the index
+            when using maintenance).
+        ontology:
+            ``G_Ont`` used for candidate generalizations.
+        num_layers:
+            Maximum number of layers ``h``; ``None`` keeps adding layers
+            while they compress.
+        theta / max_mappings / cost_params:
+            Algorithm 1 parameters (Sec. 3.2).  The paper's default index
+            uses large ``theta`` and ``Pi`` so each layer generalizes every
+            label one ontology step.
+        direction:
+            Bisimulation matching direction.
+        stop_ratio:
+            Stop when a new layer's size exceeds this fraction of the layer
+            below (compression has saturated).
+        """
+        index = cls(graph, ontology, direction=direction)
+        start_total = time.perf_counter()
+        current = graph
+        while num_layers is None or len(index.layers) < num_layers:
+            start = time.perf_counter()
+            config = greedy_configuration(
+                current,
+                ontology,
+                theta=theta,
+                max_mappings=max_mappings,
+                cost_params=cost_params,
+            )
+            generalized = generalize_graph(current, config)
+            summary = summarize(generalized, direction=direction)
+            elapsed = time.perf_counter() - start
+            ratio = summary.graph.size / current.size if current.size else 1.0
+            if not config and ratio > stop_ratio:
+                break  # nothing generalized and bisim stopped compressing
+            index.layers.append(
+                Layer(
+                    config=config,
+                    graph=summary.graph,
+                    parent_of=summary.supernode_of,
+                    extent=summary.extent,
+                    build_seconds=elapsed,
+                )
+            )
+            index.report.layer_sizes.append(summary.graph.size)
+            index.report.layer_seconds.append(elapsed)
+            if ratio > stop_ratio and num_layers is None:
+                break  # keep the layer but stop stacking more
+            current = summary.graph
+        index.report.total_seconds = time.perf_counter() - start_total
+        return index
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_layers(self) -> int:
+        """``h``: the number of summary layers above the data graph."""
+        return len(self.layers)
+
+    def layer_graph(self, m: int) -> Graph:
+        """``G^m`` (``m = 0`` is the data graph)."""
+        if m == 0:
+            return self.base_graph
+        if not 1 <= m <= len(self.layers):
+            raise BigIndexError(f"layer {m} out of range (h={len(self.layers)})")
+        return self.layers[m - 1].graph
+
+    def configs_up_to(self, m: int) -> List[Configuration]:
+        """``[C^1, ..., C^m]``."""
+        if not 0 <= m <= len(self.layers):
+            raise BigIndexError(f"layer {m} out of range (h={len(self.layers)})")
+        return [layer.config for layer in self.layers[:m]]
+
+    def layer_sizes(self) -> List[int]:
+        """``|G^0|, |G^1|, ..., |G^h|`` (Fig. 9's series)."""
+        return [self.base_graph.size] + [layer.graph.size for layer in self.layers]
+
+    def size_ratio(self, m: int) -> float:
+        """``|G^m| / |G^0|`` (Tab. 3 reports it for ``m = 1``)."""
+        return self.layer_graph(m).size / self.base_graph.size
+
+    def total_index_size(self) -> int:
+        """Sum of all summary-graph sizes ("the BiG-index size is simply
+        the sum of the summary graphs in the index", Exp-3)."""
+        return sum(layer.graph.size for layer in self.layers)
+
+    # ------------------------------------------------------------------
+    # chi / Spec navigation
+    # ------------------------------------------------------------------
+    def chi(self, vertex: int, m: int) -> int:
+        """``chi^m(v)``: the layer-``m`` supernode summarizing base vertex ``v``."""
+        current = vertex
+        for layer in self.layers[:m]:
+            current = layer.parent_of[current]
+        return current
+
+    def spec_vertex(self, supernode: int, m: int) -> List[int]:
+        """``Spec`` one step: layer-``m`` supernode -> layer-(m-1) vertices."""
+        if not 1 <= m <= len(self.layers):
+            raise BigIndexError(f"layer {m} out of range (h={len(self.layers)})")
+        return list(self.layers[m - 1].extent[supernode])
+
+    def spec_to_base(self, supernode: int, m: int) -> List[int]:
+        """Fully specialize a layer-``m`` supernode to base (layer-0) vertices."""
+        frontier = [supernode]
+        for level in range(m, 0, -1):
+            extent = self.layers[level - 1].extent
+            frontier = [child for s in frontier for child in extent[s]]
+        return frontier
+
+    # ------------------------------------------------------------------
+    # Query generalization
+    # ------------------------------------------------------------------
+    def generalize_keyword(self, keyword: str, m: int) -> str:
+        """``Gen^m`` of one keyword through ``C^1 ... C^m``."""
+        return generalize_label(keyword, self.configs_up_to(m))
+
+    def generalize_query(self, query: KeywordQuery, m: int) -> List[str]:
+        """``Gen^m(Q)`` as a list (may contain collisions; see Def. 4.1)."""
+        return generalize_query(query, self.configs_up_to(m))
+
+    def query_distinct_at(self, query: KeywordQuery, m: int) -> bool:
+        """Def. 4.1 condition 1: ``|Gen^m(Q)| = |Q)|``."""
+        generalized = self.generalize_query(query, m)
+        return len(set(generalized)) == len(generalized)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert a data-graph edge and refresh every layer incrementally."""
+        if self.base_graph.add_edge(u, v):
+            self._refresh_layers()
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Delete a data-graph edge and refresh every layer incrementally."""
+        self.base_graph.remove_edge(u, v)
+        self._refresh_layers()
+
+    def rebuild(self) -> None:
+        """Recompute every layer's *maximal* bisimulation (keeps configs).
+
+        Restores index minimality after incremental updates ("to minimize
+        the index size, BiG-index can be recomputed occasionally").
+        """
+        current = self.base_graph
+        rebuilt: List[Layer] = []
+        for layer in self.layers:
+            generalized = generalize_graph(current, layer.config)
+            summary = summarize(generalized, direction=self.direction)
+            rebuilt.append(
+                Layer(
+                    config=layer.config,
+                    graph=summary.graph,
+                    parent_of=summary.supernode_of,
+                    extent=summary.extent,
+                )
+            )
+            current = summary.graph
+        self.layers = rebuilt
+        self.drift = 0
+
+    def note_ontology_addition(self) -> None:
+        """Record an ontology extension: no action required.
+
+        New subtype edges cannot invalidate existing configurations (each
+        mapping's edge still exists); the index simply does not exploit the
+        new edges until a rebuild (paper: "new ontologies do not make a
+        BiG-index incorrect, and BiG-index can be reconstructed
+        periodically").
+        """
+        self.drift += 1
+
+    def remove_ontology_edge(self, subtype: str, supertype: str) -> None:
+        """Handle removal of a subtype-supertype relationship.
+
+        Every configuration using the removed edge loses the affected
+        mapping, and all layers from the first affected one upward are
+        reconstructed with the reduced configurations — specializing the
+        summary graphs "so that the affected relationships are not involved
+        in any configurations in the updated BiG-index".
+        """
+        first_affected: Optional[int] = None
+        new_configs: List[Configuration] = []
+        for i, layer in enumerate(self.layers):
+            mappings = layer.config.mappings
+            if mappings.get(subtype) == supertype:
+                del mappings[subtype]
+                if first_affected is None:
+                    first_affected = i
+            new_configs.append(Configuration(mappings))
+        if first_affected is None:
+            return
+        current = (
+            self.base_graph
+            if first_affected == 0
+            else self.layers[first_affected - 1].graph
+        )
+        rebuilt = self.layers[:first_affected]
+        for config in new_configs[first_affected:]:
+            generalized = generalize_graph(current, config)
+            summary = summarize(generalized, direction=self.direction)
+            rebuilt.append(
+                Layer(
+                    config=config,
+                    graph=summary.graph,
+                    parent_of=summary.supernode_of,
+                    extent=summary.extent,
+                )
+            )
+            current = summary.graph
+        self.layers = rebuilt
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _refresh_layers(self) -> None:
+        """Propagate a base-graph change upward, layer by layer.
+
+        Each layer's partition is recomputed by refinement seeded from the
+        old partition, so the new partition refines the old one; the seed
+        for layer ``i`` maps every *new* layer-(i-1) vertex to the old
+        supernode of the old vertex enclosing it, which is well defined
+        exactly because of that refinement invariant.
+        """
+        self.drift += 1
+        current = self.base_graph
+        # new layer-(i-1) vertex -> old layer-(i-1) vertex; identity at base.
+        old_of_new: List[int] = list(range(current.num_vertices))
+        rebuilt: List[Layer] = []
+        for layer in self.layers:
+            generalized = generalize_graph(current, layer.config)
+            seed = [layer.parent_of[old_of_new[v]] for v in generalized.vertices()]
+            blocks = maximal_bisimulation(
+                generalized, direction=self.direction, initial_blocks=seed
+            )
+            summary = summarize(generalized, direction=self.direction, blocks=blocks)
+            rebuilt.append(
+                Layer(
+                    config=layer.config,
+                    graph=summary.graph,
+                    parent_of=summary.supernode_of,
+                    extent=summary.extent,
+                )
+            )
+            # Map each new supernode to the old supernode of its members.
+            old_of_new = [
+                layer.parent_of[old_of_new[members[0]]]
+                for members in summary.extent
+            ]
+            current = summary.graph
+        self.layers = rebuilt
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = ", ".join(str(s) for s in self.layer_sizes())
+        return f"BiGIndex(h={self.num_layers}, sizes=[{sizes}])"

@@ -1,0 +1,268 @@
+"""Algorithm 4: path-based answer graph generation (Sec. 4.3.3).
+
+Vertex-at-a-time generation (Algorithm 3) may re-check a generalized vertex
+against many partial answers.  Algorithm 4 instead decomposes the
+generalized answer graph into *paths* at its **joint vertices** (vertices
+of degree > 2) and specializes one path at a time:
+
+1. *Path decomposition* — the answer graph splits into a canonical path
+   set ``P``; every path runs from a breakpoint (joint vertex, leaf, or
+   isolated vertex) through degree-2 vertices to the next breakpoint.
+2. *Path answer generation* — each generalized path specializes into the
+   concrete data-graph paths realizing it (Algorithm 3 restricted to a
+   path, which is a linear chain enumeration).
+3. *Path join* — partial answers grow path by path; a concrete path
+   qualifies (Def. 4.3) iff it agrees with the partial answer on every
+   shared joint vertex (the concrete vertices assigned to a shared
+   supernode must coincide).
+
+Paths containing keyword nodes are joined first — keyword nodes are the
+most selective, keeping intermediate candidate sets small (Example 4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.answer_gen import (
+    Assignment,
+    GeneralizedAnswerGraph,
+    QualifyHook,
+)
+from repro.graph.digraph import Graph
+from repro.utils.errors import BigIndexError
+
+#: A generalized path: the supernode sequence plus the direction of each
+#: hop (True = the a^m edge points forward along the sequence).
+GeneralizedPath = Tuple[Tuple[int, ...], Tuple[bool, ...]]
+
+
+def joint_vertices(answer: GeneralizedAnswerGraph) -> Set[int]:
+    """Supernodes of degree > 2 — the ``isJoint`` vertices of Sec. 4.3.3."""
+    return {v for v in answer.vertices if answer.degree(v) > 2}
+
+
+def answer_decomposition(
+    answer: GeneralizedAnswerGraph,
+) -> List[GeneralizedPath]:
+    """Step 1: decompose ``a^m`` into its canonical path set ``P``.
+
+    Breakpoints are joint vertices (degree > 2), leaves (degree 1), and —
+    for robustness on non-tree answer graphs — an arbitrary deterministic
+    vertex per pure cycle.  Every answer edge appears in exactly one path.
+    """
+    joints = joint_vertices(answer)
+    degree = {v: answer.degree(v) for v in answer.vertices}
+    breakpoints = {v for v in answer.vertices if degree[v] != 2} | joints
+
+    # Undirected adjacency with direction bookkeeping.
+    adjacency: Dict[int, List[Tuple[int, bool]]] = {
+        v: [] for v in answer.vertices
+    }
+    for u, v in answer.edges:
+        adjacency[u].append((v, True))
+        adjacency[v].append((u, False))
+
+    unused: Set[Tuple[int, int]] = set(answer.edges)
+    paths: List[GeneralizedPath] = []
+
+    def walk(start: int, first: Tuple[int, bool]) -> None:
+        vertices = [start]
+        directions: List[bool] = []
+        current, forward = start, first
+        while True:
+            nxt, is_forward = forward
+            edge = (current, nxt) if is_forward else (nxt, current)
+            if edge not in unused:
+                return
+            unused.discard(edge)
+            vertices.append(nxt)
+            directions.append(is_forward)
+            if nxt in breakpoints or nxt == start:
+                break
+            # Continue through the single remaining edge of a degree-2 node.
+            options = [
+                (w, fwd)
+                for (w, fwd) in adjacency[nxt]
+                if ((nxt, w) if fwd else (w, nxt)) in unused
+            ]
+            if not options:
+                break
+            current, forward = nxt, options[0]
+        paths.append((tuple(vertices), tuple(directions)))
+
+    for start in sorted(breakpoints):
+        for first in sorted(adjacency[start]):
+            walk(start, first)
+    # Pure cycles (no breakpoints touched): break them deterministically.
+    while unused:
+        u, v = min(unused)
+        walk(u, (v, True))
+    return paths
+
+
+def specialize_path(
+    graph: Graph,
+    answer: GeneralizedAnswerGraph,
+    path: GeneralizedPath,
+    qualify: Optional[QualifyHook] = None,
+    max_paths: Optional[int] = None,
+) -> List[List[int]]:
+    """Step 2: all concrete data-graph paths realizing a generalized path.
+
+    A concrete path picks one candidate per supernode such that every
+    consecutive pair is connected by a data-graph edge in the direction
+    the generalized path prescribes.  Enumeration starts from whichever
+    end has fewer candidates (keyword ends are usually far more selective
+    than joint ends), which keeps the intermediate prefix sets small.
+    """
+    supernodes, directions = path
+    if (
+        len(supernodes) > 1
+        and len(answer.spec_sets[supernodes[-1]])
+        < len(answer.spec_sets[supernodes[0]])
+    ):
+        supernodes = tuple(reversed(supernodes))
+        directions = tuple(not d for d in reversed(directions))
+        reverse_result = True
+    else:
+        reverse_result = False
+    partial_paths: List[List[int]] = [
+        [v] for v in answer.spec_sets[supernodes[0]]
+    ]
+    for i in range(1, len(supernodes)):
+        supernode = supernodes[i]
+        forward = directions[i - 1]
+        # Intersect the prefix's neighbors with the candidate set rather
+        # than scanning all candidates: degrees are usually far smaller
+        # than specialization sets.
+        candidates = set(answer.spec_sets[supernode])
+        extended: List[List[int]] = []
+        for concrete in partial_paths:
+            last = concrete[-1]
+            neighbors = (
+                graph.out_neighbors(last)
+                if forward
+                else graph.in_neighbors(last)
+            )
+            for vertex in neighbors:
+                if vertex not in candidates or vertex in concrete:
+                    continue
+                if qualify is not None and not qualify(
+                    dict(zip(supernodes[:i], concrete)), supernode, vertex
+                ):  # hook sees the (possibly reversed) enumeration order
+                    continue
+                extended.append(concrete + [vertex])
+                if max_paths is not None and len(extended) > max_paths:
+                    raise BigIndexError(
+                        f"path specialization exceeded {max_paths} candidates"
+                    )
+        partial_paths = extended
+        if not partial_paths:
+            return []
+    if reverse_result:
+        # Realign with the caller's (un-reversed) supernode order.
+        partial_paths = [list(reversed(p)) for p in partial_paths]
+    return partial_paths
+
+
+def _path_sort_key(
+    answer: GeneralizedAnswerGraph, path: GeneralizedPath
+) -> Tuple[int, float, Tuple[int, ...]]:
+    """Keyword-bearing paths first, then smaller candidate products."""
+    supernodes, _ = path
+    has_keyword = any(s in answer.keyword_of for s in supernodes)
+    product = 1.0
+    for s in supernodes:
+        product *= max(1, len(answer.spec_sets[s]))
+    return (0 if has_keyword else 1, product, supernodes)
+
+
+def p_ans_graph_gen(
+    graph: Graph,
+    answer: GeneralizedAnswerGraph,
+    qualify: Optional[QualifyHook] = None,
+    max_partials: Optional[int] = None,
+) -> List[Assignment]:
+    """Algorithm 4: enumerate complete assignments via path join.
+
+    Returns the same assignment set as
+    :func:`repro.core.answer_gen.ans_graph_gen` (the tests assert this),
+    typically visiting far fewer intermediate partial answers.
+    """
+    if not answer.edges:
+        # Degenerate: no edges — fall back to independent vertex choices.
+        from repro.core.answer_gen import ans_graph_gen
+
+        return ans_graph_gen(graph, answer, qualify=qualify)
+
+    paths = answer_decomposition(answer)
+    paths.sort(key=lambda p: _path_sort_key(answer, p))
+
+    partials: List[Assignment] = [{}]
+    covered: Set[int] = set()
+    for path in paths:
+        supernodes, _ = path
+        concrete_paths = specialize_path(
+            graph, answer, path, qualify=qualify, max_paths=max_partials
+        )
+        next_partials: List[Assignment] = []
+        for partial in partials:
+            for concrete in concrete_paths:
+                merged = _join(partial, supernodes, concrete)
+                if merged is not None:
+                    next_partials.append(merged)
+                    if max_partials is not None and len(next_partials) > max_partials:
+                        raise BigIndexError(
+                            f"path join exceeded {max_partials} partial answers"
+                        )
+        partials = next_partials
+        covered.update(supernodes)
+        if not partials:
+            return []
+
+    # Isolated answer vertices not on any path (possible in degenerate
+    # inputs) are assigned last.
+    remaining = [v for v in answer.vertices if v not in covered]
+    for supernode in sorted(remaining, key=lambda s: len(answer.spec_sets[s])):
+        next_partials = []
+        for partial in partials:
+            used = set(partial.values())
+            for vertex in answer.spec_sets[supernode]:
+                if vertex in used:
+                    continue
+                if qualify is not None and not qualify(partial, supernode, vertex):
+                    continue
+                enlarged = dict(partial)
+                enlarged[supernode] = vertex
+                next_partials.append(enlarged)
+        partials = next_partials
+        if not partials:
+            return []
+    return partials
+
+
+def _join(
+    partial: Assignment,
+    supernodes: Sequence[int],
+    concrete: Sequence[int],
+) -> Optional[Assignment]:
+    """Def. 4.3: merge a concrete path into a partial answer.
+
+    The path qualifies iff every supernode already assigned in the partial
+    answer (shared joint vertices in particular) received the *same*
+    concrete vertex, and the path introduces no vertex reuse across
+    distinct supernodes.
+    """
+    merged = dict(partial)
+    used = set(partial.values())
+    for supernode, vertex in zip(supernodes, concrete):
+        assigned = merged.get(supernode)
+        if assigned is None:
+            if vertex in used:
+                return None
+            merged[supernode] = vertex
+            used.add(vertex)
+        elif assigned != vertex:
+            return None
+    return merged

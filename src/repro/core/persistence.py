@@ -1,0 +1,127 @@
+"""Saving and loading a built BiG-index.
+
+The paper treats index construction as an offline step ("BiG-index takes
+20 minutes ... to construct the indexes for YAGO3") whose product is
+loaded at query time ("BiG-index loads the m-th layer from the disk",
+Sec. 5.1).  This module provides that persistence: a built
+:class:`~repro.core.index.BiGIndex` round-trips through a directory of
+TSV/JSON files, so construction cost is paid once per dataset.
+
+Layout (one directory per index)::
+
+    meta.json                 {"num_layers": h, "direction": ..., "version": 1}
+    base.nodes / base.edges   the data graph (repro.graph.io format)
+    layer<i>.nodes / .edges   summary graph of layer i
+    layer<i>.config.json      the configuration C^i
+    layer<i>.parents.txt      parent_of: one supernode id per line
+
+The extents are reconstructed from ``parent_of`` on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List
+
+from repro.core.config import Configuration
+from repro.core.index import BiGIndex, Layer
+from repro.graph.io import load_graph_tsv, save_graph_tsv
+from repro.ontology.ontology import OntologyGraph
+from repro.utils.errors import BigIndexError
+
+FORMAT_VERSION = 1
+
+
+def save_index(index: BiGIndex, directory: str) -> None:
+    """Write ``index`` (graphs, configs, parent maps) under ``directory``."""
+    os.makedirs(directory, exist_ok=True)
+    meta = {
+        "version": FORMAT_VERSION,
+        "num_layers": index.num_layers,
+        "direction": index.direction.value,
+    }
+    with open(os.path.join(directory, "meta.json"), "w", encoding="utf-8") as f:
+        json.dump(meta, f, indent=2)
+    save_graph_tsv(index.base_graph, os.path.join(directory, "base"))
+    for i, layer in enumerate(index.layers, start=1):
+        prefix = os.path.join(directory, f"layer{i}")
+        save_graph_tsv(layer.graph, prefix)
+        with open(prefix + ".config.json", "w", encoding="utf-8") as f:
+            json.dump(layer.config.mappings, f, indent=2, sort_keys=True)
+        with open(prefix + ".parents.txt", "w", encoding="utf-8") as f:
+            for supernode in layer.parent_of:
+                f.write(f"{supernode}\n")
+
+
+def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
+    """Load an index saved by :func:`save_index`.
+
+    The ontology is not persisted (it is an input shared across indexes);
+    pass the same one used at build time.  Configurations are *not*
+    re-validated against it, so a changed ontology loads fine — matching
+    the maintenance semantics of Sec. 3.2 (ontology additions never
+    invalidate an index).
+    """
+    meta_path = os.path.join(directory, "meta.json")
+    if not os.path.exists(meta_path):
+        raise BigIndexError(f"not an index directory (missing {meta_path})")
+    with open(meta_path, "r", encoding="utf-8") as f:
+        meta = json.load(f)
+    if meta.get("version") != FORMAT_VERSION:
+        raise BigIndexError(
+            f"unsupported index format version: {meta.get('version')!r}"
+        )
+
+    from repro.bisim.refinement import BisimDirection
+
+    base_graph, base_map = load_graph_tsv(os.path.join(directory, "base"))
+    _require_dense(base_map, "base")
+    index = BiGIndex(
+        base_graph, ontology, direction=BisimDirection(meta["direction"])
+    )
+
+    label_table = base_graph.label_table
+    for i in range(1, meta["num_layers"] + 1):
+        prefix = os.path.join(directory, f"layer{i}")
+        graph, id_map = load_graph_tsv(prefix, label_table=label_table)
+        _require_dense(id_map, f"layer{i}")
+        with open(prefix + ".config.json", "r", encoding="utf-8") as f:
+            config = Configuration(json.load(f))
+        with open(prefix + ".parents.txt", "r", encoding="utf-8") as f:
+            parent_of = [int(line) for line in f if line.strip()]
+        below = index.layer_graph(i - 1)
+        if len(parent_of) != below.num_vertices:
+            raise BigIndexError(
+                f"layer {i} parent map covers {len(parent_of)} vertices, "
+                f"expected {below.num_vertices}"
+            )
+        extent: List[List[int]] = [[] for _ in range(graph.num_vertices)]
+        for child, supernode in enumerate(parent_of):
+            if not 0 <= supernode < graph.num_vertices:
+                raise BigIndexError(
+                    f"layer {i} parent map references unknown supernode "
+                    f"{supernode}"
+                )
+            extent[supernode].append(child)
+        if any(not members for members in extent):
+            raise BigIndexError(f"layer {i} has an empty supernode extent")
+        index.layers.append(
+            Layer(
+                config=config,
+                graph=graph,
+                parent_of=parent_of,
+                extent=extent,
+            )
+        )
+    return index
+
+
+def _require_dense(id_map: Dict[int, int], what: str) -> None:
+    """Saved indexes use dense ids; anything else indicates tampering."""
+    for file_id, dense_id in id_map.items():
+        if file_id != dense_id:
+            raise BigIndexError(
+                f"{what} graph ids are not dense (found {file_id} -> "
+                f"{dense_id}); was the index directory edited?"
+            )

@@ -1,0 +1,38 @@
+"""Datasets and query workloads for the evaluation (Sec. 6.1).
+
+The paper evaluates on YAGO3, DBpedia and IMDB plus synthetic graphs
+(Tab. 2).  Those multi-million-vertex dumps are not redistributable and a
+pure-Python reproduction targets laptop scale, so this package generates
+*shape-preserving* synthetic stand-ins: each named generator matches its
+original's vertex/edge ratio, label-frequency skew, and ontology coverage
+at a configurable scale (see DESIGN.md's substitution table).  Users with
+the real dumps can load them through :mod:`repro.graph.io` instead.
+"""
+
+from repro.datasets.synthetic import (
+    generate_synthetic_graph,
+    synthetic_dataset,
+    SYNTHETIC_SCALES,
+)
+from repro.datasets.knowledge import (
+    Dataset,
+    dbpedia_like,
+    imdb_like,
+    yago_like,
+    dataset_registry,
+)
+from repro.datasets.workloads import QuerySpec, benchmark_queries, generate_queries
+
+__all__ = [
+    "generate_synthetic_graph",
+    "synthetic_dataset",
+    "SYNTHETIC_SCALES",
+    "Dataset",
+    "yago_like",
+    "dbpedia_like",
+    "imdb_like",
+    "dataset_registry",
+    "QuerySpec",
+    "benchmark_queries",
+    "generate_queries",
+]

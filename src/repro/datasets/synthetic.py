@@ -1,0 +1,129 @@
+"""Synthetic graphs (the ``synt-*`` rows of Tab. 2).
+
+The paper's synthetic datasets pair random graphs of 1M-8M vertices with
+generated ontologies of 5,000 types (average degree 5, height 7).  We keep
+the vertex:edge ratios and the ontology shape and scale the counts down by
+a configurable factor (default 1/1000, giving ``synt-1k`` .. ``synt-8k``).
+
+Labels are drawn from the ontology's *leaf* types with a Zipf-like skew so
+some labels are frequent (generalization merges a lot) and many are rare —
+the regime in which BiG-index's cost model has real decisions to make.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.digraph import Graph
+from repro.ontology.ontology import OntologyGraph, generate_ontology
+from repro.utils.errors import GraphError
+
+#: (name, |V|, |E|) scaled from Tab. 2's synt-1M..synt-8M by 1/1000.
+SYNTHETIC_SCALES: Dict[str, Tuple[int, int]] = {
+    "synt-1k": (1_000, 3_000),
+    "synt-2k": (2_000, 6_000),
+    "synt-4k": (4_000, 8_000),
+    "synt-8k": (8_000, 16_000),
+}
+
+
+def zipf_choice(rng: random.Random, items: Sequence[str], exponent: float = 1.0) -> str:
+    """Draw one item with probability proportional to ``1 / rank**exponent``."""
+    n = len(items)
+    weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def generate_synthetic_graph(
+    num_vertices: int,
+    num_edges: int,
+    ontology: OntologyGraph,
+    seed: int = 0,
+    zipf_exponent: float = 1.0,
+    hub_fraction: float = 0.3,
+) -> Graph:
+    """A random directed graph labeled from the ontology's leaf types.
+
+    Parameters
+    ----------
+    num_vertices / num_edges:
+        Target sizes; parallel edges and self-loops are skipped, so the
+        realized edge count can fall slightly short on dense requests.
+    ontology:
+        Supplies the leaf types used as labels.
+    seed:
+        RNG seed; generation is deterministic.
+    zipf_exponent:
+        Skew of the label distribution (0 = uniform).
+    hub_fraction:
+        Fraction of edges attached preferentially to already-popular
+        targets, creating the hub structure real knowledge graphs have.
+    """
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    rng = random.Random(seed)
+    leaves = ontology.leaves()
+    if not leaves:
+        raise GraphError("ontology has no leaf types to label with")
+    # Shuffle once so the Zipf head is not alphabetical.
+    shuffled = list(leaves)
+    rng.shuffle(shuffled)
+
+    graph = Graph()
+    for _ in range(num_vertices):
+        graph.add_vertex(zipf_choice(rng, shuffled, zipf_exponent))
+
+    popular: List[int] = []
+    attempts = 0
+    max_attempts = num_edges * 10
+    while graph.num_edges < num_edges and attempts < max_attempts:
+        attempts += 1
+        u = rng.randrange(num_vertices)
+        if popular and rng.random() < hub_fraction:
+            v = rng.choice(popular)
+        else:
+            v = rng.randrange(num_vertices)
+        if u == v:
+            continue
+        if graph.add_edge(u, v):
+            popular.append(v)
+            if len(popular) > 1000:
+                popular = popular[-1000:]
+    return graph
+
+
+def synthetic_dataset(
+    name: str,
+    seed: int = 0,
+    ontology_types: int = 500,
+    ontology_fanout: int = 5,
+    ontology_height: int = 7,
+) -> Tuple[Graph, OntologyGraph]:
+    """One of the Tab. 2 synthetic datasets, scaled (``synt-1k``...).
+
+    The ontology matches the paper's synthetic shape: average degree 5 and
+    height 7 ("consistent with the heights and average degrees of the real
+    ontology graphs"), with the type count scaled alongside the graph.
+
+    >>> graph, ontology = synthetic_dataset("synt-1k")
+    >>> graph.num_vertices
+    1000
+    """
+    try:
+        num_vertices, num_edges = SYNTHETIC_SCALES[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown synthetic dataset {name!r}; "
+            f"choose from {sorted(SYNTHETIC_SCALES)}"
+        ) from None
+    ontology = generate_ontology(
+        ontology_types,
+        avg_fanout=ontology_fanout,
+        height=ontology_height,
+        seed=seed,
+    )
+    graph = generate_synthetic_graph(
+        num_vertices, num_edges, ontology, seed=seed
+    )
+    return graph, ontology

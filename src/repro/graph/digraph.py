@@ -1,0 +1,358 @@
+"""Core directed labeled graph.
+
+The paper (Sec. 2) models a knowledge graph as a directed graph
+:math:`G = (V, E, L, \\Sigma)` where every vertex carries exactly one label
+drawn from :math:`\\Sigma`.  Labels model entity values, attribute values,
+types and keywords interchangeably.
+
+Design notes
+------------
+* Vertices are dense integers ``0..n-1`` so adjacency is a list of lists and
+  per-layer vertex maps in the BiG-index hierarchy are plain arrays.
+* Labels are interned through :class:`LabelTable`; a vertex stores a label
+  *id*.  Graph generalization (Sec. 3.1) then reduces to an ``O(|V|)``
+  label-id rewrite, and keyword matching is an inverted-index lookup.
+* Reverse adjacency is maintained eagerly because every keyword search
+  algorithm in the paper expands *backward* (Sec. 5).
+* ``|G| = |V| + |E|`` as in the paper (used by the compression ratio).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.utils.errors import GraphError
+
+
+class LabelTable:
+    """Bidirectional interning table between label strings and dense ids.
+
+    A single :class:`LabelTable` can be shared between a data graph and the
+    summary graphs derived from it so label ids stay comparable across the
+    BiG-index hierarchy.
+    """
+
+    def __init__(self, labels: Optional[Iterable[str]] = None) -> None:
+        self._to_id: Dict[str, int] = {}
+        self._to_label: List[str] = []
+        if labels is not None:
+            for label in labels:
+                self.intern(label)
+
+    def intern(self, label: str) -> int:
+        """Return the id for ``label``, assigning a fresh one if unseen."""
+        existing = self._to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._to_label)
+        self._to_id[label] = new_id
+        self._to_label.append(label)
+        return new_id
+
+    def id_of(self, label: str) -> int:
+        """Return the id of a known label, raising for unknown ones."""
+        try:
+            return self._to_id[label]
+        except KeyError:
+            raise GraphError(f"unknown label: {label!r}") from None
+
+    def get_id(self, label: str) -> Optional[int]:
+        """Return the id of ``label`` or ``None`` if it was never interned."""
+        return self._to_id.get(label)
+
+    def label_of(self, label_id: int) -> str:
+        """Return the string for a label id."""
+        try:
+            return self._to_label[label_id]
+        except IndexError:
+            raise GraphError(f"unknown label id: {label_id}") from None
+
+    def __contains__(self, label: str) -> bool:
+        return label in self._to_id
+
+    def __len__(self) -> int:
+        return len(self._to_label)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._to_label)
+
+
+class Graph:
+    """A directed graph with one string label per vertex.
+
+    Parameters
+    ----------
+    label_table:
+        Optional shared :class:`LabelTable`.  When omitted a private table is
+        created.
+
+    Example
+    -------
+    >>> g = Graph()
+    >>> a = g.add_vertex("Person")
+    >>> b = g.add_vertex("Univ.")
+    >>> g.add_edge(a, b)
+    >>> g.out_neighbors(a)
+    [1]
+    >>> g.label(a)
+    'Person'
+    """
+
+    def __init__(self, label_table: Optional[LabelTable] = None) -> None:
+        self.labels: List[int] = []
+        self._out: List[List[int]] = []
+        self._in: List[List[int]] = []
+        self._edge_set: Set[Tuple[int, int]] = set()
+        self._label_index: Dict[int, Set[int]] = {}
+        self._num_edges = 0
+        self.label_table = label_table if label_table is not None else LabelTable()
+        #: Optional human-readable vertex names (entity names in examples).
+        self.names: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: str, name: Optional[str] = None) -> int:
+        """Add a vertex with ``label`` and return its id."""
+        vid = len(self.labels)
+        label_id = self.label_table.intern(label)
+        self.labels.append(label_id)
+        self._out.append([])
+        self._in.append([])
+        self._label_index.setdefault(label_id, set()).add(vid)
+        if name is not None:
+            self.names[vid] = name
+        return vid
+
+    def add_vertex_with_label_id(self, label_id: int) -> int:
+        """Add a vertex by pre-interned label id (fast path for builders)."""
+        if not 0 <= label_id < len(self.label_table):
+            raise GraphError(f"label id {label_id} not in label table")
+        vid = len(self.labels)
+        self.labels.append(label_id)
+        self._out.append([])
+        self._in.append([])
+        self._label_index.setdefault(label_id, set()).add(vid)
+        return vid
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add the directed edge ``(u, v)``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already
+        existed (the graph is simple: parallel edges collapse).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if (u, v) in self._edge_set:
+            return False
+        self._edge_set.add((u, v))
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the directed edge ``(u, v)``; raise if absent."""
+        if (u, v) not in self._edge_set:
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        self._edge_set.remove((u, v))
+        self._out[u].remove(v)
+        self._in[v].remove(u)
+        self._num_edges -= 1
+
+    def relabel_vertex(self, v: int, new_label: str) -> None:
+        """Change the label of ``v``, keeping the inverted index consistent."""
+        self._check_vertex(v)
+        new_id = self.label_table.intern(new_label)
+        self.relabel_vertex_by_id(v, new_id)
+
+    def relabel_vertex_by_id(self, v: int, new_label_id: int) -> None:
+        """Change the label of ``v`` to a pre-interned label id."""
+        old_id = self.labels[v]
+        if old_id == new_label_id:
+            return
+        self._label_index[old_id].discard(v)
+        if not self._label_index[old_id]:
+            del self._label_index[old_id]
+        self.labels[v] = new_label_id
+        self._label_index.setdefault(new_label_id, set()).add(v)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V|``."""
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges ``|E|``."""
+        return self._num_edges
+
+    @property
+    def size(self) -> int:
+        """Graph size ``|G| = |V| + |E|`` as defined in Sec. 2."""
+        return self.num_vertices + self._num_edges
+
+    def vertices(self) -> range:
+        """Iterate over all vertex ids."""
+        return range(self.num_vertices)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over all edges as ``(u, v)`` pairs."""
+        for u in range(self.num_vertices):
+            for v in self._out[u]:
+                yield (u, v)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return whether edge ``(u, v)`` exists (O(1))."""
+        return (u, v) in self._edge_set
+
+    def out_neighbors(self, v: int) -> List[int]:
+        """Successors of ``v`` (the list is owned by the graph; do not mutate)."""
+        self._check_vertex(v)
+        return self._out[v]
+
+    def in_neighbors(self, v: int) -> List[int]:
+        """Predecessors of ``v`` (the list is owned by the graph; do not mutate)."""
+        self._check_vertex(v)
+        return self._in[v]
+
+    def out_degree(self, v: int) -> int:
+        """Number of out-edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """Number of in-edges of ``v``."""
+        self._check_vertex(v)
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """Total degree (in + out) of ``v``; used for joint-vertex detection."""
+        return self.in_degree(v) + self.out_degree(v)
+
+    def label(self, v: int) -> str:
+        """String label of ``v``."""
+        self._check_vertex(v)
+        return self.label_table.label_of(self.labels[v])
+
+    def label_id(self, v: int) -> int:
+        """Interned label id of ``v``."""
+        self._check_vertex(v)
+        return self.labels[v]
+
+    def name(self, v: int) -> str:
+        """Human-readable name of ``v`` (falls back to its label)."""
+        return self.names.get(v, self.label(v))
+
+    def vertices_with_label(self, label: str) -> Set[int]:
+        """All vertices labeled ``label`` (empty set for unknown labels)."""
+        label_id = self.label_table.get_id(label)
+        if label_id is None:
+            return set()
+        return set(self._label_index.get(label_id, ()))
+
+    def vertices_with_label_id(self, label_id: int) -> Set[int]:
+        """All vertices with the interned label id (empty set when absent)."""
+        return set(self._label_index.get(label_id, ()))
+
+    def label_support(self, label: str) -> int:
+        """Number of vertices carrying ``label`` (the paper's ``|V_l|``)."""
+        label_id = self.label_table.get_id(label)
+        if label_id is None:
+            return 0
+        return len(self._label_index.get(label_id, ()))
+
+    def distinct_labels(self) -> Set[str]:
+        """The set of labels actually used by some vertex."""
+        return {
+            self.label_table.label_of(label_id) for label_id in self._label_index
+        }
+
+    def distinct_label_ids(self) -> Set[int]:
+        """The set of label ids actually used by some vertex."""
+        return set(self._label_index)
+
+    def label_histogram(self) -> Dict[str, int]:
+        """Map of label -> number of vertices carrying it."""
+        return {
+            self.label_table.label_of(label_id): len(vertex_set)
+            for label_id, vertex_set in self._label_index.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self, share_label_table: bool = True) -> "Graph":
+        """Deep-copy the topology and labels.
+
+        ``share_label_table`` keeps a single interning table across copies,
+        which the BiG-index hierarchy relies on for cross-layer label ids.
+        """
+        table = self.label_table if share_label_table else LabelTable(
+            iter(self.label_table)
+        )
+        clone = Graph(table)
+        clone.labels = list(self.labels)
+        clone._out = [list(adj) for adj in self._out]
+        clone._in = [list(adj) for adj in self._in]
+        clone._edge_set = set(self._edge_set)
+        clone._label_index = {
+            label_id: set(vertex_set)
+            for label_id, vertex_set in self._label_index.items()
+        }
+        clone._num_edges = self._num_edges
+        clone.names = dict(self.names)
+        return clone
+
+    def induced_subgraph(
+        self, vertex_subset: Iterable[int]
+    ) -> Tuple["Graph", Dict[int, int]]:
+        """Node-induced subgraph of ``vertex_subset``.
+
+        Returns the subgraph (sharing this graph's label table) and the map
+        from original vertex ids to subgraph ids.  Used by the cost-model
+        sampler (Sec. 3.2).
+        """
+        ordered = sorted(set(vertex_subset))
+        sub = Graph(self.label_table)
+        mapping: Dict[int, int] = {}
+        for v in ordered:
+            self._check_vertex(v)
+            mapping[v] = sub.add_vertex_with_label_id(self.labels[v])
+        member = set(ordered)
+        for v in ordered:
+            for w in self._out[v]:
+                if w in member:
+                    sub.add_edge(mapping[v], mapping[w])
+        return sub, mapping
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self.labels):
+            raise GraphError(f"vertex {v} not in graph of size {len(self.labels)}")
+
+    def __len__(self) -> int:
+        return self.num_vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"|Sigma|={len(self.distinct_label_ids())})"
+        )
+
+
+def validate_same_topology(left: Graph, right: Graph) -> bool:
+    """Return whether two graphs share vertex count and edge set.
+
+    Generalization (Sec. 3.1) must only rewrite labels; this check is used
+    in tests to assert the topology is untouched.
+    """
+    return (
+        left.num_vertices == right.num_vertices
+        and left._edge_set == right._edge_set  # noqa: SLF001 - deliberate
+    )

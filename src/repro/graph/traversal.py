@@ -1,0 +1,320 @@
+"""Graph traversal primitives.
+
+All keyword-search algorithms reproduced in :mod:`repro.search` are built on
+unweighted breadth-first traversals: backward expansion (BANKS, Blinks) and
+bounded shortest distances (r-clique, answer verification).  The helpers here
+take a ``direction`` argument because the paper's algorithms mix forward
+("can this root reach the keyword?") and backward ("which vertices reach the
+keyword node?") searches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.digraph import Graph
+from repro.utils.errors import GraphError
+
+#: Traversal direction constants.
+FORWARD = "forward"
+BACKWARD = "backward"
+BOTH = "both"
+
+
+def _neighbor_fn(graph: Graph, direction: str):
+    if direction == FORWARD:
+        return graph.out_neighbors
+    if direction == BACKWARD:
+        return graph.in_neighbors
+    if direction == BOTH:
+        return lambda v: graph.out_neighbors(v) + graph.in_neighbors(v)
+    raise GraphError(f"unknown traversal direction: {direction!r}")
+
+
+def bfs_distances(
+    graph: Graph,
+    sources: Iterable[int],
+    max_depth: Optional[int] = None,
+    direction: str = FORWARD,
+) -> Dict[int, int]:
+    """Unweighted shortest distances from a set of sources.
+
+    Parameters
+    ----------
+    graph:
+        The graph to traverse.
+    sources:
+        One or more start vertices; distances are to the *nearest* source.
+    max_depth:
+        Stop expanding past this hop count (inclusive).  ``None`` explores
+        everything reachable.
+    direction:
+        ``"forward"`` follows out-edges, ``"backward"`` in-edges, ``"both"``
+        treats the graph as undirected.
+
+    Returns
+    -------
+    dict
+        Map of reached vertex -> hop distance (sources map to 0).
+    """
+    neighbors = _neighbor_fn(graph, direction)
+    dist: Dict[int, int] = {}
+    queue: deque = deque()
+    for s in sources:
+        if s not in dist:
+            dist[s] = 0
+            queue.append(s)
+    while queue:
+        v = queue.popleft()
+        d = dist[v]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for w in neighbors(v):
+            if w not in dist:
+                dist[w] = d + 1
+                queue.append(w)
+    return dist
+
+
+def bfs_layers(
+    graph: Graph,
+    source: int,
+    max_depth: Optional[int] = None,
+    direction: str = FORWARD,
+) -> List[List[int]]:
+    """BFS grouped by depth: ``result[d]`` lists vertices at distance ``d``."""
+    dist = bfs_distances(graph, [source], max_depth=max_depth, direction=direction)
+    if not dist:
+        return []
+    depth = max(dist.values())
+    layers: List[List[int]] = [[] for _ in range(depth + 1)]
+    for v, d in dist.items():
+        layers[d].append(v)
+    for layer in layers:
+        layer.sort()
+    return layers
+
+
+def reachable_within(
+    graph: Graph,
+    source: int,
+    hops: int,
+    direction: str = FORWARD,
+) -> Set[int]:
+    """Vertices reachable from ``source`` within ``hops`` edges.
+
+    Used by the cost-model sampler (Sec. 3.2): sample graphs are the
+    node-induced subgraphs of such r-hop balls.
+    """
+    return set(bfs_distances(graph, [source], max_depth=hops, direction=direction))
+
+
+def bounded_distance(
+    graph: Graph,
+    source: int,
+    target: int,
+    max_depth: Optional[int] = None,
+    direction: str = FORWARD,
+) -> Optional[int]:
+    """Shortest distance from ``source`` to ``target``; ``None`` if farther
+    than ``max_depth`` (or unreachable)."""
+    if source == target:
+        return 0
+    neighbors = _neighbor_fn(graph, direction)
+    dist: Dict[int, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        d = dist[v]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for w in neighbors(v):
+            if w in dist:
+                continue
+            if w == target:
+                return d + 1
+            dist[w] = d + 1
+            queue.append(w)
+    return None
+
+
+def bidirectional_distance(
+    graph: Graph,
+    source: int,
+    target: int,
+    max_depth: Optional[int] = None,
+) -> Optional[int]:
+    """Directed shortest distance via simultaneous forward/backward BFS.
+
+    The forward frontier grows from ``source`` along out-edges and the
+    backward frontier from ``target`` along in-edges; they meet in the
+    middle.  This mirrors the bidirectional traversal motivating Example 1.1
+    of the paper and is asymptotically faster than one-sided BFS on
+    small-world graphs.
+    """
+    if source == target:
+        return 0
+    fwd: Dict[int, int] = {source: 0}
+    bwd: Dict[int, int] = {target: 0}
+    fwd_frontier: List[int] = [source]
+    bwd_frontier: List[int] = [target]
+    best: Optional[int] = None
+    while fwd_frontier and bwd_frontier:
+        # Expand the smaller frontier, a standard bidirectional heuristic.
+        expand_forward = len(fwd_frontier) <= len(bwd_frontier)
+        if expand_forward:
+            frontier, dist, other = fwd_frontier, fwd, bwd
+            neighbors = graph.out_neighbors
+        else:
+            frontier, dist, other = bwd_frontier, bwd, fwd
+            neighbors = graph.in_neighbors
+        next_frontier: List[int] = []
+        for v in frontier:
+            d = dist[v]
+            if max_depth is not None and d >= max_depth:
+                continue
+            for w in neighbors(v):
+                if w in dist:
+                    continue
+                dist[w] = d + 1
+                if w in other:
+                    candidate = d + 1 + other[w]
+                    if best is None or candidate < best:
+                        best = candidate
+                next_frontier.append(w)
+        if expand_forward:
+            fwd_frontier = next_frontier
+        else:
+            bwd_frontier = next_frontier
+        if best is not None:
+            # The frontiers have met; any shorter path would already have
+            # been found because BFS expands in distance order.
+            min_pending = min(
+                (fwd[v] for v in fwd_frontier), default=best
+            ) + min((bwd[v] for v in bwd_frontier), default=best)
+            if min_pending >= best:
+                break
+    if best is not None and max_depth is not None and best > max_depth:
+        return None
+    return best
+
+
+def shortest_path(
+    graph: Graph,
+    source: int,
+    target: int,
+    max_depth: Optional[int] = None,
+    direction: str = FORWARD,
+) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target`` as a vertex list.
+
+    Used during answer-graph materialization: BANKS-style answers are trees
+    of root-to-keyword shortest paths.
+    """
+    if source == target:
+        return [source]
+    neighbors = _neighbor_fn(graph, direction)
+    parent: Dict[int, int] = {source: source}
+    dist: Dict[int, int] = {source: 0}
+    queue: deque = deque([source])
+    while queue:
+        v = queue.popleft()
+        d = dist[v]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for w in neighbors(v):
+            if w in parent:
+                continue
+            parent[w] = v
+            dist[w] = d + 1
+            if w == target:
+                path = [w]
+                while path[-1] != source:
+                    path.append(parent[path[-1]])
+                path.reverse()
+                return path
+            queue.append(w)
+    return None
+
+
+def nearest_labeled_forward(
+    graph: Graph, root: int, keywords: Set[str], d_max: int
+) -> Optional[Dict[str, Tuple[int, int]]]:
+    """Forward BFS recording the nearest vertex of each keyword label.
+
+    Stops as soon as every keyword has been found (so verifying a good
+    candidate answer root touches a small ball); returns ``None`` if any
+    keyword is unreachable within ``d_max``.  Result maps each keyword to
+    ``(distance, vertex)``.
+    """
+    found: Dict[str, Tuple[int, int]] = {}
+    remaining = set(keywords)
+    root_label = graph.label(root)
+    if root_label in remaining:
+        found[root_label] = (0, root)
+        remaining.discard(root_label)
+    dist: Dict[int, int] = {root: 0}
+    frontier = [root]
+    depth = 0
+    while frontier and remaining and depth < d_max:
+        next_frontier: List[int] = []
+        for v in frontier:
+            for w in graph.out_neighbors(v):
+                if w in dist:
+                    continue
+                dist[w] = depth + 1
+                label = graph.label(w)
+                if label in remaining:
+                    found[label] = (depth + 1, w)
+                    remaining.discard(label)
+                next_frontier.append(w)
+        frontier = next_frontier
+        depth += 1
+    if remaining:
+        return None
+    return found
+
+
+def is_connected_subset(
+    graph: Graph, vertex_subset: Sequence[int], direction: str = BOTH
+) -> bool:
+    """Whether ``vertex_subset`` induces a connected subgraph.
+
+    Answer graphs must be connected (Sec. 5.1); verification uses the
+    undirected sense by default.
+    """
+    members = set(vertex_subset)
+    if not members:
+        return True
+    start = next(iter(members))
+    neighbors = _neighbor_fn(graph, direction)
+    seen = {start}
+    queue: deque = deque([start])
+    while queue:
+        v = queue.popleft()
+        for w in neighbors(v):
+            if w in members and w not in seen:
+                seen.add(w)
+                queue.append(w)
+    return seen == members
+
+
+def pairwise_distances_within(
+    graph: Graph,
+    vertex_subset: Sequence[int],
+    max_depth: Optional[int] = None,
+) -> Dict[Tuple[int, int], Optional[int]]:
+    """All-pairs directed distances among a small vertex set.
+
+    r-clique answer verification needs every pairwise distance to be at most
+    ``R`` (Sec. 5.2); ``None`` marks pairs farther than ``max_depth``.
+    """
+    result: Dict[Tuple[int, int], Optional[int]] = {}
+    for u in vertex_subset:
+        dist = bfs_distances(graph, [u], max_depth=max_depth, direction=FORWARD)
+        for v in vertex_subset:
+            if u == v:
+                continue
+            result[(u, v)] = dist.get(v)
+    return result

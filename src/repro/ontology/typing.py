@@ -1,0 +1,124 @@
+"""Assigning ontology types to data-graph labels.
+
+The paper's DBpedia experiment (Sec. 6.1.2) reuses YAGO3's ontology: 73.2%
+of entities match a type in the ontology graph and "the rest can be simply
+matched to the topmost type".  Appendix A.2 generalizes this to arbitrary
+graphs — associate types to nodes using an existing ontology or external
+typing tools (PEARL, Patty).
+
+:class:`TypeAssigner` reproduces that pipeline: given an ontology and an
+explicit label->type mapping (standing in for the typing tool), it reports
+coverage and rewrites unmatched labels to a fallback type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.graph.digraph import Graph
+from repro.ontology.ontology import OntologyGraph
+from repro.utils.errors import OntologyError
+
+
+@dataclass
+class TypingReport:
+    """Outcome of a typing pass over a graph."""
+
+    #: labels found verbatim in the ontology.
+    matched_directly: int
+    #: labels mapped through the explicit mapping.
+    matched_via_mapping: int
+    #: labels assigned the fallback (topmost) type.
+    fallback: int
+
+    @property
+    def total(self) -> int:
+        """Total distinct labels processed."""
+        return self.matched_directly + self.matched_via_mapping + self.fallback
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of labels matched without the fallback (DBpedia: ~0.732)."""
+        if self.total == 0:
+            return 0.0
+        return (self.matched_directly + self.matched_via_mapping) / self.total
+
+
+class TypeAssigner:
+    """Rewrites data-graph labels so every label exists in the ontology.
+
+    Parameters
+    ----------
+    ontology:
+        The ontology whose types the graph must use.
+    mapping:
+        Optional explicit ``data-label -> ontology-type`` mapping,
+        simulating an external typing tool.
+    fallback_type:
+        Type assigned to labels matched neither directly nor via the
+        mapping.  Defaults to the lexicographically smallest root,
+        mirroring "matched to the topmost type".
+    """
+
+    def __init__(
+        self,
+        ontology: OntologyGraph,
+        mapping: Optional[Dict[str, str]] = None,
+        fallback_type: Optional[str] = None,
+    ) -> None:
+        self.ontology = ontology
+        self.mapping = dict(mapping or {})
+        for source, target in self.mapping.items():
+            if target not in ontology:
+                raise OntologyError(
+                    f"mapping target {target!r} (for {source!r}) not in ontology"
+                )
+        if fallback_type is None:
+            roots = ontology.roots()
+            if not roots:
+                raise OntologyError("ontology has no root to use as fallback type")
+            fallback_type = roots[0]
+        elif fallback_type not in ontology:
+            raise OntologyError(f"fallback type {fallback_type!r} not in ontology")
+        self.fallback_type = fallback_type
+
+    def resolve(self, label: str) -> str:
+        """The ontology type for one data label."""
+        if label in self.ontology:
+            return label
+        mapped = self.mapping.get(label)
+        if mapped is not None:
+            return mapped
+        return self.fallback_type
+
+    def apply(self, graph: Graph) -> TypingReport:
+        """Rewrite every vertex label of ``graph`` in place to an ontology type.
+
+        Original labels are preserved as vertex names when the vertex has no
+        name yet, so examples can still display entity strings.
+        """
+        direct = 0
+        via_mapping = 0
+        fallback = 0
+        seen: Set[str] = set()
+        for v in graph.vertices():
+            label = graph.label(v)
+            if label not in seen:
+                seen.add(label)
+                if label in self.ontology:
+                    direct += 1
+                elif label in self.mapping:
+                    via_mapping += 1
+                else:
+                    fallback += 1
+            resolved = self.resolve(label)
+            if resolved != label:
+                if v not in graph.names:
+                    graph.names[v] = label
+                graph.relabel_vertex(v, resolved)
+        return TypingReport(
+            matched_directly=direct,
+            matched_via_mapping=via_mapping,
+            fallback=fallback,
+        )

@@ -1,0 +1,40 @@
+"""Keyword search algorithms.
+
+Implements the three algorithm families the paper plugs into BiG-index:
+
+* :mod:`repro.search.banks` — BANKS-style backward keyword search
+  (``bkws``, Sec. 5.1; Bhalotia et al., ICDE 2002).
+* :mod:`repro.search.blinks` — Blinks ranked keyword search with
+  single-level and bi-level indexes (``rkws``, Sec. 5.3; He et al.,
+  SIGMOD 2007).
+* :mod:`repro.search.rclique` — r-clique distance-based keyword search
+  (``dkws``, Sec. 5.2; Kargar & An, PVLDB 2011).
+
+Each exposes the :class:`~repro.search.base.KeywordSearchAlgorithm`
+interface so BiG-index can evaluate it on any layer of the hierarchy.
+"""
+
+from repro.search.base import (
+    Answer,
+    GraphSearcher,
+    KeywordQuery,
+    KeywordSearchAlgorithm,
+)
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.bidirectional import BidirectionalSearch
+from repro.search.blinks import Blinks, BlinksBiLevelIndex, BlinksSingleLevelIndex
+from repro.search.rclique import RClique, NeighborIndex
+
+__all__ = [
+    "Answer",
+    "GraphSearcher",
+    "KeywordQuery",
+    "KeywordSearchAlgorithm",
+    "BackwardKeywordSearch",
+    "BidirectionalSearch",
+    "Blinks",
+    "BlinksBiLevelIndex",
+    "BlinksSingleLevelIndex",
+    "RClique",
+    "NeighborIndex",
+]

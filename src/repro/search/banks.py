@@ -1,0 +1,238 @@
+"""BANKS-style backward keyword search (``bkws``, Sec. 5.1).
+
+Semantics (Sec. 2, "Exact keyword search")
+------------------------------------------
+A query is ``(Q, d_max)``.  A match is a subtree ``T = {r, p_1, ..., p_n}``
+of ``G`` rooted at ``r`` where each ``p_i`` is a leaf labeled ``q_i`` and
+``dist(r, p_i) <= d_max`` (directed distance from the root).  Answers are
+*distinct-root*: for each qualifying root the match minimizing
+``sum_i dist(r, p_i)`` is reported, and answers are ranked by that sum.
+
+Algorithm (Bhalotia et al., reproduced from Sec. 5.1)
+-----------------------------------------------------
+* *Initialization*: for each keyword ``q_i``, ``V_{q_i}`` is the set of
+  vertices labeled ``q_i``.
+* *Backward expansion*: iteratively grow per-keyword backward BFS frontiers
+  (following in-edges) from ``V_{q_i}``.  In each step the keyword whose
+  visited set ``V_i`` is smallest expands one frontier level — the paper's
+  "the vertex set with the minimal size is processed" heuristic.
+* *Answer discovery*: a vertex settled by every expansion is an answer root;
+  its score is the sum of its per-keyword distances, which are exact
+  because BFS settles vertices in distance order.
+
+Expansion is bounded by ``d_max`` hops so the whole search touches only the
+union of the keywords' ``d_max``-balls — the locality BiG-index exploits
+when the same code runs on a much smaller summary graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.graph.digraph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    nearest_labeled_forward,
+    shortest_path,
+)
+from repro.search.base import (
+    Answer,
+    GraphSearcher,
+    KeywordQuery,
+    KeywordSearchAlgorithm,
+    top_k,
+)
+from repro.utils.errors import QueryError
+
+
+class _BackwardExpansion:
+    """Backward BFS from one keyword's vertex set, expandable level by level."""
+
+    def __init__(self, graph: Graph, sources: Set[int], d_max: int) -> None:
+        self.graph = graph
+        self.d_max = d_max
+        #: settled vertex -> distance to the nearest source.
+        self.dist: Dict[int, int] = {v: 0 for v in sources}
+        #: settled vertex -> the nearest source vertex itself.
+        self.origin: Dict[int, int] = {v: v for v in sources}
+        self._frontier: List[int] = sorted(sources)
+        self.depth = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether the expansion has reached ``d_max`` or run out of frontier."""
+        return not self._frontier or self.depth >= self.d_max
+
+    def expand_level(self) -> List[int]:
+        """Advance one BFS level backward; returns the newly settled vertices."""
+        if self.exhausted:
+            return []
+        next_frontier: List[int] = []
+        for v in self._frontier:
+            for u in self.graph.in_neighbors(v):
+                if u not in self.dist:
+                    self.dist[u] = self.depth + 1
+                    self.origin[u] = self.origin[v]
+                    next_frontier.append(u)
+        self._frontier = next_frontier
+        self.depth += 1
+        return next_frontier
+
+    def run_to_completion(self) -> None:
+        """Expand until exhausted (used when all answers are requested)."""
+        while not self.exhausted:
+            self.expand_level()
+
+
+class BanksSearcher(GraphSearcher):
+    """Backward search bound to one graph (bkws keeps no persistent index)."""
+
+    def __init__(self, graph: Graph, d_max: int, k: Optional[int]) -> None:
+        super().__init__(graph)
+        self.d_max = d_max
+        self.k = k
+
+    def search(self, query: KeywordQuery) -> List[Answer]:
+        """Distinct-root answers ranked by total root-to-keyword distance."""
+        expansions: Dict[str, _BackwardExpansion] = {}
+        for keyword in query:
+            sources = self.graph.vertices_with_label(keyword)
+            if not sources:
+                return []
+            expansions[keyword] = _BackwardExpansion(
+                self.graph, sources, self.d_max
+            )
+
+        # Expand the smallest visited set first (paper's strategy) until all
+        # expansions are exhausted.  Exhaustive expansion is required for
+        # distinct-root completeness; top-k truncation happens at the end
+        # (early termination for k answers is exercised by the BiG-index
+        # evaluator instead, Sec. 4.3.4).
+        active = list(query.keywords)
+        while active:
+            active.sort(key=lambda kw: len(expansions[kw].dist))
+            keyword = active[0]
+            expansions[keyword].expand_level()
+            active = [kw for kw in active if not expansions[kw].exhausted]
+
+        answers = self._collect_answers(query, expansions)
+        return top_k(answers, self.k)
+
+    def _collect_answers(
+        self,
+        query: KeywordQuery,
+        expansions: Mapping[str, _BackwardExpansion],
+    ) -> List[Answer]:
+        keywords = list(query.keywords)
+        first = expansions[keywords[0]]
+        candidate_roots = set(first.dist)
+        for keyword in keywords[1:]:
+            candidate_roots &= set(expansions[keyword].dist)
+        answers = []
+        for root in candidate_roots:
+            keyword_nodes = {
+                keyword: expansions[keyword].origin[root] for keyword in keywords
+            }
+            score = sum(expansions[keyword].dist[root] for keyword in keywords)
+            answers.append(
+                _materialize_tree(self.graph, root, keyword_nodes, score, self.d_max)
+            )
+        return answers
+
+
+class BackwardKeywordSearch(KeywordSearchAlgorithm):
+    """The ``bkws`` algorithm: distinct-root backward keyword search.
+
+    Parameters
+    ----------
+    d_max:
+        Hop bound on every root-to-keyword distance.
+    k:
+        Number of answers to return; ``None`` returns all (used by the
+        equivalence tests between ``eval`` and ``eval_Ont``).
+    """
+
+    name = "bkws"
+
+    def __init__(self, d_max: int = 3, k: Optional[int] = None) -> None:
+        if d_max < 0:
+            raise QueryError("d_max must be non-negative")
+        self.d_max = d_max
+        self.k = k
+
+    def bind(self, graph: Graph) -> BanksSearcher:
+        """bkws has no persistent index; binding is O(1)."""
+        return BanksSearcher(graph, self.d_max, self.k)
+
+    def verify(
+        self,
+        graph: Graph,
+        keyword_nodes: Mapping[str, int],
+        query: KeywordQuery,
+        root: Optional[int] = None,
+    ) -> Optional[Answer]:
+        """Check a root + keyword-node assignment on ``graph`` exactly.
+
+        Requires each node to carry its keyword's label and to be within
+        ``d_max`` of the root (directed).  Returns the scored, materialized
+        answer tree or ``None``.
+        """
+        if root is None:
+            return None
+        dist_from_root = bfs_distances(
+            graph, [root], max_depth=self.d_max, direction="forward"
+        )
+        score = 0
+        for keyword in query:
+            node = keyword_nodes.get(keyword)
+            if node is None or graph.label(node) != keyword:
+                return None
+            d = dist_from_root.get(node)
+            if d is None:
+                return None
+            score += d
+        return _materialize_tree(graph, root, dict(keyword_nodes), score, self.d_max)
+
+    def best_answer_for_root(
+        self, graph: Graph, root: int, query: KeywordQuery
+    ) -> Optional[Answer]:
+        """The minimal-score answer rooted at ``root``, or ``None``.
+
+        One forward BFS from the root finds the nearest vertex of each
+        keyword label, stopping as soon as every keyword is found; used by
+        the BiG-index evaluator to verify candidate roots coming out of
+        specialization.
+        """
+        found = nearest_labeled_forward(
+            graph, root, set(query.keywords), self.d_max
+        )
+        if found is None:
+            return None
+        keyword_nodes = {kw: v for kw, (_, v) in found.items()}
+        score = sum(d for (d, _) in found.values())
+        return _materialize_tree(graph, root, keyword_nodes, score, self.d_max)
+
+
+def _materialize_tree(
+    graph: Graph,
+    root: int,
+    keyword_nodes: Dict[str, int],
+    score: float,
+    d_max: int,
+) -> Answer:
+    """Build the answer tree: union of shortest root-to-keyword paths."""
+    vertices: Set[int] = {root}
+    edges: Set[Tuple[int, int]] = set()
+    for node in keyword_nodes.values():
+        path = shortest_path(graph, root, node, max_depth=d_max)
+        if path is None:  # pragma: no cover - callers guarantee reachability
+            continue
+        vertices.update(path)
+        edges.update(zip(path, path[1:]))
+    return Answer.make(
+        keyword_nodes,
+        score=score,
+        root=root,
+        vertices=vertices,
+        edges=edges,
+    )

@@ -1,0 +1,220 @@
+"""Common interfaces for keyword search algorithms.
+
+The BiG-index framework (Def. 2.3) is generic over a keyword search
+algorithm ``f``; it only assumes the index function is label- and
+path-preserving.  The contract an algorithm must satisfy to plug into the
+framework is captured by :class:`KeywordSearchAlgorithm`:
+
+* :meth:`~KeywordSearchAlgorithm.bind` builds whatever per-graph index the
+  algorithm needs (Blinks' bi-level index, r-clique's neighbor lists) and
+  returns a :class:`GraphSearcher` that answers queries on *that* graph.
+  Because summary graphs are "yet another set of graphs" (Sec. 1), the same
+  ``bind`` works on any layer of the BiG-index hierarchy.
+* :meth:`~KeywordSearchAlgorithm.verify` re-checks a candidate answer on
+  the data graph and computes its exact score, used during answer
+  generation (Sec. 4.2 Step 5 "answer generation and verification").
+* :meth:`~KeywordSearchAlgorithm.enlarge_ok` is the algorithm-specific part
+  of the vertex qualification function (Def. 4.2): a cheap necessary
+  condition for adding one more specialized vertex to a partial answer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.graph.digraph import Graph
+from repro.utils.errors import QueryError
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A keyword query ``Q = {q_1, ..., q_n}``.
+
+    Keywords are label strings; duplicates are rejected because the paper's
+    query generalization requires ``|Gen^m(Q)| = |Q|`` (Def. 4.1) — distinct
+    keywords must stay distinguishable.
+    """
+
+    keywords: Tuple[str, ...]
+
+    def __init__(self, keywords: Iterable[str]) -> None:
+        kw = tuple(keywords)
+        if not kw:
+            raise QueryError("keyword query must contain at least one keyword")
+        if len(set(kw)) != len(kw):
+            raise QueryError(f"duplicate keywords in query: {kw}")
+        object.__setattr__(self, "keywords", kw)
+
+    def __len__(self) -> int:
+        return len(self.keywords)
+
+    def __iter__(self):
+        return iter(self.keywords)
+
+    def generalized(self, mapping: Mapping[str, str]) -> "KeywordQuery":
+        """Apply a label mapping to every keyword (used by Gen on queries)."""
+        return KeywordQuery(mapping.get(k, k) for k in self.keywords)
+
+
+@dataclass(frozen=True)
+class Answer:
+    """One answer graph.
+
+    Attributes
+    ----------
+    keyword_nodes:
+        Maps each query keyword to the matched vertex (the ``p_i`` leaves in
+        the tree semantics, the clique members for r-clique).
+    root:
+        The answer root ``r`` for rooted-tree semantics; ``None`` for
+        root-free semantics such as r-clique.
+    vertices:
+        Every vertex of the answer graph (root, keyword nodes, and
+        connecting path vertices), sorted.
+    edges:
+        The answer graph's edges (a tree for bkws/Blinks; star paths for
+        r-clique).
+    score:
+        The ranking score — lower is better (``sum dist(r, p_i)`` for tree
+        semantics, total pairwise distance for r-clique).
+    """
+
+    keyword_nodes: Tuple[Tuple[str, int], ...]
+    root: Optional[int]
+    vertices: Tuple[int, ...]
+    edges: Tuple[Tuple[int, int], ...]
+    score: float
+
+    @staticmethod
+    def make(
+        keyword_nodes: Mapping[str, int],
+        score: float,
+        root: Optional[int] = None,
+        vertices: Optional[Iterable[int]] = None,
+        edges: Optional[Iterable[Tuple[int, int]]] = None,
+    ) -> "Answer":
+        """Normalized constructor: sorts members for canonical equality."""
+        kw = tuple(sorted(keyword_nodes.items()))
+        verts = set(keyword_nodes.values())
+        if root is not None:
+            verts.add(root)
+        if vertices is not None:
+            verts.update(vertices)
+        return Answer(
+            keyword_nodes=kw,
+            root=root,
+            vertices=tuple(sorted(verts)),
+            edges=tuple(sorted(set(edges or ()))),
+            score=score,
+        )
+
+    @property
+    def keyword_node_map(self) -> Dict[str, int]:
+        """The keyword->vertex assignment as a dict."""
+        return dict(self.keyword_nodes)
+
+    def signature(self) -> Tuple:
+        """Canonical identity ignoring path vertices: (root, keyword nodes).
+
+        Two answers with the same root and keyword assignment are the same
+        logical answer even if materialized with different shortest paths;
+        equality tests between ``eval`` and ``eval_Ont`` compare signatures.
+        """
+        return (self.root, self.keyword_nodes)
+
+
+class GraphSearcher(ABC):
+    """An algorithm bound to one graph (with its per-graph index built)."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+
+    @abstractmethod
+    def search(self, query: KeywordQuery) -> List[Answer]:
+        """Answers of ``query`` on the bound graph, best (lowest) score first."""
+
+    def iter_search(self, query: KeywordQuery):
+        """Lazily yield answers in ascending score, ignoring any top-k cut.
+
+        BiG-index's evaluator streams summary-layer answers through this:
+        specialization is interleaved with enumeration (Sec. 5.2's
+        boost-dkws decomposes the search space until enough *final*
+        answers exist, not enough summary patterns).  The default runs the
+        eager search un-truncated; algorithms with expensive enumeration
+        (r-clique) override it with a true generator.
+        """
+        saved_k = getattr(self, "k", None)
+        if saved_k is None:
+            yield from self.search(query)
+            return
+        try:
+            self.k = None  # type: ignore[attr-defined]
+            answers = self.search(query)
+        finally:
+            self.k = saved_k  # type: ignore[attr-defined]
+        yield from answers
+
+
+class KeywordSearchAlgorithm(ABC):
+    """A keyword search semantics ``f`` pluggable into BiG-index."""
+
+    #: short name used in benchmark tables ("bkws", "blinks", "r-clique").
+    name: str = "abstract"
+
+    @abstractmethod
+    def bind(self, graph: Graph) -> GraphSearcher:
+        """Build the per-graph index and return a searcher for ``graph``."""
+
+    @abstractmethod
+    def verify(
+        self,
+        graph: Graph,
+        keyword_nodes: Mapping[str, int],
+        query: KeywordQuery,
+        root: Optional[int] = None,
+    ) -> Optional[Answer]:
+        """Exact-check a candidate on ``graph``; return the scored answer or None.
+
+        ``keyword_nodes`` assigns each keyword of ``query`` to a concrete
+        vertex; the method validates the algorithm's structural constraints
+        (distance bounds, connectivity) and computes the exact score.
+        """
+
+    def enlarge_ok(
+        self,
+        graph: Graph,
+        partial: Mapping[str, int],
+        keyword: str,
+        vertex: int,
+        query: KeywordQuery,
+    ) -> bool:
+        """Cheap necessary condition for assigning ``vertex`` to ``keyword``.
+
+        Called during answer generation to prune partial candidate
+        assignments early (part of Def. 4.2's qualification).  The default
+        accepts everything; algorithms override with distance checks.
+        """
+        return True
+
+    def check_query(self, graph: Graph, query: KeywordQuery) -> None:
+        """Raise :class:`QueryError` when a keyword matches no vertex."""
+        for keyword in query:
+            if not graph.vertices_with_label(keyword):
+                raise QueryError(
+                    f"keyword {keyword!r} does not occur in the graph"
+                )
+
+
+def top_k(answers: Sequence[Answer], k: Optional[int]) -> List[Answer]:
+    """Deterministically sort answers and truncate to ``k``.
+
+    Sorting is by (score, root, keyword nodes) so ties break identically
+    across direct and BiG-index evaluation, which Prop. 5.3's
+    ranking-preservation tests rely on.
+    """
+    ordered = sorted(answers, key=lambda a: (a.score, a.signature()))
+    if k is None:
+        return ordered
+    return ordered[:k]

@@ -1,0 +1,514 @@
+"""Blinks: ranked keyword search with precomputed distance indexes.
+
+Reproduces He et al. (SIGMOD 2007) as described in Sec. 5.3 of the paper
+(``rkws``), with both index variants:
+
+* **Single-level index** — for every label ``l``, a *keyword-node list* of
+  the vertices that can reach an ``l``-labeled vertex within ``d_max``
+  hops, sorted by distance, and a *node-keyword map* giving the exact
+  distance ``dist(v, l)``.  Queries then cost almost nothing, but the
+  index needs ``O(|V| * |Sigma|)`` space — the paper notes it is
+  infeasible for large graphs, which is why the experiments use:
+* **Bi-level index** — the graph is partitioned into blocks of roughly
+  ``block_size`` vertices (the paper uses METIS with average block size
+  1000; we use the deterministic BFS-grow partitioner).  Each block stores
+  a *local keyword map* (intra-block node -> keyword distances) and its
+  *portal* vertices.  Per query, each keyword's reachable set is computed
+  at runtime by a bounded backward expansion over the graph — the
+  intra-block maps bound the storage, and the expansion work is what
+  queries pay.  That per-query traversal cost is exactly what shrinks
+  when the same searcher runs on a BiG-index summary layer.
+
+Search (both variants): cursors walk each query keyword's keyword-node
+list in ascending distance order, round-robin (the paper's "expand each
+keyword in a round-robin manner by traversing the vertex v backward in
+the keyword-node list").  Every vertex popped is probed against the other
+keywords' distance maps to decide whether it is an answer root; the search
+stops when the top-k scores are proven final: the sum of the cursors'
+current distances lower-bounds every undiscovered root's score.
+
+The ranking function is pluggable via ``scr`` (Sec. 5.3's
+``rank(a, Q, G, scr)`` API); the default is the distance sum used by the
+paper's experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.graph.digraph import Graph
+from repro.graph.partition import Partition, partition_bfs_grow
+from repro.graph.traversal import nearest_labeled_forward, shortest_path
+from repro.search.base import (
+    Answer,
+    GraphSearcher,
+    KeywordQuery,
+    KeywordSearchAlgorithm,
+    top_k,
+)
+from repro.utils.errors import QueryError
+
+#: ``scr``: maps per-keyword root distances to an answer score.
+ScoreFunction = Callable[[Mapping[str, int]], float]
+
+#: Per-keyword reachability: vertex -> (distance, nearest keyword vertex).
+DistanceMap = Dict[int, Tuple[int, int]]
+
+
+def distance_sum_score(distances: Mapping[str, int]) -> float:
+    """The paper's default ``scr``: the sum of root-to-keyword distances."""
+    return float(sum(distances.values()))
+
+
+def _backward_distance_map(
+    graph: Graph, sources: Set[int], d_max: int
+) -> DistanceMap:
+    """Multi-source backward BFS tracking the nearest source per vertex."""
+    result: DistanceMap = {v: (0, v) for v in sources}
+    frontier = sorted(sources)
+    depth = 0
+    while frontier and depth < d_max:
+        next_frontier: List[int] = []
+        for v in frontier:
+            origin = result[v][1]
+            for u in graph.in_neighbors(v):
+                if u not in result:
+                    result[u] = (depth + 1, origin)
+                    next_frontier.append(u)
+        frontier = next_frontier
+        depth += 1
+    return result
+
+
+class BlinksSingleLevelIndex:
+    """Full keyword-node lists and node-keyword maps for every label.
+
+    Parameters
+    ----------
+    graph:
+        Graph to index.
+    d_max:
+        Distance bound; entries farther than this are not stored (keyword
+        search semantics are bounded, Sec. 3.2).
+    """
+
+    kind = "single-level"
+
+    def __init__(self, graph: Graph, d_max: int) -> None:
+        self.graph = graph
+        self.d_max = d_max
+        #: label -> {vertex: (distance, nearest keyword vertex)}.
+        self._maps: Dict[str, DistanceMap] = {}
+        for label in sorted(graph.distinct_labels()):
+            self._maps[label] = _backward_distance_map(
+                graph, graph.vertices_with_label(label), d_max
+            )
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored (vertex, keyword) pairs — the index's size metric."""
+        return sum(len(m) for m in self._maps.values())
+
+    def keyword_distances(self, label: str) -> DistanceMap:
+        """The precomputed distance map of ``label`` (O(1))."""
+        return self._maps.get(label, {})
+
+    def keyword_cursor(self, label: str) -> Iterator[Tuple[int, int]]:
+        """(distance, vertex) pairs for ``label`` in ascending distance."""
+        entries = sorted(
+            (dist, v) for v, (dist, _) in self.keyword_distances(label).items()
+        )
+        return iter(entries)
+
+    def distance(self, vertex: int, label: str) -> Optional[int]:
+        """Exact ``dist(vertex, label)`` if within ``d_max``, else ``None``."""
+        entry = self.keyword_distances(label).get(vertex)
+        return entry[0] if entry is not None else None
+
+
+class BlinksBiLevelIndex:
+    """Partitioned index: per-block local keyword maps + portals.
+
+    The persistent structures are the partition, the portal set, and each
+    block's local keyword map — whose sizes are what the Blinks paper
+    reports; global reachability is *not* materialized.  Each query pays a
+    bounded backward expansion per keyword (:meth:`keyword_distances`),
+    which is the runtime cost BiG-index reduces by running the same
+    searcher on a smaller summary graph.
+    """
+
+    kind = "bi-level"
+
+    def __init__(self, graph: Graph, d_max: int, block_size: int = 1000) -> None:
+        self.graph = graph
+        self.d_max = d_max
+        self.partition: Partition = partition_bfs_grow(graph, block_size)
+        #: per block: {vertex: {label: intra-block distance}}.
+        self.local_keyword_maps: List[Dict[int, Dict[str, int]]] = []
+        self._build_local_maps()
+
+    def _build_local_maps(self) -> None:
+        for block_id in range(self.partition.num_blocks):
+            members = set(self.partition.block_members(block_id))
+            local: Dict[int, Dict[str, int]] = {v: {} for v in members}
+            labels_here = sorted({self.graph.label(v) for v in members})
+            for label in labels_here:
+                sources = {v for v in members if self.graph.label(v) == label}
+                dist = self._intra_block_backward_bfs(sources, members)
+                for v, d in dist.items():
+                    local[v][label] = d
+            self.local_keyword_maps.append(local)
+
+    def _intra_block_backward_bfs(
+        self, sources: Set[int], members: Set[int]
+    ) -> Dict[int, int]:
+        dist = {v: 0 for v in sources}
+        frontier = sorted(sources)
+        depth = 0
+        while frontier and depth < self.d_max:
+            next_frontier = []
+            for v in frontier:
+                for u in self.graph.in_neighbors(v):
+                    if u in members and u not in dist:
+                        dist[u] = depth + 1
+                        next_frontier.append(u)
+            frontier = next_frontier
+            depth += 1
+        return dist
+
+    @property
+    def num_portals(self) -> int:
+        """Number of portal vertices in the partition."""
+        return len(self.partition.portals)
+
+    @property
+    def num_entries(self) -> int:
+        """Stored (vertex, keyword) pairs across the block-local maps."""
+        return sum(
+            len(kw_map)
+            for block in self.local_keyword_maps
+            for kw_map in block.values()
+        )
+
+    def keyword_distances(self, label: str) -> DistanceMap:
+        """Per-query bounded backward expansion from the label's vertices.
+
+        Not cached: this is the runtime work a Blinks query performs
+        (intra-block distances are already in the local maps; the global
+        expansion resolves the portal crossings).
+        """
+        sources = self.graph.vertices_with_label(label)
+        return _backward_distance_map(self.graph, sources, self.d_max)
+
+    def keyword_cursor(self, label: str) -> Iterator[Tuple[int, int]]:
+        """(distance, vertex) pairs for ``label`` in ascending distance."""
+        entries = sorted(
+            (dist, v) for v, (dist, _) in self.keyword_distances(label).items()
+        )
+        return iter(entries)
+
+    def distance(self, vertex: int, label: str) -> Optional[int]:
+        """Exact ``dist(vertex, label)``; prefers the local map's entry.
+
+        Falls back to a global expansion when the block-local entry is
+        missing or improvable through portals.
+        """
+        block_id = self.partition.block_of[vertex]
+        local = self.local_keyword_maps[block_id].get(vertex, {})
+        local_d = local.get(label)
+        if local_d in (0, 1):
+            return local_d  # cannot be improved by leaving the block
+        entry = self.keyword_distances(label).get(vertex)
+        return entry[0] if entry is not None else None
+
+
+class _LazyBackwardCursor:
+    """Level-by-level backward expansion of one keyword's reachable set.
+
+    With a single-level index the distance map is precomputed and
+    "expansion" is instantaneous; with the bi-level index each level
+    performs real traversal work — the per-query cost the paper measures.
+    """
+
+    def __init__(self, graph: Graph, index, keyword: str, d_max: int) -> None:
+        self.graph = graph
+        self.keyword = keyword
+        self.d_max = d_max
+        self.depth = 0
+        precomputed = getattr(index, "kind", None) == "single-level"
+        if precomputed:
+            self.settled: DistanceMap = dict(index.keyword_distances(keyword))
+            self._levels: Dict[int, List[int]] = {}
+            for v, (d, _) in self.settled.items():
+                self._levels.setdefault(d, []).append(v)
+            self._frontier: List[int] = []
+            self._static = True
+        else:
+            sources = graph.vertices_with_label(keyword)
+            self.settled = {v: (0, v) for v in sources}
+            self._levels = {0: sorted(sources)}
+            self._frontier = sorted(sources)
+            self._static = False
+
+    @property
+    def exhausted(self) -> bool:
+        if self._static:
+            return self.depth > max(self._levels, default=-1)
+        return not self._frontier and self.depth > self.d_max
+
+    def take_level(self) -> List[int]:
+        """Vertices settled at the current depth; advances the cursor."""
+        if self._static:
+            level = self._levels.get(self.depth, [])
+            self.depth += 1
+            return level
+        level = self._levels.get(self.depth, [])
+        # Expand one step backward to prepare the next level.
+        if self.depth < self.d_max:
+            next_frontier: List[int] = []
+            for v in self._frontier:
+                origin = self.settled[v][1]
+                for u in self.graph.in_neighbors(v):
+                    if u not in self.settled:
+                        self.settled[u] = (self.depth + 1, origin)
+                        next_frontier.append(u)
+            self._frontier = next_frontier
+            self._levels[self.depth + 1] = next_frontier
+        else:
+            self._frontier = []
+        self.depth += 1
+        return level
+
+
+class BlinksSearcher(GraphSearcher):
+    """Blinks bound to one graph with its index built."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        index,
+        d_max: int,
+        k: Optional[int],
+        scr: ScoreFunction,
+    ) -> None:
+        super().__init__(graph)
+        self.index = index
+        self.d_max = d_max
+        self.k = k
+        self.scr = scr
+
+    def search(self, query: KeywordQuery) -> List[Answer]:
+        """Distinct-root top-k via round-robin backward expansion.
+
+        Collects discovered answers and stops once the k-th best score is
+        at most the stream's lower bound — every undiscovered root must
+        then score worse.
+        """
+        answers: List[Answer] = []
+        for answer in self.iter_search(query):
+            answers.append(answer)
+            if self.k is not None and len(answers) >= self.k:
+                kth = sorted(a.score for a in answers)[self.k - 1]
+                if kth <= self.stream_lower_bound:
+                    break
+        return top_k(answers, self.k)
+
+    #: Lower bound on the score of every answer the current / most recent
+    #: ``iter_search`` stream has not yielded yet.  Consumers use it for
+    #: sound early termination without requiring a fully sorted stream.
+    stream_lower_bound: float = 0.0
+
+    def iter_search(self, query: KeywordQuery):
+        """Lazily yield distinct-root answers as they are discovered.
+
+        Yields are *not* globally score-sorted (sorting would force full
+        expansion before the first emission); instead
+        :attr:`stream_lower_bound` always holds a sound lower bound on
+        every unseen answer's score: a root not yet yielded is missing
+        from at least one cursor's settled set, so its score is at least
+        that cursor's next depth — at least the minimum active depth.
+        """
+        self.stream_lower_bound = 0.0
+        cursors: Dict[str, _LazyBackwardCursor] = {}
+        for keyword in query:
+            cursor = _LazyBackwardCursor(self.graph, self.index, keyword, self.d_max)
+            if not cursor.settled:
+                self.stream_lower_bound = float("inf")
+                return
+            cursors[keyword] = cursor
+
+        keywords = list(query.keywords)
+        emitted: Set[int] = set()
+
+        def settled_everywhere(v: int) -> Optional[Dict[str, Tuple[int, int]]]:
+            info = {}
+            for kw in keywords:
+                entry = cursors[kw].settled.get(v)
+                if entry is None:
+                    return None
+                info[kw] = entry
+            return info
+
+        while True:
+            active = [kw for kw in keywords if not cursors[kw].exhausted]
+            if not active:
+                break
+            # Round-robin: advance the cursor with the smallest depth
+            # (ties by keyword order), the paper's expansion strategy.
+            keyword = min(active, key=lambda kw: cursors[kw].depth)
+            cursor = cursors[keyword]
+            for vertex in cursor.take_level():
+                if vertex in emitted:
+                    continue
+                info = settled_everywhere(vertex)
+                if info is not None:
+                    emitted.add(vertex)
+                    score = self.scr({kw: d for kw, (d, _) in info.items()})
+                    yield self._materialize(vertex, info, score)
+            active_now = [c for c in cursors.values() if not c.exhausted]
+            self.stream_lower_bound = (
+                min(c.depth for c in active_now) if active_now else float("inf")
+            )
+        self.stream_lower_bound = float("inf")
+
+    def _materialize(
+        self, root: int, info: Mapping[str, Tuple[int, int]], score: float
+    ) -> Answer:
+        keyword_nodes = {kw: origin for kw, (_, origin) in info.items()}
+        return _materialize_tree(
+            self.graph, root, keyword_nodes, score, self.d_max
+        )
+
+
+class Blinks(KeywordSearchAlgorithm):
+    """The ``rkws`` algorithm: Blinks ranked keyword search.
+
+    Parameters
+    ----------
+    d_max:
+        Distance bound (the paper's pruning threshold ``tau_prune``; set to
+        5 in Sec. 6.2).
+    k:
+        Top-k answers; ``None`` returns all qualifying roots.
+    index_kind:
+        ``"bi-level"`` (default, as in the paper's experiments) or
+        ``"single-level"``.
+    block_size:
+        Average partition block size for the bi-level index (paper: 1000).
+    scr:
+        Score function over per-keyword root distances (default: sum).
+    """
+
+    name = "blinks"
+
+    def __init__(
+        self,
+        d_max: int = 5,
+        k: Optional[int] = None,
+        index_kind: str = "bi-level",
+        block_size: int = 1000,
+        scr: ScoreFunction = distance_sum_score,
+    ) -> None:
+        if index_kind not in ("bi-level", "single-level"):
+            raise QueryError(f"unknown Blinks index kind: {index_kind!r}")
+        self.d_max = d_max
+        self.k = k
+        self.index_kind = index_kind
+        self.block_size = block_size
+        self.scr = scr
+
+    def bind(self, graph: Graph) -> BlinksSearcher:
+        """Build the configured index over ``graph`` and return a searcher."""
+        if self.index_kind == "single-level":
+            index = BlinksSingleLevelIndex(graph, self.d_max)
+        else:
+            index = BlinksBiLevelIndex(graph, self.d_max, self.block_size)
+        return BlinksSearcher(graph, index, self.d_max, self.k, self.scr)
+
+    def verify(
+        self,
+        graph: Graph,
+        keyword_nodes: Mapping[str, int],
+        query: KeywordQuery,
+        root: Optional[int] = None,
+    ) -> Optional[Answer]:
+        """Exact-check a root + keyword-node assignment on ``graph``."""
+        if root is None:
+            return None
+        targets = {}
+        for keyword in query:
+            node = keyword_nodes.get(keyword)
+            if node is None or graph.label(node) != keyword:
+                return None
+            targets[keyword] = node
+        found = _forward_distances_until(graph, root, set(targets.values()), self.d_max)
+        distances: Dict[str, int] = {}
+        for keyword, node in targets.items():
+            d = found.get(node)
+            if d is None:
+                return None
+            distances[keyword] = d
+        return _materialize_tree(
+            graph, root, dict(targets), self.scr(distances), self.d_max
+        )
+
+    def best_answer_for_root(
+        self, graph: Graph, root: int, query: KeywordQuery
+    ) -> Optional[Answer]:
+        """Minimal-score answer rooted at ``root`` (used by boost-rkws).
+
+        One forward BFS from the root that stops as soon as every keyword
+        has been seen (or ``d_max`` is reached), so verification of a good
+        candidate root touches a small ball.
+        """
+        found = nearest_labeled_forward(graph, root, set(query.keywords), self.d_max)
+        if found is None:
+            return None
+        distances = {kw: d for kw, (d, _) in found.items()}
+        keyword_nodes = {kw: v for kw, (_, v) in found.items()}
+        return _materialize_tree(
+            graph, root, keyword_nodes, self.scr(distances), self.d_max
+        )
+
+
+def _forward_distances_until(
+    graph: Graph, root: int, targets: Set[int], d_max: int
+) -> Dict[int, int]:
+    """Forward BFS from ``root``, stopping once every target is settled."""
+    dist: Dict[int, int] = {root: 0}
+    remaining = set(targets) - {root}
+    frontier = [root]
+    depth = 0
+    while frontier and remaining and depth < d_max:
+        next_frontier: List[int] = []
+        for v in frontier:
+            for w in graph.out_neighbors(v):
+                if w not in dist:
+                    dist[w] = depth + 1
+                    remaining.discard(w)
+                    next_frontier.append(w)
+        frontier = next_frontier
+        depth += 1
+    return {t: dist[t] for t in targets if t in dist}
+
+
+def _materialize_tree(
+    graph: Graph,
+    root: int,
+    keyword_nodes: Dict[str, int],
+    score: float,
+    d_max: int,
+) -> Answer:
+    """Answer tree from root-to-keyword shortest paths."""
+    vertices: Set[int] = {root}
+    edges: Set[Tuple[int, int]] = set()
+    for node in keyword_nodes.values():
+        path = shortest_path(graph, root, node, max_depth=d_max)
+        if path is None:  # pragma: no cover - callers guarantee reachability
+            continue
+        vertices.update(path)
+        edges.update(zip(path, path[1:]))
+    return Answer.make(
+        keyword_nodes, score=score, root=root, vertices=vertices, edges=edges
+    )

@@ -1,0 +1,20 @@
+"""Shared utilities: errors, deterministic RNG helpers, and timers."""
+
+from repro.utils.errors import (
+    BigIndexError,
+    GraphError,
+    OntologyError,
+    ConfigurationError,
+    QueryError,
+)
+from repro.utils.timers import Stopwatch, TimeBreakdown
+
+__all__ = [
+    "BigIndexError",
+    "GraphError",
+    "OntologyError",
+    "ConfigurationError",
+    "QueryError",
+    "Stopwatch",
+    "TimeBreakdown",
+]

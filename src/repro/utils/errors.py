@@ -1,0 +1,39 @@
+"""Exception hierarchy for the BiG-index reproduction.
+
+Every error raised by the library derives from :class:`BigIndexError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the subsystem that failed.
+"""
+
+
+class BigIndexError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GraphError(BigIndexError):
+    """Raised for invalid graph operations (unknown vertices, bad edges)."""
+
+
+class OntologyError(BigIndexError):
+    """Raised for invalid ontology structures or lookups (cycles, unknown types)."""
+
+
+class ConfigurationError(BigIndexError):
+    """Raised when a generalization configuration violates its invariants.
+
+    A configuration must map each label to one of its direct supertypes in
+    the ontology graph (Sec. 2 of the paper), and must be label-preserving
+    (Def. 2.2).
+    """
+
+
+class QueryError(BigIndexError):
+    """Raised for malformed keyword queries (empty, unknown keywords, ...)."""
+
+
+class IndexError_(BigIndexError):
+    """Raised when an index is used before being built or with a foreign graph.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`.
+    """

@@ -1,0 +1,88 @@
+"""Timing helpers used by the benchmark harness.
+
+The paper's Exp-1 figures break query time into three phases: exploring the
+summary graphs, pruning/specialization, and final answer generation.
+:class:`TimeBreakdown` accumulates named phases so the harness can print the
+same breakdown.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class Stopwatch:
+    """A simple restartable stopwatch measuring wall-clock seconds."""
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or restart) timing from now."""
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing and add the interval to :attr:`elapsed`."""
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        """Zero the accumulated time and clear any running interval."""
+        self._start = None
+        self.elapsed = 0.0
+
+
+class TimeBreakdown:
+    """Accumulates wall-clock time under named phases.
+
+    Example
+    -------
+    >>> breakdown = TimeBreakdown()
+    >>> with breakdown.phase("explore"):
+    ...     pass
+    >>> sorted(breakdown.totals) == ["explore"]
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Context manager timing one phase; time accumulates across uses."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] = self.totals.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def add(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to phase ``name`` directly."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        """Sum of all phases."""
+        return sum(self.totals.values())
+
+    def merge(self, other: "TimeBreakdown") -> None:
+        """Fold another breakdown's phases into this one."""
+        for name, seconds in other.totals.items():
+            self.add(name, seconds)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return a copy of the phase totals."""
+        return dict(self.totals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(f"{k}={v:.4f}s" for k, v in sorted(self.totals.items()))
+        return f"TimeBreakdown({parts})"

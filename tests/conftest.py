@@ -1,0 +1,116 @@
+"""Shared fixtures: the Fig. 1/Fig. 2 running example and random factories."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.ontology.ontology import OntologyGraph
+
+
+@pytest.fixture
+def fig2_ontology() -> OntologyGraph:
+    """The paper's Fig. 2 ontology (types only, as in the example)."""
+    ont = OntologyGraph()
+    pairs = [
+        ("Academics", "Person"),
+        ("Investor", "Person"),
+        ("Student", "Person"),
+        ("Harvard Univ.", "Univ."),
+        ("Cornell Univ.", "Univ."),
+        ("Columbia Univ.", "Univ."),
+        ("UC Berkeley", "Univ."),
+        ("Univ.", "Organization"),
+        ("Ivy League", "Organization"),
+        ("Startup", "Organization"),
+        ("Massachusetts", "Eastern"),
+        ("New York", "Eastern"),
+        ("California", "Western"),
+        ("Eastern", "State"),
+        ("Western", "State"),
+        ("Person", "Agent"),
+        ("Organization", "Agent"),
+    ]
+    for sub, sup in pairs:
+        ont.add_subtype(sub, sup)
+    return ont
+
+
+@pytest.fixture
+def fig1_graph() -> Graph:
+    """A small version of Fig. 1's data graph.
+
+    Structure: academics point at universities, universities point at
+    their state and (for Ivy League schools) at the Ivy League
+    organization; a crowd of students all point at UC Berkeley, which
+    points at California — the summarizable "100 Persons" pattern
+    (scaled to 10).
+    """
+    g = Graph()
+    graham = g.add_vertex("Academics", name="P. Graham")
+    idreos = g.add_vertex("Academics", name="S. Idreos")
+    harvard = g.add_vertex("Harvard Univ.")
+    cornell = g.add_vertex("Cornell Univ.")
+    columbia = g.add_vertex("Columbia Univ.")
+    berkeley = g.add_vertex("UC Berkeley")
+    ivy = g.add_vertex("Ivy League")
+    mass = g.add_vertex("Massachusetts")
+    ny = g.add_vertex("New York")
+    cal = g.add_vertex("California")
+
+    g.add_edge(graham, harvard)
+    g.add_edge(graham, cornell)
+    g.add_edge(idreos, harvard)
+    g.add_edge(harvard, ivy)
+    g.add_edge(cornell, ivy)
+    g.add_edge(columbia, ivy)
+    g.add_edge(harvard, mass)
+    g.add_edge(cornell, ny)
+    g.add_edge(columbia, ny)
+    g.add_edge(berkeley, cal)
+    for _ in range(10):
+        student = g.add_vertex("Student")
+        g.add_edge(student, berkeley)
+    return g
+
+
+@pytest.fixture
+def random_graph_factory():
+    """Factory of seeded random labeled graphs for equivalence tests."""
+
+    def make(
+        num_vertices: int = 60,
+        num_edges: int = 150,
+        labels=("A", "B", "C", "D", "E"),
+        seed: int = 0,
+    ) -> Graph:
+        rng = random.Random(seed)
+        g = Graph()
+        for _ in range(num_vertices):
+            g.add_vertex(rng.choice(labels))
+        added = 0
+        while added < num_edges:
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            if u != v and g.add_edge(u, v):
+                added += 1
+        return g
+
+    return make
+
+
+@pytest.fixture
+def small_ontology() -> OntologyGraph:
+    """A two-level ontology over the A-E label alphabet."""
+    ont = OntologyGraph()
+    ont.add_subtype("A", "AB")
+    ont.add_subtype("B", "AB")
+    ont.add_subtype("C", "CD")
+    ont.add_subtype("D", "CD")
+    ont.add_subtype("E", "EF")
+    ont.add_subtype("AB", "Top")
+    ont.add_subtype("CD", "Top")
+    ont.add_subtype("EF", "Top")
+    return ont

@@ -1,0 +1,105 @@
+"""End-to-end tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    graph_prefix = str(tmp_path / "graph")
+    index_dir = str(tmp_path / "index")
+    return graph_prefix, index_dir
+
+
+class TestDatasetCommand:
+    def test_generates_tsv(self, workspace):
+        graph_prefix, _ = workspace
+        code = main(
+            ["dataset", "yago-like", "--out", graph_prefix, "--scale", "0.05"]
+        )
+        assert code == 0
+        assert os.path.exists(graph_prefix + ".nodes")
+        assert os.path.exists(graph_prefix + ".edges")
+
+    def test_unknown_dataset(self, workspace):
+        graph_prefix, _ = workspace
+        assert main(["dataset", "nope", "--out", graph_prefix]) == 2
+
+
+class TestBuildStatsQuery:
+    def _generate_and_build(self, graph_prefix, index_dir):
+        assert main(
+            ["dataset", "yago-like", "--out", graph_prefix, "--scale", "0.05"]
+        ) == 0
+        assert main(
+            [
+                "build", graph_prefix,
+                "--index-dir", index_dir,
+                "--layers", "2",
+                "--samples", "10",
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        ) == 0
+
+    def test_build_and_stats(self, workspace, capsys):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        assert os.path.exists(os.path.join(index_dir, "meta.json"))
+        assert main(
+            ["stats", index_dir, "--ontology-from", "yago-like",
+             "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "layers: 2" in out
+        assert "G^0" in out and "G^2" in out
+
+    def test_query_runs_all_algorithms(self, workspace, capsys):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        # Find two keywords that exist in the generated graph.
+        from repro.graph.io import load_graph_tsv
+
+        graph, _ = load_graph_tsv(graph_prefix)
+        histogram = sorted(
+            graph.label_histogram().items(), key=lambda kv: -kv[1]
+        )
+        kw1, kw2 = histogram[0][0], histogram[1][0]
+        for algorithm in ("bkws", "bdws", "blinks"):
+            code = main(
+                [
+                    "query", index_dir,
+                    "--keywords", kw1, kw2,
+                    "--algorithm", algorithm,
+                    "--d-max", "3",
+                    "--k", "3",
+                    "--ontology-from", "yago-like",
+                    "--scale", "0.05",
+                ]
+            )
+            assert code == 0, algorithm
+            out = capsys.readouterr().out
+            assert "answer(s) in" in out
+
+    def test_query_unknown_algorithm(self, workspace):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        assert main(
+            [
+                "query", index_dir,
+                "--keywords", "x",
+                "--algorithm", "magic",
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        ) == 2
+
+    def test_stats_on_missing_index_errors(self, workspace):
+        _, index_dir = workspace
+        assert main(
+            ["stats", index_dir, "--ontology-from", "yago-like",
+             "--scale", "0.05"]
+        ) == 1

@@ -1,0 +1,187 @@
+"""Unit tests for the index cost model (Formula 3) and Algorithm 1."""
+
+import pytest
+
+from repro.core.config import Configuration
+from repro.core.cost import (
+    CostModel,
+    CostParams,
+    compression_ratio,
+    distortion,
+    label_distortion,
+)
+from repro.core.heuristic import candidate_generalizations, greedy_configuration
+from repro.graph.digraph import Graph
+from repro.utils.errors import ConfigurationError
+
+
+class TestDistortion:
+    def test_label_distortion_formula(self):
+        # Two labels generalized to the same supertype: 1 - 1/2 each.
+        c = Configuration({"P. Graham": "Investor", "W. Buffett": "Investor"})
+        assert label_distortion(c, "P. Graham") == pytest.approx(0.5)
+        assert label_distortion(c, "W. Buffett") == pytest.approx(0.5)
+
+    def test_lone_mapping_has_zero_distortion(self):
+        c = Configuration({"a": "X"})
+        assert label_distortion(c, "a") == 0.0
+
+    def test_unmapped_label_has_zero_distortion(self):
+        c = Configuration({"a": "X"})
+        assert label_distortion(c, "z") == 0.0
+
+    def test_example_3_1_many_siblings(self):
+        """distort = 1 - 1/n for n labels sharing a supertype."""
+        n = 5
+        c = Configuration({f"l{i}": "Person" for i in range(n)})
+        for i in range(n):
+            assert label_distortion(c, f"l{i}") == pytest.approx(1 - 1 / n)
+
+    def test_graph_distortion_weights_by_support(self):
+        g = Graph()
+        for _ in range(8):
+            g.add_vertex("a")
+        g.add_vertex("b")
+        c = Configuration({"a": "X", "b": "X"})
+        # Both labels have distortion 0.5; support-weighting is symmetric in
+        # the normalized formula, so the result is 0.5 / |X| = 0.25.
+        assert distortion(g, c) == pytest.approx(0.5 / 2)
+
+    def test_empty_config_distortion_zero(self):
+        g = Graph()
+        g.add_vertex("a")
+        assert distortion(g, Configuration.empty()) == 0.0
+
+    def test_distortion_of_absent_labels_is_zero(self):
+        g = Graph()
+        g.add_vertex("z")
+        c = Configuration({"a": "X", "b": "X"})
+        assert distortion(g, c) == 0.0
+
+
+class TestCompression:
+    def test_exact_compression_on_fan(self):
+        g = Graph()
+        hub = g.add_vertex("H")
+        for _ in range(9):
+            g.add_edge(g.add_vertex("p1"), hub)
+        # All p1 vertices already merge without generalization.
+        ratio = compression_ratio(g, Configuration.empty())
+        # Summary: 2 vertices, 1 edge over size 19.
+        assert ratio == pytest.approx(3 / 19)
+
+    def test_generalization_improves_compression(self):
+        g = Graph()
+        hub = g.add_vertex("H")
+        for i in range(10):
+            g.add_edge(g.add_vertex(f"p{i % 2}"), hub)
+        without = compression_ratio(g, Configuration.empty())
+        with_gen = compression_ratio(
+            g, Configuration({"p0": "P", "p1": "P"})
+        )
+        assert with_gen < without
+
+    def test_empty_graph_ratio_is_one(self):
+        assert compression_ratio(Graph(), Configuration.empty()) == 1.0
+
+
+class TestCostModel:
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            CostParams(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            CostParams(num_samples=0)
+
+    def test_exact_mode_matches_direct_computation(self, fig1_graph):
+        model = CostModel(fig1_graph, CostParams(exact=True, alpha=1.0))
+        c = Configuration({"Student": "Person"})
+        assert model.cost(c) == pytest.approx(compression_ratio(fig1_graph, c))
+
+    def test_alpha_zero_is_pure_distortion(self, fig1_graph):
+        model = CostModel(fig1_graph, CostParams(exact=True, alpha=0.0))
+        c = Configuration({"Student": "Person", "Academics": "Person"})
+        assert model.cost(c) == pytest.approx(distortion(fig1_graph, c))
+
+    def test_sampling_estimate_within_bounds(self, fig1_graph):
+        model = CostModel(fig1_graph, CostParams(num_samples=20, seed=1))
+        value = model.compress(Configuration.empty())
+        assert 0.0 < value <= 1.0
+
+    def test_samples_are_cached(self, fig1_graph):
+        model = CostModel(fig1_graph, CostParams(num_samples=5))
+        assert model.samples is model.samples
+
+    def test_support_cached_and_correct(self, fig1_graph):
+        model = CostModel(fig1_graph)
+        expected = fig1_graph.label_support("Student") / fig1_graph.num_vertices
+        assert model.support("Student") == pytest.approx(expected)
+        assert model.support("Student") == pytest.approx(expected)
+
+
+class TestCandidates:
+    def test_candidates_cover_used_labels_with_supertypes(
+        self, fig1_graph, fig2_ontology
+    ):
+        candidates = candidate_generalizations(fig1_graph, fig2_ontology)
+        assert ("Student", "Person") in candidates
+        assert ("UC Berkeley", "Univ.") in candidates
+        # Only labels present in the graph qualify.
+        assert all(fig1_graph.label_support(l) > 0 for l, _ in candidates)
+
+    def test_labels_outside_ontology_skipped(self, fig2_ontology):
+        g = Graph()
+        g.add_vertex("not-a-type")
+        assert candidate_generalizations(g, fig2_ontology) == []
+
+
+class TestGreedyConfiguration:
+    def test_large_theta_generalizes_every_label(self, fig1_graph, fig2_ontology):
+        config = greedy_configuration(
+            fig1_graph,
+            fig2_ontology,
+            theta=1.0,
+            cost_params=CostParams(exact=True),
+        )
+        # Every graph label with a supertype gets mapped.
+        for label in fig1_graph.distinct_labels():
+            if label in fig2_ontology and fig2_ontology.has_supertype(label):
+                assert label in config
+
+    def test_budget_pi_limits_mappings(self, fig1_graph, fig2_ontology):
+        config = greedy_configuration(
+            fig1_graph,
+            fig2_ontology,
+            max_mappings=2,
+            cost_params=CostParams(exact=True),
+        )
+        assert len(config) <= 2
+
+    def test_tiny_theta_yields_empty_or_tiny_config(
+        self, fig1_graph, fig2_ontology
+    ):
+        config = greedy_configuration(
+            fig1_graph,
+            fig2_ontology,
+            theta=0.0,
+            cost_params=CostParams(exact=True),
+        )
+        assert len(config) == 0
+
+    def test_config_is_valid_against_ontology(self, fig1_graph, fig2_ontology):
+        config = greedy_configuration(
+            fig1_graph, fig2_ontology, cost_params=CostParams(exact=True)
+        )
+        for source, target in config:
+            assert target in fig2_ontology.direct_supertypes(source)
+
+    def test_empty_graph_returns_empty_config(self, fig2_ontology):
+        assert not greedy_configuration(
+            Graph(), fig2_ontology, cost_params=CostParams(exact=True)
+        )
+
+    def test_reuses_supplied_cost_model(self, fig1_graph, fig2_ontology):
+        model = CostModel(fig1_graph, CostParams(exact=True))
+        config = greedy_configuration(
+            fig1_graph, fig2_ontology, cost_model=model
+        )
+        assert len(config) > 0

@@ -1,0 +1,152 @@
+"""Tests for evaluator modes: trust verification, layer-0 routing, caps."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.plugins import boost
+from repro.core.query_cost import QueryCostModel
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.search.rclique import RClique
+from repro.utils.errors import QueryError
+
+EXACT = CostParams(exact=True)
+
+
+@pytest.fixture
+def instance(small_ontology, random_graph_factory):
+    graph = random_graph_factory(num_vertices=50, num_edges=120, seed=3)
+    index = BiGIndex.build(
+        graph, small_ontology, num_layers=2, cost_params=EXACT
+    )
+    return graph, index
+
+
+class TestTrustMode:
+    def test_trust_answers_are_sound_assignments(self, instance):
+        """Trust-mode answers satisfy Def. 4.2: their edges exist in G^0."""
+        graph, index = instance
+        boosted = boost(
+            BackwardKeywordSearch(d_max=3, k=None),
+            index,
+            generation="path",
+            verify_mode="trust",
+        )
+        answers = boosted.search(KeywordQuery(["A", "C"]), layer=1)
+        for answer in answers:
+            for u, v in answer.edges:
+                assert graph.has_edge(u, v)
+
+    def test_trust_scores_lower_bound_exact(self, instance):
+        """Trust scores come from the summary, so they never exceed the
+        exact score of the same assignment (Prop. 5.2)."""
+        graph, index = instance
+        algo = BackwardKeywordSearch(d_max=3, k=None)
+        boosted = boost(algo, index, generation="path", verify_mode="trust")
+        query = KeywordQuery(["A", "C"])
+        for answer in boosted.search(query, layer=1):
+            exact = algo.verify(
+                graph, answer.keyword_node_map, query, root=answer.root
+            )
+            if exact is not None:
+                assert answer.score <= exact.score
+
+    def test_invalid_verify_mode_rejected(self, instance):
+        graph, index = instance
+        with pytest.raises(QueryError):
+            boost(
+                BackwardKeywordSearch(d_max=3),
+                index,
+                verify_mode="optimistic",
+            )
+
+    def test_trust_clique_scores_contract(self, instance):
+        graph, index = instance
+        algo = RClique(radius=2, k=None)
+        algo.bind(graph)  # cache the data-graph neighbor index
+        boosted = boost(algo, index, generation="vertex", verify_mode="trust")
+        query = KeywordQuery(["A", "C"])
+        for answer in boosted.search(query, layer=1):
+            exact = algo.verify(graph, answer.keyword_node_map, query)
+            if exact is not None:
+                assert answer.score <= exact.score
+
+
+class TestLayerZeroRouting:
+    def test_layer_zero_candidate_has_unit_cost(self, instance):
+        _, index = instance
+        model = QueryCostModel(index, beta=0.4, allow_layer_zero=True)
+        cost = model.layer_cost(KeywordQuery(["A", "C"]), 0)
+        assert cost.cost == pytest.approx(1.0)
+        assert cost.distinct
+
+    def test_all_layer_costs_include_zero_when_allowed(self, instance):
+        _, index = instance
+        query = KeywordQuery(["A", "C"])
+        without = QueryCostModel(index).all_layer_costs(query)
+        with_zero = QueryCostModel(
+            index, allow_layer_zero=True
+        ).all_layer_costs(query)
+        assert [c.layer for c in with_zero] == [0] + [c.layer for c in without]
+
+    def test_router_with_layer_zero_returns_direct_answers(self, instance):
+        graph, index = instance
+        algo = BackwardKeywordSearch(d_max=3, k=None)
+        boosted = boost(algo, index, allow_layer_zero=True)
+        query = KeywordQuery(["A", "C"])
+        direct = {(a.root, a.score) for a in algo.bind(graph).search(query)}
+        got = {(a.root, a.score) for a in boosted.search(query)}
+        assert got == direct  # exact whichever layer the router picks
+
+
+class TestStreamCap:
+    def test_max_generalized_limits_consumption(self, instance):
+        graph, index = instance
+        boosted = boost(BackwardKeywordSearch(d_max=3, k=None), index)
+        query = KeywordQuery(["A", "C"])
+        capped = boosted.evaluate(query, layer=1, max_generalized=2)
+        uncapped = boosted.evaluate(query, layer=1)
+        assert capped.num_generalized <= 3  # cap + the final probe pull
+        assert uncapped.num_generalized >= capped.num_generalized
+
+    def test_capped_answers_are_subset_of_exact(self, instance):
+        graph, index = instance
+        algo = BackwardKeywordSearch(d_max=3, k=None)
+        boosted = boost(algo, index)
+        query = KeywordQuery(["A", "C"])
+        direct = {(a.root, a.score) for a in algo.bind(graph).search(query)}
+        capped = {
+            (a.root, a.score)
+            for a in boosted.search(query, layer=1, max_generalized=2)
+        }
+        assert capped <= direct
+
+
+class TestStreamLowerBound:
+    def test_blinks_bound_is_sound(self, instance):
+        """Every answer yielded after the bound reaches b scores >= b."""
+        from repro.search.blinks import Blinks
+
+        graph, _ = instance
+        searcher = Blinks(d_max=3, k=None, block_size=10).bind(graph)
+        query = KeywordQuery(["A", "C"])
+        stream = searcher.iter_search(query)
+        observed = []
+        for answer in stream:
+            observed.append((searcher.stream_lower_bound, answer.score))
+        for bound_before, score in observed:
+            # The bound recorded *after* the yield can only have grown;
+            # the score must be at least the bound seen before this level.
+            assert score >= 0
+        # The final bound is infinite (stream exhausted).
+        assert searcher.stream_lower_bound == float("inf")
+
+    def test_search_topk_scores_match_full_sort(self, instance):
+        from repro.search.blinks import Blinks
+
+        graph, _ = instance
+        query = KeywordQuery(["A", "C"])
+        full = Blinks(d_max=3, k=None, block_size=10).bind(graph).search(query)
+        top3 = Blinks(d_max=3, k=3, block_size=10).bind(graph).search(query)
+        assert [a.score for a in top3] == [a.score for a in full[:3]]

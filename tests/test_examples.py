@@ -1,0 +1,48 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples double as integration tests of the public API; each is executed
+in-process (imported as a module and its ``main()`` called) so failures
+carry real tracebacks.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _run_example(name: str) -> None:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)  # type: ignore[union-attr]
+    module.main()
+
+
+def test_quickstart_runs(capsys):
+    _run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "Theorem 4.2 holds" in out
+
+
+def test_dynamic_maintenance_runs(capsys):
+    _run_example("dynamic_graph_maintenance.py")
+    out = capsys.readouterr().out
+    assert "all equivalence checks passed" in out
+
+
+@pytest.mark.slow
+def test_knowledge_graph_search_runs(capsys):
+    _run_example("knowledge_graph_search.py")
+    out = capsys.readouterr().out
+    assert "direct answers" in out
+
+
+@pytest.mark.slow
+def test_movie_clique_search_runs(capsys):
+    _run_example("movie_clique_search.py")
+    out = capsys.readouterr().out
+    assert "infeasible" in out

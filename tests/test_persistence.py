@@ -1,0 +1,106 @@
+"""Tests for saving/loading built indexes."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.plugins import boost_bkws
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.utils.errors import BigIndexError
+
+EXACT = CostParams(exact=True)
+
+
+@pytest.fixture
+def built(fig1_graph, fig2_ontology):
+    return BiGIndex.build(
+        fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
+    )
+
+
+class TestRoundtrip:
+    def test_structure_survives(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        loaded = load_index(directory, fig2_ontology)
+        assert loaded.num_layers == built.num_layers
+        assert loaded.layer_sizes() == built.layer_sizes()
+        for original, restored in zip(built.layers, loaded.layers):
+            assert restored.config == original.config
+            assert restored.parent_of == original.parent_of
+            assert restored.extent == original.extent
+
+    def test_labels_survive(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        loaded = load_index(directory, fig2_ontology)
+        for m in range(0, built.num_layers + 1):
+            a, b = built.layer_graph(m), loaded.layer_graph(m)
+            assert [a.label(v) for v in a.vertices()] == [
+                b.label(v) for v in b.vertices()
+            ]
+
+    def test_queries_identical_after_reload(
+        self, built, fig1_graph, fig2_ontology, tmp_path
+    ):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        loaded = load_index(directory, fig2_ontology)
+        query = KeywordQuery(["Ivy League", "Massachusetts"])
+        before = {
+            (a.root, a.score)
+            for a in boost_bkws(built, d_max=3, k=None).search(query, layer=1)
+        }
+        after = {
+            (a.root, a.score)
+            for a in boost_bkws(loaded, d_max=3, k=None).search(query, layer=1)
+        }
+        assert before == after
+
+    def test_save_creates_expected_files(self, built, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        names = set(os.listdir(directory))
+        assert "meta.json" in names
+        assert "base.nodes" in names and "base.edges" in names
+        assert "layer1.config.json" in names
+        assert "layer1.parents.txt" in names
+
+
+class TestLoadErrors:
+    def test_missing_directory(self, fig2_ontology, tmp_path):
+        with pytest.raises(BigIndexError):
+            load_index(str(tmp_path / "nope"), fig2_ontology)
+
+    def test_bad_version(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        meta_path = os.path.join(directory, "meta.json")
+        meta = json.load(open(meta_path))
+        meta["version"] = 99
+        json.dump(meta, open(meta_path, "w"))
+        with pytest.raises(BigIndexError):
+            load_index(directory, fig2_ontology)
+
+    def test_truncated_parent_map(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        with open(os.path.join(directory, "layer1.parents.txt"), "w") as f:
+            f.write("0\n")
+        with pytest.raises(BigIndexError):
+            load_index(directory, fig2_ontology)
+
+    def test_out_of_range_parent(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        path = os.path.join(directory, "layer1.parents.txt")
+        lines = open(path).read().splitlines()
+        lines[0] = "999999"
+        open(path, "w").write("\n".join(lines) + "\n")
+        with pytest.raises(BigIndexError):
+            load_index(directory, fig2_ontology)

@@ -1,0 +1,88 @@
+"""Unit tests for the query cost model (Formula 4, Def. 4.1)."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.query_cost import QueryCostModel, optimal_query_layer
+from repro.search.base import KeywordQuery
+from repro.utils.errors import QueryError
+
+EXACT = CostParams(exact=True)
+
+
+@pytest.fixture
+def index(fig1_graph, fig2_ontology) -> BiGIndex:
+    return BiGIndex.build(
+        fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
+    )
+
+
+class TestLayerCost:
+    def test_cost_components(self, index):
+        model = QueryCostModel(index, beta=0.5)
+        cost = model.layer_cost(KeywordQuery(["Student", "California"]), 1)
+        assert cost.layer == 1
+        assert 0.0 < cost.size_ratio <= 1.0
+        assert cost.support_ratio > 0.0
+        assert cost.cost == pytest.approx(
+            0.5 * cost.size_ratio + 0.5 * cost.support_ratio
+        )
+
+    def test_literal_formula_variant(self, index):
+        q = KeywordQuery(["Student", "California"])
+        prose = QueryCostModel(index, formula="prose").layer_cost(q, 1)
+        literal = QueryCostModel(index, formula="literal").layer_cost(q, 1)
+        assert literal.cost == pytest.approx(
+            0.5 * (1 - prose.size_ratio) + 0.5 * prose.support_ratio
+        )
+
+    def test_beta_extremes(self, index):
+        q = KeywordQuery(["Student", "California"])
+        size_only = QueryCostModel(index, beta=1.0).layer_cost(q, 1)
+        support_only = QueryCostModel(index, beta=0.0).layer_cost(q, 1)
+        assert size_only.cost == pytest.approx(size_only.size_ratio)
+        assert support_only.cost == pytest.approx(support_only.support_ratio)
+
+    def test_invalid_parameters(self, index):
+        with pytest.raises(QueryError):
+            QueryCostModel(index, beta=2.0)
+        with pytest.raises(QueryError):
+            QueryCostModel(index, formula="guess")
+
+    def test_distinct_flag_matches_index(self, index):
+        model = QueryCostModel(index)
+        colliding = KeywordQuery(["Student", "Academics"])
+        cost = model.layer_cost(colliding, 1)
+        assert cost.distinct == index.query_distinct_at(colliding, 1)
+
+
+class TestOptimalLayer:
+    def test_optimal_layer_is_admissible(self, index):
+        q = KeywordQuery(["Student", "California"])
+        m = optimal_query_layer(index, q)
+        assert m >= 1
+        assert index.query_distinct_at(q, m)
+
+    def test_colliding_everywhere_falls_back_to_zero(self, index):
+        # Student and Academics merge already at layer 1 and stay merged.
+        q = KeywordQuery(["Student", "Academics"])
+        if not any(
+            index.query_distinct_at(q, m)
+            for m in range(1, index.num_layers + 1)
+        ):
+            assert optimal_query_layer(index, q) == 0
+
+    def test_all_layer_costs_cover_every_layer(self, index):
+        model = QueryCostModel(index)
+        costs = model.all_layer_costs(KeywordQuery(["Student", "California"]))
+        assert [c.layer for c in costs] == list(
+            range(1, index.num_layers + 1)
+        )
+
+    def test_minimal_cost_wins(self, index):
+        model = QueryCostModel(index)
+        q = KeywordQuery(["Student", "California"])
+        best = model.optimal_layer(q)
+        candidates = [c for c in model.all_layer_costs(q) if c.distinct]
+        assert best == min(candidates, key=lambda c: (c.cost, c.layer)).layer

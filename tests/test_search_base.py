@@ -1,0 +1,72 @@
+"""Unit tests for the shared search interfaces."""
+
+import pytest
+
+from repro.search.base import Answer, KeywordQuery, top_k
+from repro.utils.errors import QueryError
+
+
+class TestKeywordQuery:
+    def test_keywords_preserved_in_order(self):
+        q = KeywordQuery(["b", "a"])
+        assert q.keywords == ("b", "a")
+        assert list(q) == ["b", "a"]
+        assert len(q) == 2
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(QueryError):
+            KeywordQuery(["a", "a"])
+
+    def test_generalized_applies_mapping(self):
+        q = KeywordQuery(["a", "b"]).generalized({"a": "X"})
+        assert q.keywords == ("X", "b")
+
+    def test_hashable(self):
+        assert hash(KeywordQuery(["a"])) == hash(KeywordQuery(["a"]))
+
+
+class TestAnswer:
+    def test_make_normalizes_members(self):
+        answer = Answer.make({"k": 3}, score=1.0, root=5, vertices=[7, 3])
+        assert answer.vertices == (3, 5, 7)
+        assert answer.keyword_nodes == (("k", 3),)
+        assert answer.keyword_node_map == {"k": 3}
+
+    def test_signature_ignores_path_vertices(self):
+        a = Answer.make({"k": 3}, score=1.0, root=5, vertices=[7])
+        b = Answer.make({"k": 3}, score=1.0, root=5, vertices=[8])
+        assert a.signature() == b.signature()
+
+    def test_edges_deduplicated_and_sorted(self):
+        answer = Answer.make(
+            {"k": 1}, score=0.0, edges=[(2, 1), (0, 1), (2, 1)]
+        )
+        assert answer.edges == ((0, 1), (2, 1))
+
+    def test_rootless_answer(self):
+        answer = Answer.make({"k": 1}, score=0.0)
+        assert answer.root is None
+        assert answer.vertices == (1,)
+
+
+class TestTopK:
+    def make(self, score, root):
+        return Answer.make({"k": root}, score=score, root=root)
+
+    def test_sorts_by_score_then_signature(self):
+        answers = [self.make(2, 1), self.make(1, 5), self.make(1, 2)]
+        result = top_k(answers, None)
+        assert [a.score for a in result] == [1, 1, 2]
+        assert result[0].root == 2  # tie broken by signature
+
+    def test_truncates(self):
+        answers = [self.make(s, s) for s in (3, 1, 2)]
+        assert len(top_k(answers, 2)) == 2
+
+    def test_none_returns_all(self):
+        answers = [self.make(s, s) for s in (3, 1)]
+        assert len(top_k(answers, None)) == 2

@@ -1,0 +1,153 @@
+"""Unit tests for traversal primitives."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.traversal import (
+    bfs_distances,
+    bfs_layers,
+    bidirectional_distance,
+    bounded_distance,
+    is_connected_subset,
+    pairwise_distances_within,
+    reachable_within,
+    shortest_path,
+)
+from repro.utils.errors import GraphError
+
+
+@pytest.fixture
+def chain() -> Graph:
+    """0 -> 1 -> 2 -> 3 -> 4."""
+    g = Graph()
+    for _ in range(5):
+        g.add_vertex("n")
+    for i in range(4):
+        g.add_edge(i, i + 1)
+    return g
+
+
+@pytest.fixture
+def diamond() -> Graph:
+    """0 -> {1, 2} -> 3."""
+    g = Graph()
+    for _ in range(4):
+        g.add_vertex("n")
+    g.add_edge(0, 1)
+    g.add_edge(0, 2)
+    g.add_edge(1, 3)
+    g.add_edge(2, 3)
+    return g
+
+
+class TestBfsDistances:
+    def test_forward_distances_on_chain(self, chain):
+        dist = bfs_distances(chain, [0])
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_backward_distances_on_chain(self, chain):
+        dist = bfs_distances(chain, [4], direction="backward")
+        assert dist == {4: 0, 3: 1, 2: 2, 1: 3, 0: 4}
+
+    def test_both_direction_treats_graph_undirected(self, chain):
+        dist = bfs_distances(chain, [2], direction="both")
+        assert dist == {0: 2, 1: 1, 2: 0, 3: 1, 4: 2}
+
+    def test_max_depth_truncates(self, chain):
+        dist = bfs_distances(chain, [0], max_depth=2)
+        assert set(dist) == {0, 1, 2}
+
+    def test_multi_source_takes_nearest(self, chain):
+        dist = bfs_distances(chain, [0, 3])
+        assert dist[4] == 1
+
+    def test_unknown_direction_raises(self, chain):
+        with pytest.raises(GraphError):
+            bfs_distances(chain, [0], direction="sideways")
+
+    def test_empty_sources(self, chain):
+        assert bfs_distances(chain, []) == {}
+
+
+class TestBfsLayers:
+    def test_layers_group_by_depth(self, diamond):
+        layers = bfs_layers(diamond, 0)
+        assert layers == [[0], [1, 2], [3]]
+
+    def test_layers_respect_max_depth(self, chain):
+        layers = bfs_layers(chain, 0, max_depth=1)
+        assert layers == [[0], [1]]
+
+
+class TestReachability:
+    def test_reachable_within_hops(self, chain):
+        assert reachable_within(chain, 0, 2) == {0, 1, 2}
+
+    def test_bounded_distance_found(self, diamond):
+        assert bounded_distance(diamond, 0, 3) == 2
+
+    def test_bounded_distance_respects_bound(self, chain):
+        assert bounded_distance(chain, 0, 4, max_depth=3) is None
+
+    def test_bounded_distance_self(self, chain):
+        assert bounded_distance(chain, 2, 2) == 0
+
+    def test_bounded_distance_unreachable(self, chain):
+        assert bounded_distance(chain, 4, 0) is None
+
+
+class TestBidirectional:
+    def test_matches_one_sided_bfs(self, diamond):
+        assert bidirectional_distance(diamond, 0, 3) == 2
+
+    def test_self_distance_zero(self, chain):
+        assert bidirectional_distance(chain, 1, 1) == 0
+
+    def test_unreachable_returns_none(self, chain):
+        assert bidirectional_distance(chain, 4, 0) is None
+
+    def test_respects_max_depth(self, chain):
+        assert bidirectional_distance(chain, 0, 4, max_depth=3) is None
+        assert bidirectional_distance(chain, 0, 4, max_depth=4) == 4
+
+    def test_agrees_with_bfs_on_random_graph(self, random_graph_factory):
+        g = random_graph_factory(num_vertices=40, num_edges=120, seed=5)
+        for s in range(0, 40, 7):
+            for t in range(0, 40, 11):
+                expected = bounded_distance(g, s, t)
+                assert bidirectional_distance(g, s, t) == expected
+
+
+class TestShortestPath:
+    def test_path_on_chain(self, chain):
+        assert shortest_path(chain, 0, 3) == [0, 1, 2, 3]
+
+    def test_path_to_self(self, chain):
+        assert shortest_path(chain, 2, 2) == [2]
+
+    def test_no_path_returns_none(self, chain):
+        assert shortest_path(chain, 3, 0) is None
+
+    def test_backward_path(self, chain):
+        assert shortest_path(chain, 3, 0, direction="backward") == [3, 2, 1, 0]
+
+    def test_path_respects_max_depth(self, chain):
+        assert shortest_path(chain, 0, 4, max_depth=2) is None
+
+
+class TestConnectivityAndPairs:
+    def test_connected_subset(self, diamond):
+        assert is_connected_subset(diamond, [0, 1, 3])
+        assert is_connected_subset(diamond, [])
+
+    def test_disconnected_subset(self, chain):
+        assert not is_connected_subset(chain, [0, 4, 2][:2])
+
+    def test_pairwise_distances(self, diamond):
+        dists = pairwise_distances_within(diamond, [0, 3])
+        assert dists[(0, 3)] == 2
+        assert dists[(3, 0)] is None
+
+    def test_pairwise_respects_bound(self, chain):
+        dists = pairwise_distances_within(chain, [0, 4], max_depth=3)
+        assert dists[(0, 4)] is None

@@ -1,0 +1,88 @@
+"""Unit tests for the entity typing fallback (Sec. 6.1.2 / Appendix A.2)."""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.ontology.ontology import OntologyGraph
+from repro.ontology.typing import TypeAssigner
+from repro.utils.errors import OntologyError
+
+
+@pytest.fixture
+def ontology() -> OntologyGraph:
+    ont = OntologyGraph()
+    ont.add_subtype("Player", "Person")
+    ont.add_subtype("Club", "Organization")
+    return ont
+
+
+class TestResolve:
+    def test_direct_match_passes_through(self, ontology):
+        assigner = TypeAssigner(ontology)
+        assert assigner.resolve("Player") == "Player"
+
+    def test_mapping_is_used(self, ontology):
+        assigner = TypeAssigner(ontology, mapping={"striker": "Player"})
+        assert assigner.resolve("striker") == "Player"
+
+    def test_fallback_is_topmost_root(self, ontology):
+        assigner = TypeAssigner(ontology)
+        # Roots are Organization and Person; lexicographically first wins.
+        assert assigner.resolve("unknown-entity") == "Organization"
+
+    def test_explicit_fallback(self, ontology):
+        assigner = TypeAssigner(ontology, fallback_type="Person")
+        assert assigner.resolve("unknown-entity") == "Person"
+
+    def test_invalid_fallback_raises(self, ontology):
+        with pytest.raises(OntologyError):
+            TypeAssigner(ontology, fallback_type="ghost")
+
+    def test_invalid_mapping_target_raises(self, ontology):
+        with pytest.raises(OntologyError):
+            TypeAssigner(ontology, mapping={"x": "ghost"})
+
+    def test_empty_ontology_raises(self):
+        with pytest.raises(OntologyError):
+            TypeAssigner(OntologyGraph())
+
+
+class TestApply:
+    def test_apply_rewrites_unknown_labels(self, ontology):
+        g = Graph()
+        g.add_vertex("Player")
+        g.add_vertex("Lionel Messi")
+        assigner = TypeAssigner(ontology, mapping={"Lionel Messi": "Player"})
+        report = assigner.apply(g)
+        assert g.label(1) == "Player"
+        assert report.matched_directly == 1
+        assert report.matched_via_mapping == 1
+        assert report.fallback == 0
+        assert report.coverage == 1.0
+
+    def test_apply_preserves_original_label_as_name(self, ontology):
+        g = Graph()
+        g.add_vertex("Some Unknown Thing")
+        TypeAssigner(ontology).apply(g)
+        assert g.name(0) == "Some Unknown Thing"
+
+    def test_apply_does_not_overwrite_existing_name(self, ontology):
+        g = Graph()
+        g.add_vertex("Some Unknown Thing", name="keep me")
+        TypeAssigner(ontology).apply(g)
+        assert g.name(0) == "keep me"
+
+    def test_coverage_counts_distinct_labels(self, ontology):
+        g = Graph()
+        for _ in range(3):
+            g.add_vertex("Player")
+        g.add_vertex("mystery")
+        report = TypeAssigner(ontology).apply(g)
+        # 2 distinct labels: Player (matched) + mystery (fallback).
+        assert report.total == 2
+        assert report.coverage == 0.5
+
+    def test_empty_graph_report(self, ontology):
+        report = TypeAssigner(ontology).apply(Graph())
+        assert report.total == 0
+        assert report.coverage == 0.0

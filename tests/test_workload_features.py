@@ -1,0 +1,81 @@
+"""Tests for workload answer-richness and semantic-diversity filters."""
+
+import pytest
+
+from repro.datasets.knowledge import yago_like
+from repro.datasets.workloads import benchmark_queries, generate_queries
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.utils.errors import QueryError
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return yago_like(scale=0.2)
+
+
+class TestAnswerRichness:
+    def test_min_answers_filter_holds(self, dataset):
+        specs = generate_queries(
+            dataset.graph, [2, 2], seed=4, min_answers=5, answer_d_max=4
+        )
+        probe = BackwardKeywordSearch(d_max=4, k=None).bind(dataset.graph)
+        for spec in specs:
+            assert len(probe.search(spec.query)) >= 5
+
+    def test_zero_min_answers_skips_probe(self, dataset):
+        specs = generate_queries(dataset.graph, [2], seed=4, min_answers=0)
+        assert len(specs) == 1
+
+    def test_impossible_answer_requirement_raises(self, dataset):
+        with pytest.raises(QueryError):
+            generate_queries(
+                dataset.graph, [6], seed=4, min_answers=10**6
+            )
+
+
+class TestSemanticDiversity:
+    def test_keywords_have_distinct_parents(self, dataset):
+        specs = generate_queries(
+            dataset.graph, [3, 4], seed=4, ontology=dataset.ontology
+        )
+        for spec in specs:
+            parents = []
+            for keyword in spec.keywords:
+                if keyword in dataset.ontology:
+                    supers = dataset.ontology.direct_supertypes(keyword)
+                    parents.append(sorted(supers)[0] if supers else keyword)
+            assert len(parents) == len(set(parents))
+
+    def test_diverse_queries_stay_distinct_at_layer_one(self, dataset):
+        """Distinct parents imply Def. 4.1's condition 1 after one step."""
+        from repro.core.cost import CostParams
+        from repro.core.index import BiGIndex
+
+        specs = generate_queries(
+            dataset.graph, [2, 3], seed=9, ontology=dataset.ontology
+        )
+        index = BiGIndex.build(
+            dataset.graph,
+            dataset.ontology,
+            num_layers=1,
+            cost_params=CostParams(num_samples=10),
+        )
+        for spec in specs:
+            assert index.query_distinct_at(spec.query, 1)
+
+
+class TestStandardWorkloadLadder:
+    def test_standard_workload_produces_full_mix(self, dataset):
+        from repro.bench.harness import standard_workload
+        from repro.datasets.workloads import BENCHMARK_ARITIES
+
+        specs = standard_workload(dataset)
+        assert tuple(len(s.keywords) for s in specs) == BENCHMARK_ARITIES
+
+    def test_workload_is_deterministic(self, dataset):
+        from repro.bench.harness import standard_workload
+
+        a = standard_workload(dataset, seed=3)
+        b = standard_workload(dataset, seed=3)
+        assert [s.keywords for s in a] == [s.keywords for s in b]
