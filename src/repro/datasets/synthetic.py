@@ -93,6 +93,60 @@ def generate_synthetic_graph(
     return graph
 
 
+def verification_ontology() -> OntologyGraph:
+    """The two-level toy ontology used by the verification corpus.
+
+    ``A, B -> AB``, ``C, D -> CD``, ``E -> EF`` and everything to ``Top`` —
+    small enough that collisions (Def. 4.1) and non-collisions both occur
+    among two-keyword queries over the leaf alphabet.
+    """
+    ontology = OntologyGraph()
+    for subtype, supertype in [
+        ("A", "AB"),
+        ("B", "AB"),
+        ("C", "CD"),
+        ("D", "CD"),
+        ("E", "EF"),
+        ("AB", "Top"),
+        ("CD", "Top"),
+        ("EF", "Top"),
+    ]:
+        ontology.add_subtype(subtype, supertype)
+    return ontology
+
+
+def verification_corpus(
+    quick: bool = True, seed: int = 0
+) -> List[Tuple[str, Graph, OntologyGraph]]:
+    """Deterministic ``(name, graph, ontology)`` cases for ``repro verify``.
+
+    The quick corpus is two small random graphs over the toy ontology —
+    big enough to exercise multi-layer summarization, small enough for the
+    exhaustive oracle comparisons CI runs on every push.  The full corpus
+    adds the scaled ``synt-1k`` benchmark graph with its generated
+    ontology.
+    """
+    ontology = verification_ontology()
+    cases: List[Tuple[str, Graph, OntologyGraph]] = [
+        (
+            "verify-toy-a",
+            generate_synthetic_graph(40, 90, ontology, seed=seed),
+            ontology,
+        ),
+        (
+            "verify-toy-b",
+            generate_synthetic_graph(
+                60, 150, ontology, seed=seed + 1, zipf_exponent=0.0
+            ),
+            ontology,
+        ),
+    ]
+    if not quick:
+        graph, synt_ontology = synthetic_dataset("synt-1k", seed=seed)
+        cases.append(("synt-1k", graph, synt_ontology))
+    return cases
+
+
 def synthetic_dataset(
     name: str,
     seed: int = 0,

@@ -247,6 +247,11 @@ def nearest_labeled_forward(
     candidate answer root touches a small ball); returns ``None`` if any
     keyword is unreachable within ``d_max``.  Result maps each keyword to
     ``(distance, vertex)``.
+
+    Ties are canonical: among equal-distance matches of a keyword the
+    smallest vertex id wins, so direct evaluation and BiG-index
+    root-verification produce identical answer signatures (the
+    differential oracle compares them vertex-for-vertex).
     """
     found: Dict[str, Tuple[int, int]] = {}
     remaining = set(keywords)
@@ -264,11 +269,16 @@ def nearest_labeled_forward(
                 if w in dist:
                     continue
                 dist[w] = depth + 1
-                label = graph.label(w)
-                if label in remaining:
-                    found[label] = (depth + 1, w)
-                    remaining.discard(label)
                 next_frontier.append(w)
+        # Resolve keyword matches after the whole level is settled so the
+        # choice does not depend on adjacency-list order.
+        for w in next_frontier:
+            label = graph.label(w)
+            if label in remaining:
+                best = found.get(label)
+                if best is None or w < best[1]:
+                    found[label] = (depth + 1, w)
+        remaining -= found.keys()
         frontier = next_frontier
         depth += 1
     if remaining:

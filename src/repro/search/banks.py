@@ -64,16 +64,29 @@ class _BackwardExpansion:
         return not self._frontier or self.depth >= self.d_max
 
     def expand_level(self) -> List[int]:
-        """Advance one BFS level backward; returns the newly settled vertices."""
+        """Advance one BFS level backward; returns the newly settled vertices.
+
+        Origins are canonical: when several frontier vertices reach the
+        same new vertex, the smallest origin wins, so every equal-distance
+        tie resolves to the minimum source vertex id (by induction each
+        frontier vertex already carries its minimal origin).  Cross-mode
+        answer comparison relies on this determinism.
+        """
         if self.exhausted:
             return []
-        next_frontier: List[int] = []
+        reached: Dict[int, int] = {}
         for v in self._frontier:
+            origin = self.origin[v]
             for u in self.graph.in_neighbors(v):
-                if u not in self.dist:
-                    self.dist[u] = self.depth + 1
-                    self.origin[u] = self.origin[v]
-                    next_frontier.append(u)
+                if u in self.dist:
+                    continue
+                prev = reached.get(u)
+                if prev is None or origin < prev:
+                    reached[u] = origin
+        next_frontier = sorted(reached)
+        for u in next_frontier:
+            self.dist[u] = self.depth + 1
+            self.origin[u] = reached[u]
         self._frontier = next_frontier
         self.depth += 1
         return next_frontier

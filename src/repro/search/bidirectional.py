@@ -85,19 +85,26 @@ class BidirectionalSearcher(GraphSearcher):
         while depth < self.d_max:
             depth += 1
             progressed = False
-            # Backward step: grow each keyword frontier one level.
+            # Backward step: grow each keyword frontier one level.  The
+            # nearest-origin choice is canonical (smallest origin wins on
+            # equal distance) so answers match bkws' signature-for-signature.
             for keyword in keywords:
                 frontier = frontiers[keyword]
-                next_frontier: List[Tuple[int, int]] = []
+                reached: Dict[int, int] = {}
                 for dist, vertex in frontier:
                     origin = settled[keyword][vertex][1]
                     for pred in self.graph.in_neighbors(vertex):
                         if pred in settled[keyword]:
                             continue
-                        settled[keyword][pred] = (dist + 1, origin)
-                        next_frontier.append((dist + 1, pred))
-                        touch(pred, keyword)
-                        progressed = True
+                        prev = reached.get(pred)
+                        if prev is None or origin < prev:
+                            reached[pred] = origin
+                next_frontier: List[Tuple[int, int]] = []
+                for pred in sorted(reached):
+                    settled[keyword][pred] = (depth, reached[pred])
+                    next_frontier.append((depth, pred))
+                    touch(pred, keyword)
+                    progressed = True
                 frontiers[keyword] = next_frontier
             # Forward step: confirm the hottest candidates as roots by a
             # forward probe bounded by the remaining budget.

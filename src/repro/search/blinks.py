@@ -64,19 +64,27 @@ def distance_sum_score(distances: Mapping[str, int]) -> float:
 def _backward_distance_map(
     graph: Graph, sources: Set[int], d_max: int
 ) -> DistanceMap:
-    """Multi-source backward BFS tracking the nearest source per vertex."""
+    """Multi-source backward BFS tracking the nearest source per vertex.
+
+    The nearest source is canonical — on equal distance the smallest
+    origin id wins — so index entries are independent of adjacency order.
+    """
     result: DistanceMap = {v: (0, v) for v in sources}
     frontier = sorted(sources)
     depth = 0
     while frontier and depth < d_max:
-        next_frontier: List[int] = []
+        reached: Dict[int, int] = {}
         for v in frontier:
             origin = result[v][1]
             for u in graph.in_neighbors(v):
-                if u not in result:
-                    result[u] = (depth + 1, origin)
-                    next_frontier.append(u)
-        frontier = next_frontier
+                if u in result:
+                    continue
+                prev = reached.get(u)
+                if prev is None or origin < prev:
+                    reached[u] = origin
+        frontier = sorted(reached)
+        for u in frontier:
+            result[u] = (depth + 1, reached[u])
         depth += 1
     return result
 
@@ -264,15 +272,21 @@ class _LazyBackwardCursor:
             self.depth += 1
             return level
         level = self._levels.get(self.depth, [])
-        # Expand one step backward to prepare the next level.
+        # Expand one step backward to prepare the next level; the nearest
+        # origin is canonical (smallest id on equal distance).
         if self.depth < self.d_max:
-            next_frontier: List[int] = []
+            reached: Dict[int, int] = {}
             for v in self._frontier:
                 origin = self.settled[v][1]
                 for u in self.graph.in_neighbors(v):
-                    if u not in self.settled:
-                        self.settled[u] = (self.depth + 1, origin)
-                        next_frontier.append(u)
+                    if u in self.settled:
+                        continue
+                    prev = reached.get(u)
+                    if prev is None or origin < prev:
+                        reached[u] = origin
+            next_frontier = sorted(reached)
+            for u in next_frontier:
+                self.settled[u] = (self.depth + 1, reached[u])
             self._frontier = next_frontier
             self._levels[self.depth + 1] = next_frontier
         else:

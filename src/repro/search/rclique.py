@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -312,15 +313,20 @@ class RClique(KeywordSearchAlgorithm):
         # verification during BiG-index answer generation reuses it
         # (distance checks become O(1) lookups, as in the original system
         # where the neighbor list is the algorithm's persistent index).
-        self._index_cache: Dict[int, NeighborIndex] = {}
+        # Keyed by weak reference: an ``id()``-keyed dict would hand the
+        # distances of a garbage-collected graph to whatever new graph
+        # the allocator places at the same address.
+        self._index_cache: "weakref.WeakKeyDictionary[Graph, NeighborIndex]" = (
+            weakref.WeakKeyDictionary()
+        )
 
     def _index_for(self, graph: Graph) -> Optional[NeighborIndex]:
         """The cached neighbor index for ``graph``, if it was bound."""
-        return self._index_cache.get(id(graph))
+        return self._index_cache.get(graph)
 
     def bind(self, graph: Graph) -> RCliqueSearcher:
         """Build the neighbor index (may raise NeighborIndexTooLarge)."""
-        index = self._index_cache.get(id(graph))
+        index = self._index_cache.get(graph)
         if index is None:
             index = NeighborIndex(
                 graph,
@@ -328,7 +334,7 @@ class RClique(KeywordSearchAlgorithm):
                 direction=self.direction,
                 max_entries=self.max_index_entries,
             )
-            self._index_cache[id(graph)] = index
+            self._index_cache[graph] = index
         return RCliqueSearcher(graph, index, self.radius, self.k)
 
     def verify(

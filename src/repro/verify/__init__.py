@@ -1,0 +1,43 @@
+"""Differential correctness harness for the BiG-index.
+
+The paper's central claim (Lemma 4.1 / Prop. 5.1-5.2) is that evaluating a
+query *through* the generalized hierarchy returns exactly the answers a
+direct search on the data graph would.  This package checks that claim
+systematically, three ways:
+
+* :mod:`repro.verify.oracle` — a **differential oracle** that runs every
+  plugged algorithm both directly on ``G`` and through
+  :class:`~repro.core.evaluator.HierarchicalEvaluator` at every layer and
+  answer-generation mode, and diffs the results.
+* :mod:`repro.verify.auditor` — a **bisimulation invariant auditor** that
+  re-derives each layer's defining equations (partition validity, ``chi`` /
+  ``Spec`` round-trips, label and path preservation, size accounting) and
+  reports any violation.
+* :mod:`repro.verify.fuzzer` — a **metamorphic fuzzer** that applies random
+  maintenance sequences (edge inserts/deletes, ontology edits) and asserts
+  the incrementally maintained index stays equivalent to a from-scratch
+  rebuild, shrinking failing sequences to minimal reproducers.
+
+:mod:`repro.verify.runner` packages the three into the ``repro-bigindex
+verify`` CLI subcommand that CI runs on every push.
+"""
+
+from repro.verify.auditor import AuditReport, Violation, audit_index
+from repro.verify.fuzzer import FuzzFailure, FuzzReport, fuzz_index, shrink_ops
+from repro.verify.oracle import DifferentialOracle, Divergence, OracleReport
+from repro.verify.runner import VerifyReport, run_verification
+
+__all__ = [
+    "AuditReport",
+    "DifferentialOracle",
+    "Divergence",
+    "FuzzFailure",
+    "FuzzReport",
+    "OracleReport",
+    "VerifyReport",
+    "Violation",
+    "audit_index",
+    "fuzz_index",
+    "run_verification",
+    "shrink_ops",
+]

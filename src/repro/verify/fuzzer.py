@@ -1,0 +1,328 @@
+"""Metamorphic fuzzer for BiG-index incremental maintenance.
+
+The maintenance section of the paper (Sec. 3.2) allows the index to drift
+away from minimality under updates but never away from *correctness*: after
+any sequence of edge insertions, edge deletions and ontology edits, the
+incrementally maintained hierarchy must stay a valid bisimulation hierarchy
+over the current data graph and must answer every query exactly like a
+from-scratch :meth:`~repro.core.index.BiGIndex.rebuild` (the metamorphic
+relation ``incremental(ops) == rebuild(apply(ops))``).
+
+The fuzzer generates seed-reproducible random operation sequences, applies
+them through the incremental maintenance entry points, and checks:
+
+1. the :mod:`~repro.verify.auditor` invariants still hold on the
+   incrementally maintained index;
+2. a from-scratch rebuild over the same base graph and configurations is
+   *refined* by the incremental partitions (incremental may be finer,
+   never incompatible), and itself passes the audit with minimality;
+3. the :mod:`~repro.verify.oracle` still sees exact query agreement on a
+   set of probe queries.
+
+A failing sequence is shrunk ddmin-style to a minimal reproducer: each op
+is tentatively dropped and the remainder replayed from a fresh index, so
+the reported sequence is 1-minimal with respect to the failure.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.config import Configuration
+from repro.core.index import BiGIndex, Layer
+from repro.search.base import KeywordQuery, KeywordSearchAlgorithm
+from repro.verify.auditor import audit_index
+from repro.verify.oracle import DifferentialOracle
+
+#: One maintenance operation: ``("insert", u, v)``, ``("delete", u, v)`` or
+#: ``("drop-ontology", subtype, supertype)``.
+Op = Tuple
+
+#: Builds a fresh, deterministic index for replay during shrinking.
+IndexFactory = Callable[[], BiGIndex]
+
+
+def apply_op(index: BiGIndex, op: Op) -> bool:
+    """Apply one operation through the incremental maintenance API.
+
+    Returns whether the operation had an effect.  Inapplicable operations
+    (re-inserting a present edge, deleting an absent one) are no-ops, which
+    keeps replaying a *subsequence* of a recorded run well defined during
+    shrinking.
+    """
+    kind = op[0]
+    if kind == "insert":
+        _, u, v = op
+        if index.base_graph.has_edge(u, v):
+            return False
+        index.insert_edge(u, v)
+        return True
+    if kind == "delete":
+        _, u, v = op
+        if not index.base_graph.has_edge(u, v):
+            return False
+        index.delete_edge(u, v)
+        return True
+    if kind == "drop-ontology":
+        _, subtype, supertype = op
+        if not any(
+            layer.config.mappings.get(subtype) == supertype
+            for layer in index.layers
+        ):
+            return False
+        index.remove_ontology_edge(subtype, supertype)
+        return True
+    raise ValueError(f"unknown fuzz op kind: {kind!r}")
+
+
+def rebuilt_reference(index: BiGIndex) -> BiGIndex:
+    """From-scratch rebuild over ``index``'s current graph and configs.
+
+    Shares the base graph (nothing below mutates it) so base vertex ids are
+    directly comparable between the two hierarchies.
+    """
+    reference = BiGIndex(
+        index.base_graph, index.ontology, direction=index.direction
+    )
+    for layer in index.layers:
+        reference.layers.append(
+            Layer(
+                config=Configuration(layer.config.mappings),
+                graph=layer.graph,
+                parent_of=list(layer.parent_of),
+                extent=[list(members) for members in layer.extent],
+            )
+        )
+    reference.rebuild()
+    return reference
+
+
+def check_equivalence(
+    index: BiGIndex,
+    algorithms: Sequence[KeywordSearchAlgorithm] = (),
+    queries: Sequence[KeywordQuery] = (),
+) -> List[str]:
+    """All ways the incrementally maintained ``index`` differs from a rebuild.
+
+    Returns a list of human-readable problems; empty means equivalent.
+    """
+    problems: List[str] = []
+    audit = audit_index(index)
+    if not audit.ok:
+        problems.extend(f"incremental audit: {v}" for v in audit.violations)
+    reference = rebuilt_reference(index)
+    ref_audit = audit_index(reference, expect_minimal=True)
+    if not ref_audit.ok:
+        problems.extend(f"rebuild audit: {v}" for v in ref_audit.violations)
+    if index.num_layers != reference.num_layers:
+        problems.append(
+            f"layer count diverged: incremental h={index.num_layers}, "
+            f"rebuild h={reference.num_layers}"
+        )
+    else:
+        problems.extend(_refinement_problems(index, reference))
+    if algorithms and queries:
+        oracle = DifferentialOracle(index)
+        report = oracle.run(list(algorithms), list(queries))
+        if not report.ok:
+            problems.extend(f"oracle: {d}" for d in report.divergences)
+    return problems
+
+
+def _refinement_problems(index: BiGIndex, reference: BiGIndex) -> List[str]:
+    """Incremental partitions must refine the rebuilt (minimal) partitions.
+
+    Two base vertices the incremental index keeps together must be
+    bisimilar, hence together in the maximal bisimulation the rebuild
+    computes; the converse may fail (legitimate drift).
+    """
+    problems: List[str] = []
+    for m in range(1, index.num_layers + 1):
+        block_to_ref = {}
+        for v in index.base_graph.vertices():
+            block = index.chi(v, m)
+            ref_block = reference.chi(v, m)
+            seen = block_to_ref.setdefault(block, ref_block)
+            if seen != ref_block:
+                problems.append(
+                    f"layer {m}: incremental supernode {block} mixes rebuild "
+                    f"supernodes {seen} and {ref_block} (vertex {v}) — "
+                    "incremental partition does not refine the rebuild"
+                )
+                break
+    return problems
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One failing sequence with its minimal reproducer."""
+
+    seed: int
+    sequence: int
+    ops: Tuple[Op, ...]
+    shrunk_ops: Tuple[Op, ...]
+    problems: Tuple[str, ...]
+
+    def format(self) -> str:
+        lines = [
+            f"sequence {self.sequence} (seed {self.seed}) failed after "
+            f"{len(self.ops)} op(s); minimal reproducer "
+            f"({len(self.shrunk_ops)} op(s)):"
+        ]
+        lines.extend(f"    {op!r}" for op in self.shrunk_ops)
+        lines.append(
+            f"  reproduce with: fuzz_index(..., seed={self.seed}, "
+            f"sequences={self.sequence + 1}) or replay the ops above"
+        )
+        lines.extend(f"  problem: {p}" for p in self.problems[:10])
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzzing campaign."""
+
+    seed: int = 0
+    sequences_run: int = 0
+    ops_applied: int = 0
+    failures: List[FuzzFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"fuzz: OK ({self.sequences_run} sequence(s), "
+                f"{self.ops_applied} op(s), seed {self.seed})"
+            )
+        lines = [
+            f"fuzz: {len(self.failures)} failing sequence(s) of "
+            f"{self.sequences_run} (seed {self.seed})"
+        ]
+        lines.extend("  " + f.format().replace("\n", "\n  ") for f in self.failures)
+        return "\n".join(lines)
+
+
+def _random_op(rng: random.Random, index: BiGIndex) -> Optional[Op]:
+    """Draw one applicable operation, or ``None`` if none can be found."""
+    n = index.base_graph.num_vertices
+    ontology_edges = sorted(
+        {
+            (subtype, supertype)
+            for layer in index.layers
+            for subtype, supertype in layer.config.mappings.items()
+        }
+    )
+    kinds = ["insert", "insert", "delete", "delete"]
+    if ontology_edges:
+        kinds.append("drop-ontology")
+    for _ in range(20):
+        kind = rng.choice(kinds)
+        if kind == "insert":
+            u = rng.randrange(n)
+            v = rng.randrange(n)
+            if u != v and not index.base_graph.has_edge(u, v):
+                return ("insert", u, v)
+        elif kind == "delete":
+            edges = sorted(index.base_graph.edges())
+            if edges:
+                return ("delete", *rng.choice(edges))
+        else:
+            return ("drop-ontology", *rng.choice(ontology_edges))
+    return None
+
+
+def _replay_problems(
+    index_factory: IndexFactory,
+    ops: Sequence[Op],
+    algorithms: Sequence[KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+) -> List[str]:
+    index = index_factory()
+    for op in ops:
+        apply_op(index, op)
+    return check_equivalence(index, algorithms, queries)
+
+
+def shrink_ops(
+    index_factory: IndexFactory,
+    ops: Sequence[Op],
+    algorithms: Sequence[KeywordSearchAlgorithm] = (),
+    queries: Sequence[KeywordQuery] = (),
+) -> List[Op]:
+    """Greedy ddmin: drop ops one at a time while the failure persists."""
+    current = list(ops)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for i in range(len(current)):
+            candidate = current[:i] + current[i + 1 :]
+            if _replay_problems(index_factory, candidate, algorithms, queries):
+                current = candidate
+                changed = True
+                break
+    return current
+
+
+def fuzz_index(
+    index_factory: IndexFactory,
+    algorithms: Sequence[KeywordSearchAlgorithm] = (),
+    queries: Sequence[KeywordQuery] = (),
+    sequences: int = 3,
+    ops_per_sequence: int = 6,
+    seed: int = 0,
+    shrink: bool = True,
+) -> FuzzReport:
+    """Run a fuzzing campaign against incremental maintenance.
+
+    Parameters
+    ----------
+    index_factory:
+        Zero-argument callable producing a *fresh deterministic* index;
+        called once per sequence and once per shrinking replay.
+    algorithms / queries:
+        Probe workload handed to the differential oracle after each
+        sequence (empty disables the oracle leg, keeping audit + rebuild
+        refinement).
+    sequences / ops_per_sequence:
+        Campaign size.
+    seed:
+        Master seed; sequence ``i`` uses ``random.Random(f"{seed}:{i}")``
+        so any failure reproduces from (seed, sequence index) alone.
+    shrink:
+        Minimize failing sequences before reporting.
+    """
+    report = FuzzReport(seed=seed)
+    for sequence in range(sequences):
+        rng = random.Random(f"{seed}:{sequence}")
+        index = index_factory()
+        ops: List[Op] = []
+        for _ in range(ops_per_sequence):
+            op = _random_op(rng, index)
+            if op is None:
+                break
+            apply_op(index, op)
+            ops.append(op)
+        report.sequences_run += 1
+        report.ops_applied += len(ops)
+        problems = check_equivalence(index, algorithms, queries)
+        if problems:
+            shrunk = (
+                shrink_ops(index_factory, ops, algorithms, queries)
+                if shrink
+                else list(ops)
+            )
+            report.failures.append(
+                FuzzFailure(
+                    seed=seed,
+                    sequence=sequence,
+                    ops=tuple(ops),
+                    shrunk_ops=tuple(shrunk),
+                    problems=tuple(problems),
+                )
+            )
+    return report

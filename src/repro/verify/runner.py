@@ -1,0 +1,175 @@
+"""Verification campaign runner behind ``repro-bigindex verify``.
+
+Ties the three legs of the harness together over a deterministic corpus
+(:func:`~repro.datasets.synthetic.verification_corpus`): for each case it
+builds a fresh index, audits the hierarchy invariants (with minimality,
+since the build is from scratch), cross-checks every plugged algorithm
+against direct evaluation with the differential oracle — both exhaustively
+and under a top-k cutoff — and fuzzes incremental maintenance against
+rebuilds.  ``--quick`` keeps the corpus and fuzz budget CI-sized.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.datasets.synthetic import verification_corpus
+from repro.graph.digraph import Graph
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.search.bidirectional import BidirectionalSearch
+from repro.search.blinks import Blinks
+from repro.search.rclique import RClique
+from repro.verify.auditor import AuditReport, audit_index
+from repro.verify.fuzzer import FuzzReport, fuzz_index
+from repro.verify.oracle import DifferentialOracle, OracleReport
+
+#: Distance bound shared by the rooted probe algorithms.
+_D_MAX = 3
+#: r-clique is exhaustive in the keyword-combination count; keep it small.
+_RCLIQUE_RADIUS = 2
+
+
+@dataclass
+class CaseResult:
+    """All harness outcomes for one corpus case."""
+
+    name: str
+    audit: AuditReport
+    oracle: OracleReport
+    fuzz: Optional[FuzzReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.audit.ok
+            and self.oracle.ok
+            and (self.fuzz is None or self.fuzz.ok)
+        )
+
+    def format(self) -> str:
+        status = "OK" if self.ok else "FAIL"
+        lines = [f"[{status}] {self.name}"]
+        for part in (self.audit, self.oracle, self.fuzz):
+            if part is not None:
+                lines.append("  " + part.format().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of one :func:`run_verification` campaign."""
+
+    quick: bool = True
+    seed: int = 0
+    cases: List[CaseResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(case.ok for case in self.cases)
+
+    def format(self) -> str:
+        mode = "quick" if self.quick else "full"
+        lines = [
+            f"verification ({mode}, seed {self.seed}): "
+            f"{'PASS' if self.ok else 'FAIL'}"
+        ]
+        lines.extend(case.format() for case in self.cases)
+        return "\n".join(lines)
+
+
+def probe_queries(graph: Graph, count: int = 4) -> List[KeywordQuery]:
+    """Deterministic keyword queries over ``graph``'s most frequent labels.
+
+    Frequent labels make the searches non-trivial (many matches, many
+    candidate roots); layers where the generalized keywords collide are
+    skipped by the oracle itself, so collisions are exercised too.
+    """
+    histogram = graph.label_histogram()
+    labels = sorted(histogram, key=lambda label: (-histogram[label], label))
+    labels = labels[: max(3, min(count, len(labels)))]
+    queries = [
+        KeywordQuery(pair) for pair in itertools.combinations(labels[:3], 2)
+    ]
+    if len(labels) >= 3:
+        queries.append(KeywordQuery(labels[:3]))
+    return queries
+
+
+def run_verification(
+    quick: bool = True,
+    seed: int = 0,
+    num_layers: int = 2,
+    fuzz_sequences: Optional[int] = None,
+    ops_per_sequence: Optional[int] = None,
+) -> VerifyReport:
+    """Run the full harness over the deterministic corpus.
+
+    Parameters
+    ----------
+    quick:
+        Use the CI-sized corpus and fuzz budget.
+    seed:
+        Master seed for corpus generation and fuzzing; any failure report
+        quotes it, so re-running with the same seed reproduces exactly.
+    num_layers:
+        Layers per built index.
+    fuzz_sequences / ops_per_sequence:
+        Override the fuzz budget (defaults scale with ``quick``).
+    """
+    if fuzz_sequences is None:
+        fuzz_sequences = 2 if quick else 5
+    if ops_per_sequence is None:
+        ops_per_sequence = 5 if quick else 10
+    report = VerifyReport(quick=quick, seed=seed)
+    for case_index, (name, graph, ontology) in enumerate(
+        verification_corpus(quick=quick, seed=seed)
+    ):
+        def build(graph=graph, ontology=ontology) -> BiGIndex:
+            # Copy per build: fuzz sequences mutate the base graph.
+            return BiGIndex.build(
+                graph.copy(share_label_table=True),
+                ontology,
+                num_layers=num_layers,
+                cost_params=CostParams(exact=True),
+            )
+
+        index = build()
+        audit = audit_index(index, expect_minimal=True)
+
+        queries = probe_queries(graph)
+        algorithms = [
+            BackwardKeywordSearch(d_max=_D_MAX),
+            BidirectionalSearch(d_max=_D_MAX),
+            Blinks(d_max=_D_MAX),
+        ]
+        if case_index == 0:
+            # Exhaustive in keyword combinations — smallest case only.
+            # k=None: full enumeration is the strongest check, and the
+            # paper's default k=10 would make tie sets at the cutoff an
+            # (uninteresting) source of set differences.
+            algorithms.append(RClique(radius=_RCLIQUE_RADIUS, k=None))
+        oracle = DifferentialOracle(index)
+        oracle_report = oracle.run(algorithms, queries)
+        oracle_report.merge(oracle.run(algorithms[:1], queries, k=2))
+
+        fuzz_report: Optional[FuzzReport] = None
+        if quick or case_index == 0:
+            fuzz_report = fuzz_index(
+                build,
+                algorithms=algorithms[:1],
+                queries=queries[:2],
+                sequences=fuzz_sequences,
+                ops_per_sequence=ops_per_sequence,
+                seed=seed,
+            )
+        report.cases.append(
+            CaseResult(
+                name=name, audit=audit, oracle=oracle_report, fuzz=fuzz_report
+            )
+        )
+    return report

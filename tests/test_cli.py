@@ -103,3 +103,18 @@ class TestBuildStatsQuery:
             ["stats", index_dir, "--ontology-from", "yago-like",
              "--scale", "0.05"]
         ) == 1
+
+
+class TestVerifyCommand:
+    def test_quick_harness_passes(self, capsys):
+        assert main(["verify", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "audit: OK" in out
+        assert "oracle: OK" in out
+        assert "fuzz: OK" in out
+
+    def test_seed_is_reported(self, capsys):
+        assert main(["verify", "--quick", "--seed", "3",
+                     "--fuzz-sequences", "1", "--fuzz-ops", "3"]) == 0
+        assert "seed 3" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""Auditor tests: a clean index passes; each corruption class is caught."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.verify import audit_index
+
+EXACT = CostParams(exact=True)
+
+
+@pytest.fixture
+def index(small_ontology, random_graph_factory):
+    graph = random_graph_factory(seed=2)
+    return BiGIndex.build(graph, small_ontology, num_layers=2, cost_params=EXACT)
+
+
+class TestCleanIndex:
+    def test_fresh_build_passes_with_minimality(self, index):
+        report = audit_index(index, expect_minimal=True)
+        assert report.ok, report.format()
+        assert report.checks_run > 0
+        assert "OK" in report.format()
+
+    def test_fig1_index_passes(self, fig1_graph, fig2_ontology):
+        index = BiGIndex.build(
+            fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
+        )
+        report = audit_index(index, expect_minimal=True)
+        assert report.ok, report.format()
+
+
+class TestCorruptionDetection:
+    def test_parent_of_out_of_range(self, index):
+        index.layers[0].parent_of[0] = 10_000
+        report = audit_index(index)
+        assert not report.ok
+        assert any(v.check == "partition" for v in report.violations)
+
+    def test_extent_parent_mismatch(self, index):
+        extent = index.layers[0].extent
+        # Move a vertex between blocks without updating parent_of.
+        moved = extent[0].pop() if len(extent[0]) > 1 else extent[0][0]
+        extent[-1].append(moved)
+        report = audit_index(index)
+        assert not report.ok
+        assert any(v.check == "partition" for v in report.violations)
+
+    def test_merged_blocks_break_bisimulation(self, index):
+        # Force two different-label blocks together: violates both the
+        # partition<->extent pairing and the bisimulation conditions once
+        # parent_of and extent are rewritten consistently.
+        layer = index.layers[0]
+        labels = layer.graph.labels
+        victim = next(
+            s for s in range(1, layer.graph.num_vertices) if labels[s] != labels[0]
+        )
+        for v in list(layer.extent[victim]):
+            layer.parent_of[v] = 0
+            layer.extent[0].append(v)
+        layer.extent[victim] = []
+        report = audit_index(index)
+        assert not report.ok
+
+    def test_spurious_summary_edge(self, index):
+        layer = index.layers[0]
+        graph = layer.graph
+        for u in graph.vertices():
+            for v in graph.vertices():
+                if u != v and not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    report = audit_index(index)
+                    assert not report.ok
+                    assert any(
+                        v_.check == "paths" for v_ in report.violations
+                    ), report.format()
+                    return
+        pytest.skip("summary graph is complete; no spurious edge to add")
+
+    def test_corrupted_summary_label(self, index):
+        layer = index.layers[0]
+        other = layer.graph.label(1)
+        if layer.graph.label(0) == other:
+            other = "Zz-corrupt"
+        layer.graph.relabel_vertex(0, other)
+        report = audit_index(index)
+        assert not report.ok
+        assert any(v.check in ("labels", "bisimulation") for v in report.violations)
+
+    def test_size_bookkeeping_mismatch(self, index):
+        index.layers[0].graph._num_edges += 1
+        report = audit_index(index)
+        assert not report.ok
+        assert any(v.check == "sizes" for v in report.violations)
+
+    def test_non_minimal_partition_flagged_only_when_asked(self, index):
+        # Split one block artificially: still a valid bisimulation
+        # refinement candidate? No — splitting without summary rewrite
+        # breaks partition consistency, so instead exercise the flag via
+        # maintenance drift: insert + delete an edge leaves the partition
+        # valid but possibly finer than minimal.
+        u, v = next(iter(index.base_graph.edges()))
+        index.delete_edge(u, v)
+        index.insert_edge(u, v)
+        report = audit_index(index, expect_minimal=False)
+        assert report.ok, report.format()
+        # With minimality demanded, the audit either passes (no drift) or
+        # reports *only* minimality violations — never invariant breaks.
+        strict = audit_index(index, expect_minimal=True)
+        assert all(v.check == "minimality" for v in strict.violations), (
+            strict.format()
+        )

@@ -1,0 +1,145 @@
+"""Metamorphic-fuzzer tests: clean campaigns, op semantics, bug shrinking."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.verify import fuzz_index, shrink_ops
+from repro.verify.fuzzer import apply_op, check_equivalence, rebuilt_reference
+
+EXACT = CostParams(exact=True)
+
+
+def make_factory(small_ontology, random_graph_factory, seed=4, **kwargs):
+    def factory():
+        graph = random_graph_factory(seed=seed, **kwargs)
+        return BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+
+    return factory
+
+
+class TestCleanCampaign:
+    def test_incremental_maintenance_survives_fuzzing(
+        self, small_ontology, random_graph_factory
+    ):
+        factory = make_factory(small_ontology, random_graph_factory)
+        report = fuzz_index(
+            factory,
+            algorithms=[BackwardKeywordSearch(d_max=3, k=None)],
+            queries=[KeywordQuery(["A", "C"])],
+            sequences=2,
+            ops_per_sequence=5,
+            seed=0,
+        )
+        assert report.ok, report.format()
+        assert report.sequences_run == 2
+        assert report.ops_applied > 0
+
+    def test_campaign_is_seed_reproducible(
+        self, small_ontology, random_graph_factory
+    ):
+        factory = make_factory(small_ontology, random_graph_factory)
+        first = fuzz_index(factory, sequences=1, ops_per_sequence=4, seed=9)
+        second = fuzz_index(factory, sequences=1, ops_per_sequence=4, seed=9)
+        assert first.ok and second.ok
+        assert first.ops_applied == second.ops_applied
+
+
+class TestOpSemantics:
+    def test_inapplicable_ops_are_noops(
+        self, small_ontology, random_graph_factory
+    ):
+        index = make_factory(small_ontology, random_graph_factory)()
+        u, v = next(iter(index.base_graph.edges()))
+        assert apply_op(index, ("insert", u, v)) is False  # already present
+        assert apply_op(index, ("delete", u, v)) is True
+        assert apply_op(index, ("delete", u, v)) is False  # already gone
+        assert apply_op(index, ("drop-ontology", "Nope", "Top")) is False
+
+    def test_unknown_op_rejected(self, small_ontology, random_graph_factory):
+        index = make_factory(small_ontology, random_graph_factory)()
+        with pytest.raises(ValueError):
+            apply_op(index, ("relabel", 0, "A"))
+
+    def test_drop_ontology_op_applies(
+        self, small_ontology, random_graph_factory
+    ):
+        index = make_factory(small_ontology, random_graph_factory)()
+        mappings = index.layers[0].config.mappings
+        subtype, supertype = sorted(mappings.items())[0]
+        assert apply_op(index, ("drop-ontology", subtype, supertype)) is True
+        assert subtype not in index.layers[0].config.mappings
+        assert check_equivalence(index) == []
+
+
+class TestEquivalenceCheck:
+    def test_fresh_index_is_equivalent(
+        self, small_ontology, random_graph_factory
+    ):
+        index = make_factory(small_ontology, random_graph_factory)()
+        assert check_equivalence(index) == []
+
+    def test_reference_shares_base_graph(
+        self, small_ontology, random_graph_factory
+    ):
+        index = make_factory(small_ontology, random_graph_factory)()
+        reference = rebuilt_reference(index)
+        assert reference.base_graph is index.base_graph
+        assert reference.num_layers == index.num_layers
+
+
+class _ForgetfulIndex(BiGIndex):
+    """Injected maintenance bug: edge inserts never refresh the layers."""
+
+    def insert_edge(self, u, v):
+        self.base_graph.add_edge(u, v)
+
+
+class TestInjectedMaintenanceBug:
+    def test_fuzzer_catches_and_shrinks(
+        self, small_ontology, random_graph_factory
+    ):
+        def buggy_factory():
+            graph = random_graph_factory(seed=4)
+            return _ForgetfulIndex.build(
+                graph, small_ontology, num_layers=2, cost_params=EXACT
+            )
+
+        report = fuzz_index(
+            buggy_factory, sequences=3, ops_per_sequence=6, seed=0
+        )
+        assert not report.ok, "fuzzer missed the forgetful insert_edge bug"
+        for failure in report.failures:
+            # The minimal reproducer must be a single unrefreshed insert.
+            assert len(failure.shrunk_ops) == 1, failure.format()
+            assert failure.shrunk_ops[0][0] == "insert"
+            assert failure.problems
+            assert str(failure.seed) in failure.format()
+
+    def test_shrink_drops_irrelevant_ops(
+        self, small_ontology, random_graph_factory
+    ):
+        def buggy_factory():
+            graph = random_graph_factory(seed=4)
+            return _ForgetfulIndex.build(
+                graph, small_ontology, num_layers=2, cost_params=EXACT
+            )
+
+        probe = buggy_factory()
+        existing = sorted(probe.base_graph.edges())
+        # A padded sequence: delete+reinsert noise around one buggy insert.
+        (du, dv) = existing[0]
+        n = probe.base_graph.num_vertices
+        missing = next(
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not probe.base_graph.has_edge(u, v)
+        )
+        ops = [("delete", du, dv), ("insert", *missing)]
+        shrunk = shrink_ops(buggy_factory, ops)
+        assert shrunk == [("insert", *missing)]

@@ -1,0 +1,148 @@
+"""Incremental-maintenance edge cases, cross-checked against rebuild().
+
+Satellite of the differential harness: targeted scenarios the fuzzer only
+hits probabilistically — block-splitting deletions, ontology-edge removal,
+and repeated insert/delete of the same edge.
+"""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.graph.digraph import Graph
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.verify import audit_index
+from repro.verify.fuzzer import check_equivalence
+
+EXACT = CostParams(exact=True)
+
+PROBES = [KeywordQuery(["A", "C"])]
+ALGOS = [BackwardKeywordSearch(d_max=3, k=None)]
+
+
+def twin_graph():
+    """Two bisimilar A-vertices feeding one B; deleting one edge splits them."""
+    graph = Graph()
+    a1 = graph.add_vertex("A")
+    a2 = graph.add_vertex("A")
+    b = graph.add_vertex("B")
+    c = graph.add_vertex("C")
+    graph.add_edge(a1, b)
+    graph.add_edge(a2, b)
+    graph.add_edge(b, c)
+    return graph, a1, a2
+
+
+class TestBlockSplittingDelete:
+    def test_delete_splits_block_and_stays_equivalent(self, small_ontology):
+        graph, a1, a2 = twin_graph()
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=1, cost_params=EXACT
+        )
+        assert index.chi(a1, 1) == index.chi(a2, 1)
+        index.delete_edge(a2, graph.out_neighbors(a2)[0])
+        # a2 lost its successor: no longer bisimilar to a1.
+        assert index.chi(a1, 1) != index.chi(a2, 1)
+        assert check_equivalence(index, ALGOS, PROBES) == []
+
+    def test_random_instance_delete(self, small_ontology, random_graph_factory):
+        graph = random_graph_factory(seed=6)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+        for u, v in sorted(graph.edges())[:3]:
+            index.delete_edge(u, v)
+            problems = check_equivalence(index, ALGOS, PROBES)
+            assert problems == [], "\n".join(problems)
+
+
+class TestOntologyEdgeRemoval:
+    def test_remove_used_mapping_rebuilds_affected_layers(
+        self, small_ontology, random_graph_factory
+    ):
+        graph = random_graph_factory(seed=8)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+        used = {
+            pair for layer in index.layers for pair in layer.config.mappings.items()
+        }
+        assert used, "build produced no generalization to remove"
+        subtype, supertype = sorted(used)[0]
+        index.remove_ontology_edge(subtype, supertype)
+        for layer in index.layers:
+            assert layer.config.mappings.get(subtype) != supertype
+        report = audit_index(index, expect_minimal=True)
+        assert report.ok, report.format()
+        assert check_equivalence(index, ALGOS, PROBES) == []
+
+    def test_remove_unused_mapping_is_noop(
+        self, small_ontology, random_graph_factory
+    ):
+        graph = random_graph_factory(seed=8)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+        before = [layer.config.mappings for layer in index.layers]
+        index.remove_ontology_edge("NoSuchType", "Top")
+        assert [layer.config.mappings for layer in index.layers] == before
+        assert audit_index(index).ok
+
+    def test_keyword_stops_generalizing_after_removal(
+        self, small_ontology, random_graph_factory
+    ):
+        graph = random_graph_factory(seed=12)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=1, cost_params=EXACT
+        )
+        mappings = index.layers[0].config.mappings
+        if not mappings:
+            pytest.skip("layer 1 applied no generalization")
+        subtype, supertype = sorted(mappings.items())[0]
+        assert index.generalize_keyword(subtype, 1) == supertype
+        index.remove_ontology_edge(subtype, supertype)
+        assert index.generalize_keyword(subtype, 1) == subtype
+
+
+class TestRepeatedInsertDelete:
+    def test_insert_delete_cycle_returns_to_equivalent_state(
+        self, small_ontology, random_graph_factory
+    ):
+        graph = random_graph_factory(seed=10)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+        baseline_edges = set(index.base_graph.edges())
+        n = index.base_graph.num_vertices
+        u, v = next(
+            (u, v)
+            for u in range(n)
+            for v in range(n)
+            if u != v and not index.base_graph.has_edge(u, v)
+        )
+        for _ in range(3):
+            index.insert_edge(u, v)
+            assert check_equivalence(index, ALGOS, PROBES) == []
+            index.delete_edge(u, v)
+            assert check_equivalence(index, ALGOS, PROBES) == []
+        assert set(index.base_graph.edges()) == baseline_edges
+        assert index.drift == 6
+
+    def test_rebuild_restores_minimality_after_drift(
+        self, small_ontology, random_graph_factory
+    ):
+        graph = random_graph_factory(seed=10)
+        index = BiGIndex.build(
+            graph, small_ontology, num_layers=2, cost_params=EXACT
+        )
+        u, v = next(iter(index.base_graph.edges()))
+        index.delete_edge(u, v)
+        index.insert_edge(u, v)
+        # Valid regardless of drift...
+        assert audit_index(index).ok
+        # ...and minimal again after an explicit rebuild.
+        index.rebuild()
+        assert index.drift == 0
+        report = audit_index(index, expect_minimal=True)
+        assert report.ok, report.format()
