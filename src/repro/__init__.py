@@ -49,6 +49,14 @@ from repro.core import (
     save_index,
 )
 from repro.core.plugins import BoostedSearch, boost_bkws, boost_dkws, boost_rkws
+from repro.core.evaluator import DegradedResult
+from repro.utils import (
+    Budget,
+    BudgetExceeded,
+    CancellationToken,
+    IndexCorruptedError,
+    IndexVersionError,
+)
 
 __version__ = "1.0.0"
 
@@ -84,5 +92,11 @@ __all__ = [
     "boost_rkws",
     "greedy_configuration",
     "optimal_query_layer",
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
+    "DegradedResult",
+    "IndexCorruptedError",
+    "IndexVersionError",
     "__version__",
 ]

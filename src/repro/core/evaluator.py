@@ -33,6 +33,17 @@ The evaluator runs the five steps of Fig. 5 / Algo. 2:
    summary distances lower-bound data-graph distances (Prop. 5.2), the
    evaluation stops once k answers are verified and the k-th best score
    is at most the next unprocessed summary score.
+
+Resilience
+----------
+Every step accepts an optional :class:`~repro.utils.budget.Budget`; the
+layer descent charges it per summary answer, per specialization step and
+per verified candidate.  On exhaustion :meth:`evaluate` raises
+:class:`~repro.utils.errors.BudgetExceeded` carrying the *proven prefix*
+of the answer ranking found so far, and :meth:`evaluate_resilient`
+degrades instead of failing: it returns a :class:`DegradedResult`
+envelope (optionally after retrying the remaining budget on a coarser,
+cheaper layer).  See ``docs/ROBUSTNESS.md`` for the exact guarantees.
 """
 
 from __future__ import annotations
@@ -55,7 +66,8 @@ from repro.search.base import (
     KeywordSearchAlgorithm,
     top_k,
 )
-from repro.utils.errors import QueryError
+from repro.utils.budget import Budget
+from repro.utils.errors import BudgetExceeded, QueryError
 from repro.utils.timers import TimeBreakdown
 
 #: Answer-generation strategies.
@@ -76,10 +88,86 @@ class EvalResult:
     #: candidates that survived exact verification.
     num_verified: int = 0
 
+    #: Complete results are never degraded; lets callers branch on
+    #: ``result.degraded`` without isinstance checks.
+    degraded = False
+
     @property
     def total_seconds(self) -> float:
         """Total measured query time across phases."""
         return self.breakdown.total
+
+
+@dataclass
+class DegradedAttempt:
+    """Instrumentation for one budget-limited evaluation attempt."""
+
+    layer: int
+    #: Which budget limit tripped (``"deadline"``, ``"expansions"`` or
+    #: ``"cancelled"``).
+    reason: str
+    #: Node expansions charged when the attempt was interrupted.
+    expansions: int
+    num_generalized: int = 0
+    num_candidates: int = 0
+    #: Answers proven to be a ranking prefix (score < the attempt's bound).
+    proven: int = 0
+    #: Exact answers found but not provably in the prefix.
+    unproven: int = 0
+
+
+@dataclass
+class DegradedResult:
+    """Partial — but sound — outcome of a budget-exhausted evaluation.
+
+    ``answers`` is a *ranking prefix*: every answer is exact, and by the
+    per-algorithm frontier bounds (see ``docs/ROBUSTNESS.md``) no true
+    answer scoring strictly below ``lower_bound`` is missing.  Sorting
+    the oracle's full ranking and truncating where scores reach
+    ``lower_bound`` yields the same score sequence.
+
+    ``unranked`` holds additional exact answers whose scores reach
+    ``lower_bound`` — real answers, but with unknown rank; they are kept
+    separate so callers cannot mistake them for part of the prefix.
+    """
+
+    answers: List[Answer]
+    layer: int
+    reason: str
+    lower_bound: float
+    unranked: List[Answer] = field(default_factory=list)
+    attempts: List[DegradedAttempt] = field(default_factory=list)
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+
+    degraded = True
+
+    @property
+    def num_generalized(self) -> int:
+        return sum(a.num_generalized for a in self.attempts)
+
+    @property
+    def num_candidates(self) -> int:
+        return sum(a.num_candidates for a in self.attempts)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.breakdown.total
+
+    def summary(self) -> str:
+        """One-line operator-facing description of the degradation."""
+        parts = [
+            f"degraded ({self.reason}): {len(self.answers)} proven "
+            f"answer(s), complete below score {self.lower_bound:g}"
+        ]
+        if self.unranked:
+            parts.append(f"{len(self.unranked)} additional unranked")
+        trail = ", ".join(
+            f"layer {a.layer} ({a.expansions} expansions, {a.reason})"
+            for a in self.attempts
+        )
+        if trail:
+            parts.append(f"attempts: {trail}")
+        return "; ".join(parts)
 
 
 class HierarchicalEvaluator:
@@ -148,6 +236,7 @@ class HierarchicalEvaluator:
         layer: Optional[int] = None,
         k: Optional[int] = None,
         max_generalized: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> EvalResult:
         """Run ``eval_Ont(G, Q, f)``.
 
@@ -170,6 +259,14 @@ class HierarchicalEvaluator:
             for workloads where semantic distortion makes parts of the
             stream unproductive; ``None`` (default, used by the exactness
             tests) never truncates.
+        budget:
+            Optional execution budget charged throughout exploration,
+            specialization and generation.  On exhaustion the raised
+            :class:`~repro.utils.errors.BudgetExceeded` carries the
+            proven prefix of the data-graph ranking found so far
+            (``partial``, complete below ``lower_bound``) plus a
+            ``partial_result``/``unproven`` pair for
+            :meth:`evaluate_resilient`.
         """
         breakdown = TimeBreakdown()
         if k is None:
@@ -185,9 +282,27 @@ class HierarchicalEvaluator:
                 )
 
         if layer == 0:
-            # Degenerate case: evaluate directly on the data graph.
-            with breakdown.phase("explore"):
-                answers = self.searcher_for_layer(0).search(query)
+            # Degenerate case: evaluate directly on the data graph.  The
+            # searcher attaches its own (already data-level) prefix; it is
+            # re-truncated to this call's k before propagating.
+            try:
+                with breakdown.phase("explore"):
+                    answers = self.searcher_for_layer(0).search(
+                        query, budget=budget
+                    )
+            except BudgetExceeded as exc:
+                proven = top_k(exc.partial, k)
+                exc.partial = proven
+                exc.unproven = []
+                exc.partial_result = EvalResult(
+                    answers=proven,
+                    layer=0,
+                    breakdown=breakdown,
+                    num_generalized=len(proven),
+                    num_candidates=len(proven),
+                    num_verified=len(proven),
+                )
+                raise
             return EvalResult(
                 answers=top_k(answers, k),
                 layer=0,
@@ -209,55 +324,238 @@ class HierarchicalEvaluator:
         # expose a running ``stream_lower_bound`` instead.
         searcher = self.searcher_for_layer(layer)
         with breakdown.phase("explore"):
-            summary_stream = searcher.iter_search(generalized_query)
+            summary_stream = searcher.iter_search(
+                generalized_query, budget=budget
+            )
 
         result = EvalResult(answers=[], layer=layer, breakdown=breakdown)
         verified: Dict[Tuple, Answer] = {}
         seen_roots: Set[int] = set()
+        # The summary answer being specialized/generated when a budget
+        # trips; its score bounds everything not yet derived from it (and,
+        # because streams are consumed in ascending score order, everything
+        # still unread from the stream).
+        current_summary: Optional[Answer] = None
 
-        while True:
-            with breakdown.phase("explore"):
-                summary_answer = next(summary_stream, None)
-            if summary_answer is None:
-                break
-            result.num_generalized += 1
-            if (
-                max_generalized is not None
-                and result.num_generalized > max_generalized
-            ):
-                break
-            if k is not None and len(verified) >= k:
-                kth = sorted(a.score for a in verified.values())[k - 1]
-                stream_bound = getattr(
-                    searcher, "stream_lower_bound", summary_answer.score
+        try:
+            while True:
+                current_summary = None
+                with breakdown.phase("explore"):
+                    summary_answer = next(summary_stream, None)
+                if summary_answer is None:
+                    break
+                current_summary = summary_answer
+                if budget is not None:
+                    budget.charge(1)
+                result.num_generalized += 1
+                if (
+                    max_generalized is not None
+                    and result.num_generalized > max_generalized
+                ):
+                    break
+                if k is not None and len(verified) >= k:
+                    kth = sorted(a.score for a in verified.values())[k - 1]
+                    stream_bound = getattr(
+                        searcher, "stream_lower_bound", summary_answer.score
+                    )
+                    if kth <= stream_bound:
+                        break  # Sec. 4.3.4: the rest cannot beat the top-k.
+                    if kth <= summary_answer.score:
+                        continue  # this answer cannot improve; keep streaming
+                root_verify = (
+                    self.generation == "root-verify"
+                    and summary_answer.root is not None
+                    and hasattr(self.algorithm, "best_answer_for_root")
                 )
-                if kth <= stream_bound:
-                    break  # Sec. 4.3.4: the rest cannot beat the top-k.
-                if kth <= summary_answer.score:
-                    continue  # this answer cannot improve; keep streaming
-            root_verify = (
-                self.generation == "root-verify"
-                and summary_answer.root is not None
-                and hasattr(self.algorithm, "best_answer_for_root")
+                with breakdown.phase("specialize"):
+                    spec = self._specialize_answer(
+                        summary_answer,
+                        layer,
+                        query,
+                        keyword_by_generalized,
+                        root_only=root_verify,
+                        budget=budget,
+                    )
+                if spec is None:
+                    continue
+                with breakdown.phase("generate"):
+                    self._generate(
+                        summary_answer,
+                        spec,
+                        query,
+                        verified,
+                        seen_roots,
+                        result,
+                        k,
+                        budget,
+                    )
+        except BudgetExceeded as exc:
+            self._attach_partial(
+                exc, searcher, verified, result, current_summary, k
             )
-            with breakdown.phase("specialize"):
-                spec = self._specialize_answer(
-                    summary_answer,
-                    layer,
-                    query,
-                    keyword_by_generalized,
-                    root_only=root_verify,
-                )
-            if spec is None:
-                continue
-            with breakdown.phase("generate"):
-                self._generate(
-                    summary_answer, spec, query, verified, seen_roots, result, k
-                )
+            raise
 
         result.answers = top_k(list(verified.values()), k)
         result.num_verified = len(verified)
         return result
+
+    def _attach_partial(
+        self,
+        exc: BudgetExceeded,
+        searcher: GraphSearcher,
+        verified: Dict[Tuple, Answer],
+        result: EvalResult,
+        current_summary: Optional[Answer],
+        k: Optional[int],
+    ) -> None:
+        """Split the verified answers into a proven prefix and a remainder.
+
+        The bound below which the verified set is provably complete is the
+        minimum over every source of undiscovered answers:
+
+        * ``exc.lower_bound`` / ``exc.partial`` scores — summary-level
+          bounds from an interrupted summary search; by Prop. 5.2 summary
+          scores lower-bound the scores of the data answers specializing
+          from them, so they bound everything never emitted by the stream.
+        * the searcher's running ``stream_lower_bound`` (out-of-order
+          streams) or ``current_summary.score`` (in-order streams) —
+          bounds the unread rest of a stream interrupted by the
+          *evaluator's* own charges.
+        * ``current_summary.score`` — bounds candidates of the in-flight
+          summary answer not yet verified (Prop. 5.2 again).
+
+        Prop. 5.1 (completeness: every true root's image is a summary
+        answer root) guarantees these are the *only* sources, so every
+        true data answer scoring strictly below the bound is already in
+        ``verified``.
+        """
+        bound_candidates: List[float] = []
+        if exc.lower_bound is not None:
+            bound_candidates.append(float(exc.lower_bound))
+        else:
+            stream_bound = getattr(searcher, "stream_lower_bound", None)
+            if stream_bound is not None:
+                bound_candidates.append(float(stream_bound))
+        if exc.partial:
+            bound_candidates.append(min(a.score for a in exc.partial))
+        if current_summary is not None:
+            bound_candidates.append(current_summary.score)
+        bound = min(bound_candidates) if bound_candidates else 0.0
+
+        proven = top_k(
+            [a for a in verified.values() if a.score < bound], k
+        )
+        result.answers = proven
+        result.num_verified = len(verified)
+        exc.partial = proven
+        exc.lower_bound = bound
+        exc.unproven = top_k(
+            [a for a in verified.values() if a.score >= bound], None
+        )
+        exc.partial_result = result
+
+    # ------------------------------------------------------------------
+    # Graceful degradation
+    # ------------------------------------------------------------------
+    def evaluate_resilient(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        retry_coarser: bool = True,
+    ):
+        """``evaluate`` that degrades instead of failing on exhaustion.
+
+        With no budget this is exactly :meth:`evaluate`.  With one, a
+        budget-exceeded evaluation is caught and turned into a
+        :class:`DegradedResult` whose ``answers`` are the proven ranking
+        prefix.  When ``retry_coarser`` is set and the budget still has
+        headroom, coarser layers (cheaper summary graphs, Formula 4's
+        motivation) are retried with half the remaining budget each, and
+        the attempt with the *largest* proven bound wins — every attempt
+        prefixes the same true ranking, so the largest bound is the
+        longest prefix.  The last planned attempt runs on the whole
+        remainder rather than half, so budget is never left unspent.
+        """
+        if budget is None:
+            return self.evaluate(
+                query, layer=layer, k=k, max_generalized=max_generalized
+            )
+
+        first_layer = (
+            layer if layer is not None else self.cost_model.optimal_layer(query)
+        )
+        plan = [first_layer]
+        if retry_coarser:
+            for m in range(first_layer + 1, self.index.num_layers + 1):
+                if self.index.query_distinct_at(query, m):
+                    plan.append(m)
+
+        breakdown = TimeBreakdown()
+        attempts: List[DegradedAttempt] = []
+        #: winning attempt so far: (bound, proven count, layer, exception).
+        best: Optional[Tuple[float, int, int, BudgetExceeded]] = None
+        final_reason = "expansions"
+        for position, m in enumerate(plan):
+            last = position == len(plan) - 1
+            attempt_budget = budget if last else budget.sub(0.5)
+            try:
+                result = self.evaluate(
+                    query,
+                    layer=m,
+                    k=k,
+                    max_generalized=max_generalized,
+                    budget=attempt_budget,
+                )
+            except BudgetExceeded as exc:
+                partial = getattr(exc, "partial_result", None)
+                if partial is not None:
+                    breakdown.merge(partial.breakdown)
+                attempts.append(
+                    DegradedAttempt(
+                        layer=m,
+                        reason=exc.reason,
+                        expansions=exc.expansions,
+                        num_generalized=(
+                            partial.num_generalized if partial else 0
+                        ),
+                        num_candidates=(
+                            partial.num_candidates if partial else 0
+                        ),
+                        proven=len(exc.partial),
+                        unproven=len(getattr(exc, "unproven", [])),
+                    )
+                )
+                final_reason = exc.reason
+                bound = (
+                    float(exc.lower_bound)
+                    if exc.lower_bound is not None
+                    else 0.0
+                )
+                candidate = (bound, len(exc.partial), m, exc)
+                if best is None or candidate[:2] > best[:2]:
+                    best = candidate
+                if budget.exhausted_reason() is not None:
+                    break  # the *parent* budget is spent; stop retrying
+                continue
+            breakdown.merge(result.breakdown)
+            result.breakdown = breakdown
+            return result
+
+        if best is None:  # pragma: no cover - plan is never empty
+            raise QueryError("no evaluation attempt was made")
+        bound, _, best_layer, exc = best
+        return DegradedResult(
+            answers=list(exc.partial),
+            layer=best_layer,
+            reason=final_reason,
+            lower_bound=bound,
+            unranked=list(getattr(exc, "unproven", [])),
+            attempts=attempts,
+            breakdown=breakdown,
+        )
 
     # ------------------------------------------------------------------
     # Step 3: specialization with pruning
@@ -269,6 +567,7 @@ class HierarchicalEvaluator:
         query: KeywordQuery,
         keyword_by_generalized: Mapping[str, str],
         root_only: bool = False,
+        budget: Optional[Budget] = None,
     ) -> Optional[GeneralizedAnswerGraph]:
         """Walk one generalized answer's vertex sets down to layer 0.
 
@@ -294,6 +593,8 @@ class HierarchicalEvaluator:
         if root_only:
             root = summary_answer.root
             assert root is not None
+            if budget is not None:
+                budget.charge(1)
             return GeneralizedAnswerGraph(
                 vertices=(root,),
                 edges=(),
@@ -306,6 +607,8 @@ class HierarchicalEvaluator:
             keyword = keyword_of.get(supernode)
             members = [supernode]
             for level in range(layer, 0, -1):
+                if budget is not None:
+                    budget.charge(len(members))
                 extent = self.index.layers[level - 1].extent
                 members = [child for s in members for child in extent[s]]
                 if keyword is not None:
@@ -338,6 +641,7 @@ class HierarchicalEvaluator:
         seen_roots: Set[int],
         result: EvalResult,
         k: Optional[int],
+        budget: Optional[Budget] = None,
     ) -> None:
         root_capable = hasattr(self.algorithm, "best_answer_for_root")
         if (
@@ -346,11 +650,12 @@ class HierarchicalEvaluator:
             and root_capable
         ):
             self._generate_by_root(
-                summary_answer, spec, query, verified, seen_roots, result, k
+                summary_answer, spec, query, verified, seen_roots, result, k,
+                budget,
             )
         else:
             self._generate_by_assignment(
-                summary_answer, spec, query, verified, result
+                summary_answer, spec, query, verified, result, budget
             )
 
     def _generate_by_root(
@@ -362,6 +667,7 @@ class HierarchicalEvaluator:
         seen_roots: Set[int],
         result: EvalResult,
         k: Optional[int],
+        budget: Optional[Budget] = None,
     ) -> None:
         """Verify every specialized candidate root with one bounded BFS.
 
@@ -379,6 +685,8 @@ class HierarchicalEvaluator:
                 kth = sorted(a.score for a in verified.values())[k - 1]
                 if kth <= summary_answer.score:
                     return
+            if budget is not None:
+                budget.charge(1)
             seen_roots.add(root)
             result.num_candidates += 1
             answer = best_for_root(self.index.base_graph, root, query)
@@ -392,6 +700,7 @@ class HierarchicalEvaluator:
         query: KeywordQuery,
         verified: Dict[Tuple, Answer],
         result: EvalResult,
+        budget: Optional[Budget] = None,
     ) -> None:
         """Algorithm 3 / 4 enumeration, each assignment exactly verified."""
 
@@ -420,6 +729,8 @@ class HierarchicalEvaluator:
                 use_spec_order=self.use_spec_order,
             )
         for assignment in assignments:
+            if budget is not None:
+                budget.charge(1)
             result.num_candidates += 1
             keyword_nodes = {
                 keyword: assignment[supernode]

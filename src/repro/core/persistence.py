@@ -1,4 +1,4 @@
-"""Saving and loading a built BiG-index.
+"""Saving and loading a built BiG-index, crash-safely.
 
 The paper treats index construction as an offline step ("BiG-index takes
 20 minutes ... to construct the indexes for YAGO3") whose product is
@@ -9,103 +9,300 @@ TSV/JSON files, so construction cost is paid once per dataset.
 
 Layout (one directory per index)::
 
-    meta.json                 {"num_layers": h, "direction": ..., "version": 1}
+    meta.json                 {"num_layers": h, "direction": ..., "version": 2}
+    manifest.json             {"algorithm": "sha256", "files": {...}}
     base.nodes / base.edges   the data graph (repro.graph.io format)
     layer<i>.nodes / .edges   summary graph of layer i
     layer<i>.config.json      the configuration C^i
     layer<i>.parents.txt      parent_of: one supernode id per line
 
 The extents are reconstructed from ``parent_of`` on load.
+
+Crash safety and integrity
+--------------------------
+:func:`save_index` never writes into the destination directly.  It stages
+every file in a fresh temporary sibling directory, fsyncs them, writes a
+``manifest.json`` with a SHA-256 checksum per file, and only then swaps
+the staged directory into place with atomic renames (any previous index
+briefly becomes ``<directory>.stale`` and is removed after the swap).  A
+crash at any point leaves either the old index or the new one — never a
+torn mix.
+
+:func:`load_index` verifies the manifest before trusting any file and
+classifies failures:
+
+* :class:`~repro.utils.errors.IndexVersionError` — the on-disk format
+  version is not this code's (checked *before* checksums, so a foreign
+  version is reported as such rather than as corruption);
+* :class:`~repro.utils.errors.IndexCorruptedError` — missing files,
+  checksum mismatches, or structurally invalid contents.
+
+Both derive from :class:`~repro.utils.errors.IndexPersistenceError` (and
+transitively ``BigIndexError``).  A corrupted directory never loads as a
+silently wrong index.  Operators who edit index files deliberately can
+re-bless the directory with :func:`write_manifest`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import shutil
+import tempfile
 from typing import Dict, List
 
 from repro.core.config import Configuration
 from repro.core.index import BiGIndex, Layer
 from repro.graph.io import load_graph_tsv, save_graph_tsv
 from repro.ontology.ontology import OntologyGraph
-from repro.utils.errors import BigIndexError
+from repro.utils.errors import (
+    BigIndexError,
+    IndexCorruptedError,
+    IndexVersionError,
+)
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Name of the checksum manifest inside an index directory.
+MANIFEST_NAME = "manifest.json"
 
 
+# ----------------------------------------------------------------------
+# Manifest
+# ----------------------------------------------------------------------
+def _sha256_file(path: str) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def compute_manifest(directory: str) -> Dict[str, str]:
+    """Checksum every regular file in ``directory`` except the manifest.
+
+    Returns ``{filename: sha256-hex}`` sorted by name.  Subdirectories are
+    ignored (an index directory has none).
+    """
+    checksums: Dict[str, str] = {}
+    for name in sorted(os.listdir(directory)):
+        if name == MANIFEST_NAME:
+            continue
+        path = os.path.join(directory, name)
+        if os.path.isfile(path):
+            checksums[name] = _sha256_file(path)
+    return checksums
+
+
+def write_manifest(directory: str) -> str:
+    """(Re-)write ``manifest.json`` for ``directory``; returns its path.
+
+    Used by :func:`save_index` while staging, and available to operators
+    (and the fault-injection tests) to re-bless an index whose files were
+    edited deliberately.
+    """
+    manifest = {
+        "algorithm": "sha256",
+        "files": compute_manifest(directory),
+    }
+    path = os.path.join(directory, MANIFEST_NAME)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(manifest, f, indent=2, sort_keys=True)
+        f.flush()
+        os.fsync(f.fileno())
+    return path
+
+
+def _verify_manifest(directory: str) -> None:
+    """Check every manifest entry; raise :class:`IndexCorruptedError`."""
+    manifest_path = os.path.join(directory, MANIFEST_NAME)
+    if not os.path.exists(manifest_path):
+        raise IndexCorruptedError(
+            f"index manifest missing: {manifest_path} (index was not "
+            "written by save_index, or the write was interrupted)"
+        )
+    try:
+        with open(manifest_path, "r", encoding="utf-8") as f:
+            manifest = json.load(f)
+        files = manifest["files"]
+        algorithm = manifest.get("algorithm", "sha256")
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise IndexCorruptedError(
+            f"unreadable index manifest {manifest_path}: {exc}"
+        ) from exc
+    if algorithm != "sha256":
+        raise IndexCorruptedError(
+            f"unsupported manifest checksum algorithm: {algorithm!r}"
+        )
+    for name, expected in sorted(files.items()):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            raise IndexCorruptedError(f"index file missing: {path}")
+        actual = _sha256_file(path)
+        if actual != expected:
+            raise IndexCorruptedError(
+                f"checksum mismatch for {path}: manifest says "
+                f"{expected[:12]}..., file hashes to {actual[:12]}... "
+                "(truncated or tampered; re-bless with write_manifest "
+                "if the edit was deliberate)"
+            )
+
+
+# ----------------------------------------------------------------------
+# Save
+# ----------------------------------------------------------------------
 def save_index(index: BiGIndex, directory: str) -> None:
-    """Write ``index`` (graphs, configs, parent maps) under ``directory``."""
-    os.makedirs(directory, exist_ok=True)
+    """Atomically write ``index`` (graphs, configs, parent maps).
+
+    The files are staged in a temporary sibling directory, checksummed
+    into ``manifest.json``, and swapped into place by rename — so a crash
+    mid-save never leaves a torn index at ``directory``.  If the swap
+    itself is interrupted the previous index survives at
+    ``<directory>.stale`` (see docs/ROBUSTNESS.md for the runbook).
+    """
+    directory = os.path.abspath(directory)
+    parent = os.path.dirname(directory)
+    os.makedirs(parent, exist_ok=True)
+    staging = tempfile.mkdtemp(
+        prefix=os.path.basename(directory) + ".tmp-", dir=parent
+    )
+    try:
+        _write_index_files(index, staging)
+        write_manifest(staging)
+        stale = directory + ".stale"
+        if os.path.exists(directory):
+            if os.path.exists(stale):
+                shutil.rmtree(stale)
+            os.rename(directory, stale)
+        os.rename(staging, directory)
+        if os.path.exists(stale):
+            shutil.rmtree(stale)
+    except BaseException:
+        shutil.rmtree(staging, ignore_errors=True)
+        raise
+
+
+def _write_index_files(index: BiGIndex, directory: str) -> None:
+    """Write the index's files (without manifest) into ``directory``."""
     meta = {
         "version": FORMAT_VERSION,
         "num_layers": index.num_layers,
         "direction": index.direction.value,
     }
-    with open(os.path.join(directory, "meta.json"), "w", encoding="utf-8") as f:
+    meta_path = os.path.join(directory, "meta.json")
+    with open(meta_path, "w", encoding="utf-8") as f:
         json.dump(meta, f, indent=2)
+        f.flush()
+        os.fsync(f.fileno())
     save_graph_tsv(index.base_graph, os.path.join(directory, "base"))
     for i, layer in enumerate(index.layers, start=1):
         prefix = os.path.join(directory, f"layer{i}")
         save_graph_tsv(layer.graph, prefix)
         with open(prefix + ".config.json", "w", encoding="utf-8") as f:
             json.dump(layer.config.mappings, f, indent=2, sort_keys=True)
+            f.flush()
+            os.fsync(f.fileno())
         with open(prefix + ".parents.txt", "w", encoding="utf-8") as f:
             for supernode in layer.parent_of:
                 f.write(f"{supernode}\n")
+            f.flush()
+            os.fsync(f.fileno())
 
 
+# ----------------------------------------------------------------------
+# Load
+# ----------------------------------------------------------------------
 def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
-    """Load an index saved by :func:`save_index`.
+    """Load an index saved by :func:`save_index`, verifying integrity.
 
     The ontology is not persisted (it is an input shared across indexes);
     pass the same one used at build time.  Configurations are *not*
     re-validated against it, so a changed ontology loads fine — matching
     the maintenance semantics of Sec. 3.2 (ontology additions never
     invalidate an index).
+
+    Raises :class:`~repro.utils.errors.IndexVersionError` for a foreign
+    format version and :class:`~repro.utils.errors.IndexCorruptedError`
+    for missing/tampered/structurally-invalid files.
     """
     meta_path = os.path.join(directory, "meta.json")
     if not os.path.exists(meta_path):
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            # A manifest without metadata is a damaged index, not a
+            # directory that never held one.
+            raise IndexCorruptedError(f"index file missing: {meta_path}")
         raise BigIndexError(f"not an index directory (missing {meta_path})")
-    with open(meta_path, "r", encoding="utf-8") as f:
-        meta = json.load(f)
-    if meta.get("version") != FORMAT_VERSION:
-        raise BigIndexError(
-            f"unsupported index format version: {meta.get('version')!r}"
+    try:
+        with open(meta_path, "r", encoding="utf-8") as f:
+            meta = json.load(f)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise IndexCorruptedError(
+            f"unreadable index metadata {meta_path}: {exc}"
+        ) from exc
+    if not isinstance(meta, dict):
+        raise IndexCorruptedError(
+            f"index metadata {meta_path} is not a JSON object"
         )
+    # Version before checksums: an index written by a different format
+    # version fails its own way instead of as a checksum mismatch.
+    if meta.get("version") != FORMAT_VERSION:
+        raise IndexVersionError(
+            f"unsupported index format version: {meta.get('version')!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    _verify_manifest(directory)
 
     from repro.bisim.refinement import BisimDirection
 
+    try:
+        num_layers = int(meta["num_layers"])
+        direction = BisimDirection(meta["direction"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IndexCorruptedError(
+            f"invalid index metadata in {meta_path}: {exc}"
+        ) from exc
+
     base_graph, base_map = load_graph_tsv(os.path.join(directory, "base"))
     _require_dense(base_map, "base")
-    index = BiGIndex(
-        base_graph, ontology, direction=BisimDirection(meta["direction"])
-    )
+    index = BiGIndex(base_graph, ontology, direction=direction)
 
     label_table = base_graph.label_table
-    for i in range(1, meta["num_layers"] + 1):
+    for i in range(1, num_layers + 1):
         prefix = os.path.join(directory, f"layer{i}")
         graph, id_map = load_graph_tsv(prefix, label_table=label_table)
         _require_dense(id_map, f"layer{i}")
-        with open(prefix + ".config.json", "r", encoding="utf-8") as f:
-            config = Configuration(json.load(f))
-        with open(prefix + ".parents.txt", "r", encoding="utf-8") as f:
-            parent_of = [int(line) for line in f if line.strip()]
+        config_path = prefix + ".config.json"
+        try:
+            with open(config_path, "r", encoding="utf-8") as f:
+                config = Configuration(json.load(f))
+        except FileNotFoundError as exc:
+            raise IndexCorruptedError(
+                f"index file missing: {config_path}"
+            ) from exc
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise IndexCorruptedError(
+                f"unreadable layer config {config_path}: {exc}"
+            ) from exc
+        parent_of = _load_parents(prefix + ".parents.txt")
         below = index.layer_graph(i - 1)
         if len(parent_of) != below.num_vertices:
-            raise BigIndexError(
+            raise IndexCorruptedError(
                 f"layer {i} parent map covers {len(parent_of)} vertices, "
                 f"expected {below.num_vertices}"
             )
         extent: List[List[int]] = [[] for _ in range(graph.num_vertices)]
         for child, supernode in enumerate(parent_of):
             if not 0 <= supernode < graph.num_vertices:
-                raise BigIndexError(
+                raise IndexCorruptedError(
                     f"layer {i} parent map references unknown supernode "
                     f"{supernode}"
                 )
             extent[supernode].append(child)
         if any(not members for members in extent):
-            raise BigIndexError(f"layer {i} has an empty supernode extent")
+            raise IndexCorruptedError(
+                f"layer {i} has an empty supernode extent"
+            )
         index.layers.append(
             Layer(
                 config=config,
@@ -117,11 +314,33 @@ def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
     return index
 
 
+def _load_parents(path: str) -> List[int]:
+    """Parse a ``layer<i>.parents.txt``; corruption names the exact line."""
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise IndexCorruptedError(f"index file missing: {path}") from exc
+    parent_of: List[int] = []
+    with handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                parent_of.append(int(line))
+            except ValueError as exc:
+                raise IndexCorruptedError(
+                    f"{path}:{lineno}: invalid supernode id {line!r} "
+                    "(expected a non-negative integer)"
+                ) from exc
+    return parent_of
+
+
 def _require_dense(id_map: Dict[int, int], what: str) -> None:
     """Saved indexes use dense ids; anything else indicates tampering."""
     for file_id, dense_id in id_map.items():
         if file_id != dense_id:
-            raise BigIndexError(
+            raise IndexCorruptedError(
                 f"{what} graph ids are not dense (found {file_id} -> "
                 f"{dense_id}); was the index directory edited?"
             )

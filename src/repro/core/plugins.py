@@ -19,6 +19,7 @@ from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import Answer, KeywordQuery, KeywordSearchAlgorithm
 from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
+from repro.utils.budget import Budget
 
 
 class BoostedSearch:
@@ -72,10 +73,15 @@ class BoostedSearch:
         layer: Optional[int] = None,
         k: Optional[int] = None,
         max_generalized: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> List[Answer]:
         """Answers via ``eval_Ont`` (drops the instrumentation)."""
         return self.evaluate(
-            query, layer=layer, k=k, max_generalized=max_generalized
+            query,
+            layer=layer,
+            k=k,
+            max_generalized=max_generalized,
+            budget=budget,
         ).answers
 
     def evaluate(
@@ -84,10 +90,39 @@ class BoostedSearch:
         layer: Optional[int] = None,
         k: Optional[int] = None,
         max_generalized: Optional[int] = None,
+        budget: Optional[Budget] = None,
     ) -> EvalResult:
-        """Full ``eval_Ont`` run with the timing breakdown (benchmarks)."""
+        """Full ``eval_Ont`` run with the timing breakdown (benchmarks).
+
+        A budget makes the run raise
+        :class:`~repro.utils.errors.BudgetExceeded` on exhaustion; use
+        :meth:`evaluate_resilient` to degrade instead.
+        """
         return self.evaluator.evaluate(
-            query, layer=layer, k=k, max_generalized=max_generalized
+            query,
+            layer=layer,
+            k=k,
+            max_generalized=max_generalized,
+            budget=budget,
+        )
+
+    def evaluate_resilient(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        retry_coarser: bool = True,
+    ):
+        """``evaluate`` that returns a ``DegradedResult`` on exhaustion."""
+        return self.evaluator.evaluate_resilient(
+            query,
+            budget=budget,
+            layer=layer,
+            k=k,
+            max_generalized=max_generalized,
+            retry_coarser=retry_coarser,
         )
 
     def warm(self, layer: Optional[int] = None) -> None:

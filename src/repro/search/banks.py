@@ -36,13 +36,15 @@ from repro.graph.traversal import (
     shortest_path,
 )
 from repro.search.base import (
+    USE_BOUND_K,
     Answer,
     GraphSearcher,
     KeywordQuery,
     KeywordSearchAlgorithm,
     top_k,
 )
-from repro.utils.errors import QueryError
+from repro.utils.budget import Budget
+from repro.utils.errors import BudgetExceeded, QueryError
 
 
 class _BackwardExpansion:
@@ -63,7 +65,7 @@ class _BackwardExpansion:
         """Whether the expansion has reached ``d_max`` or run out of frontier."""
         return not self._frontier or self.depth >= self.d_max
 
-    def expand_level(self) -> List[int]:
+    def expand_level(self, budget: Optional[Budget] = None) -> List[int]:
         """Advance one BFS level backward; returns the newly settled vertices.
 
         Origins are canonical: when several frontier vertices reach the
@@ -71,9 +73,15 @@ class _BackwardExpansion:
         tie resolves to the minimum source vertex id (by induction each
         frontier vertex already carries its minimal origin).  Cross-mode
         answer comparison relies on this determinism.
+
+        A budget is charged one unit per frontier vertex *before* the
+        level expands, so exhaustion leaves the settled maps consistent
+        at the previous depth — the basis of the prefix-soundness proof.
         """
         if self.exhausted:
             return []
+        if budget is not None:
+            budget.charge(len(self._frontier))
         reached: Dict[int, int] = {}
         for v in self._frontier:
             origin = self.origin[v]
@@ -105,8 +113,14 @@ class BanksSearcher(GraphSearcher):
         self.d_max = d_max
         self.k = k
 
-    def search(self, query: KeywordQuery) -> List[Answer]:
+    def search(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        k: object = USE_BOUND_K,
+    ) -> List[Answer]:
         """Distinct-root answers ranked by total root-to-keyword distance."""
+        k = self._resolve_k(k)
         expansions: Dict[str, _BackwardExpansion] = {}
         for keyword in query:
             sources = self.graph.vertices_with_label(keyword)
@@ -122,20 +136,36 @@ class BanksSearcher(GraphSearcher):
         # (early termination for k answers is exercised by the BiG-index
         # evaluator instead, Sec. 4.3.4).
         active = list(query.keywords)
-        while active:
-            active.sort(key=lambda kw: len(expansions[kw].dist))
-            keyword = active[0]
-            expansions[keyword].expand_level()
-            active = [kw for kw in active if not expansions[kw].exhausted]
+        try:
+            while active:
+                active.sort(key=lambda kw: len(expansions[kw].dist))
+                keyword = active[0]
+                expansions[keyword].expand_level(budget)
+                active = [kw for kw in active if not expansions[kw].exhausted]
+        except BudgetExceeded as exc:
+            lower_bound = _unseen_lower_bound(expansions)
+            exc.partial = top_k(
+                self._collect_answers(query, expansions, below=lower_bound),
+                k,
+            )
+            exc.lower_bound = lower_bound
+            raise
 
         answers = self._collect_answers(query, expansions)
-        return top_k(answers, self.k)
+        return top_k(answers, k)
 
     def _collect_answers(
         self,
         query: KeywordQuery,
         expansions: Mapping[str, _BackwardExpansion],
+        below: float = float("inf"),
     ) -> List[Answer]:
+        """Answers among the settled roots with score strictly below ``below``.
+
+        A root settled by every expansion carries exact distances (BFS
+        settles in distance order), so each returned answer's score is
+        exact even when the expansions were interrupted mid-way.
+        """
         keywords = list(query.keywords)
         first = expansions[keywords[0]]
         candidate_roots = set(first.dist)
@@ -147,10 +177,30 @@ class BanksSearcher(GraphSearcher):
                 keyword: expansions[keyword].origin[root] for keyword in keywords
             }
             score = sum(expansions[keyword].dist[root] for keyword in keywords)
+            if score >= below:
+                continue
             answers.append(
                 _materialize_tree(self.graph, root, keyword_nodes, score, self.d_max)
             )
         return answers
+
+
+def _unseen_lower_bound(
+    expansions: Mapping[str, _BackwardExpansion],
+) -> float:
+    """Sound lower bound on the score of any root not settled everywhere.
+
+    A root missing from a still-active expansion is at distance at least
+    that expansion's next depth, so its score is at least ``depth + 1``.
+    Exhausted expansions impose no bound: a root missing from one is not
+    an answer at all (beyond ``d_max`` or unreachable).  Conversely every
+    root scoring strictly below the bound is settled by all expansions,
+    which makes the interrupted answer set an exact ranking prefix.
+    """
+    active = [e for e in expansions.values() if not e.exhausted]
+    if not active:
+        return float("inf")
+    return float(min(e.depth + 1 for e in active))
 
 
 class BackwardKeywordSearch(KeywordSearchAlgorithm):

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.graph.digraph import Graph
+from repro.utils.budget import Budget
 from repro.utils.errors import QueryError
+
+#: Sentinel for ``GraphSearcher.search(k=...)``: use the searcher's own
+#: bound ``self.k``.  Distinct from ``None``, which means "no cutoff".
+USE_BOUND_K: object = object()
 
 
 @dataclass(frozen=True)
@@ -126,16 +131,45 @@ class Answer:
 
 
 class GraphSearcher(ABC):
-    """An algorithm bound to one graph (with its per-graph index built)."""
+    """An algorithm bound to one graph (with its per-graph index built).
+
+    Budgets and soundness
+    ---------------------
+    ``search``/``iter_search`` accept an optional
+    :class:`~repro.utils.budget.Budget`.  A budgeted search charges the
+    budget per node expansion; on exhaustion it raises
+    :class:`~repro.utils.errors.BudgetExceeded` whose ``partial`` holds a
+    *prefix-sound* answer list: sorted exact answers such that every
+    answer the search did not reach scores at least the exception's
+    ``lower_bound``.  ``partial`` therefore equals the unbudgeted
+    search's ranking truncated at ``lower_bound``.
+    """
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
 
     @abstractmethod
-    def search(self, query: KeywordQuery) -> List[Answer]:
-        """Answers of ``query`` on the bound graph, best (lowest) score first."""
+    def search(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        k: object = USE_BOUND_K,
+    ) -> List[Answer]:
+        """Answers of ``query`` on the bound graph, best (lowest) score first.
 
-    def iter_search(self, query: KeywordQuery):
+        ``k`` overrides the searcher's own top-k bound for this call only
+        (``None`` = no cutoff); the default sentinel keeps ``self.k``.
+        Passing ``k`` explicitly keeps searchers reentrant — nothing on
+        ``self`` is mutated per call.
+        """
+
+    def _resolve_k(self, k: object) -> Optional[int]:
+        """Resolve the ``k`` argument against the searcher's own bound."""
+        if k is USE_BOUND_K:
+            return getattr(self, "k", None)
+        return k  # type: ignore[return-value]
+
+    def iter_search(self, query: KeywordQuery, budget: Optional[Budget] = None):
         """Lazily yield answers in ascending score, ignoring any top-k cut.
 
         BiG-index's evaluator streams summary-layer answers through this:
@@ -145,16 +179,7 @@ class GraphSearcher(ABC):
         eager search un-truncated; algorithms with expensive enumeration
         (r-clique) override it with a true generator.
         """
-        saved_k = getattr(self, "k", None)
-        if saved_k is None:
-            yield from self.search(query)
-            return
-        try:
-            self.k = None  # type: ignore[attr-defined]
-            answers = self.search(query)
-        finally:
-            self.k = saved_k  # type: ignore[attr-defined]
-        yield from answers
+        yield from self.search(query, budget=budget, k=None)
 
 
 class KeywordSearchAlgorithm(ABC):

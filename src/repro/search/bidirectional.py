@@ -30,13 +30,15 @@ from typing import Dict, List, Mapping, Optional, Set, Tuple
 from repro.graph.digraph import Graph
 from repro.graph.traversal import nearest_labeled_forward, shortest_path
 from repro.search.base import (
+    USE_BOUND_K,
     Answer,
     GraphSearcher,
     KeywordQuery,
     KeywordSearchAlgorithm,
     top_k,
 )
-from repro.utils.errors import QueryError
+from repro.utils.budget import Budget
+from repro.utils.errors import BudgetExceeded, QueryError
 
 
 class BidirectionalSearcher(GraphSearcher):
@@ -47,8 +49,14 @@ class BidirectionalSearcher(GraphSearcher):
         self.d_max = d_max
         self.k = k
 
-    def search(self, query: KeywordQuery) -> List[Answer]:
+    def search(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        k: object = USE_BOUND_K,
+    ) -> List[Answer]:
         """Distinct-root answers via prioritized bidirectional expansion."""
+        k = self._resolve_k(k)
         keywords = list(query.keywords)
         # Backward state per keyword: vertex -> (distance, origin).
         settled: Dict[str, Dict[int, Tuple[int, int]]] = {}
@@ -82,50 +90,66 @@ class BidirectionalSearcher(GraphSearcher):
 
         emitted: Set[int] = set()
         depth = 0
-        while depth < self.d_max:
-            depth += 1
-            progressed = False
-            # Backward step: grow each keyword frontier one level.  The
-            # nearest-origin choice is canonical (smallest origin wins on
-            # equal distance) so answers match bkws' signature-for-signature.
-            for keyword in keywords:
-                frontier = frontiers[keyword]
-                reached: Dict[int, int] = {}
-                for dist, vertex in frontier:
-                    origin = settled[keyword][vertex][1]
-                    for pred in self.graph.in_neighbors(vertex):
-                        if pred in settled[keyword]:
-                            continue
-                        prev = reached.get(pred)
-                        if prev is None or origin < prev:
-                            reached[pred] = origin
-                next_frontier: List[Tuple[int, int]] = []
-                for pred in sorted(reached):
-                    settled[keyword][pred] = (depth, reached[pred])
-                    next_frontier.append((depth, pred))
-                    touch(pred, keyword)
-                    progressed = True
-                frontiers[keyword] = next_frontier
-            # Forward step: confirm the hottest candidates as roots by a
-            # forward probe bounded by the remaining budget.
-            confirmed = 0
-            while candidates and confirmed < 8:
-                neg_reached, _, vertex = heapq.heappop(candidates)
-                if vertex in emitted:
-                    continue
-                if -neg_reached < len(keywords) and depth < self.d_max:
-                    # Not yet reached by every backward frontier; only
-                    # probe forward when it looks promising (more than
-                    # half the keywords reached).
-                    if -neg_reached * 2 <= len(keywords):
+        try:
+            while depth < self.d_max:
+                depth += 1
+                progressed = False
+                if budget is not None:
+                    # One expansion per frontier vertex about to be
+                    # processed; charging up front keeps the settled maps
+                    # consistent (complete through depth - 1) on raise.
+                    budget.charge(sum(len(f) for f in frontiers.values()))
+                # Backward step: grow each keyword frontier one level.  The
+                # nearest-origin choice is canonical (smallest origin wins on
+                # equal distance) so answers match bkws' signature-for-signature.
+                for keyword in keywords:
+                    frontier = frontiers[keyword]
+                    reached: Dict[int, int] = {}
+                    for dist, vertex in frontier:
+                        origin = settled[keyword][vertex][1]
+                        for pred in self.graph.in_neighbors(vertex):
+                            if pred in settled[keyword]:
+                                continue
+                            prev = reached.get(pred)
+                            if prev is None or origin < prev:
+                                reached[pred] = origin
+                    next_frontier: List[Tuple[int, int]] = []
+                    for pred in sorted(reached):
+                        settled[keyword][pred] = (depth, reached[pred])
+                        next_frontier.append((depth, pred))
+                        touch(pred, keyword)
+                        progressed = True
+                    frontiers[keyword] = next_frontier
+                # Forward step: confirm the hottest candidates as roots by a
+                # forward probe bounded by the remaining hop budget.
+                confirmed = 0
+                while candidates and confirmed < 8:
+                    neg_reached, _, vertex = heapq.heappop(candidates)
+                    if vertex in emitted:
                         continue
-                answer = self._confirm_root(vertex, query)
-                if answer is not None:
-                    emitted.add(vertex)
-                    answers[vertex] = answer
-                    confirmed += 1
-            if not progressed and not candidates:
-                break
+                    if -neg_reached < len(keywords) and depth < self.d_max:
+                        # Not yet reached by every backward frontier; only
+                        # probe forward when it looks promising (more than
+                        # half the keywords reached).
+                        if -neg_reached * 2 <= len(keywords):
+                            continue
+                    if budget is not None:
+                        budget.charge(1)
+                    answer = self._confirm_root(vertex, query)
+                    if answer is not None:
+                        emitted.add(vertex)
+                        answers[vertex] = answer
+                        confirmed += 1
+                if not progressed and not candidates:
+                    break
+        except BudgetExceeded as exc:
+            lower_bound = _frontier_bound(frontiers)
+            exc.partial = top_k(
+                self._sound_answers(keywords, settled, answers, lower_bound),
+                k,
+            )
+            exc.lower_bound = lower_bound
+            raise
 
         # Exhaustive completion: any vertex settled by every backward
         # expansion is a root (ensures the same answer set as bkws).
@@ -141,7 +165,38 @@ class BidirectionalSearcher(GraphSearcher):
                 answers[vertex] = _materialize_tree(
                     self.graph, vertex, keyword_nodes, score, self.d_max
                 )
-        return top_k(list(answers.values()), self.k)
+        return top_k(list(answers.values()), k)
+
+    def _sound_answers(
+        self,
+        keywords: List[str],
+        settled: Dict[str, Dict[int, Tuple[int, int]]],
+        confirmed: Dict[int, Answer],
+        below: float,
+    ) -> List[Answer]:
+        """Exact answers provable at interruption, score strictly below
+        ``below``.
+
+        Two sources, both exact: roots settled by every backward
+        expansion (their distance sums are exact BFS distances), and
+        roots already confirmed by a forward probe
+        (:meth:`_confirm_root` computes the exact minimum for its root).
+        Any true answer scoring below the frontier bound belongs to one
+        of the two, so the filtered set is a ranking prefix.
+        """
+        merged: Dict[int, Answer] = dict(confirmed)
+        for vertex in settled[keywords[0]]:
+            if vertex in merged:
+                continue
+            if all(vertex in settled[kw] for kw in keywords):
+                keyword_nodes = {
+                    kw: settled[kw][vertex][1] for kw in keywords
+                }
+                score = sum(settled[kw][vertex][0] for kw in keywords)
+                merged[vertex] = _materialize_tree(
+                    self.graph, vertex, keyword_nodes, score, self.d_max
+                )
+        return [a for a in merged.values() if a.score < below]
 
     def _confirm_root(self, vertex: int, query: KeywordQuery) -> Optional[Answer]:
         found = nearest_labeled_forward(
@@ -154,6 +209,20 @@ class BidirectionalSearcher(GraphSearcher):
         return _materialize_tree(
             self.graph, vertex, keyword_nodes, score, self.d_max
         )
+
+
+def _frontier_bound(frontiers: Dict[str, List[Tuple[int, int]]]) -> float:
+    """Lower bound on any root not settled by every backward expansion.
+
+    A non-empty frontier at depth ``d`` means that keyword's settled set
+    is complete through ``d``; a root it is missing is at distance at
+    least ``d + 1``.  Empty frontiers impose no bound — that keyword's
+    expansion is complete, so a missing root is not an answer at all.
+    """
+    bounds = [
+        frontier[0][0] + 1 for frontier in frontiers.values() if frontier
+    ]
+    return float(min(bounds)) if bounds else float("inf")
 
 
 class BidirectionalSearch(KeywordSearchAlgorithm):

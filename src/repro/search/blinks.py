@@ -41,13 +41,15 @@ from repro.graph.digraph import Graph
 from repro.graph.partition import Partition, partition_bfs_grow
 from repro.graph.traversal import nearest_labeled_forward, shortest_path
 from repro.search.base import (
+    USE_BOUND_K,
     Answer,
     GraphSearcher,
     KeywordQuery,
     KeywordSearchAlgorithm,
     top_k,
 )
-from repro.utils.errors import QueryError
+from repro.utils.budget import Budget
+from repro.utils.errors import BudgetExceeded, QueryError
 
 #: ``scr``: maps per-keyword root distances to an answer score.
 ScoreFunction = Callable[[Mapping[str, int]], float]
@@ -265,8 +267,15 @@ class _LazyBackwardCursor:
             return self.depth > max(self._levels, default=-1)
         return not self._frontier and self.depth > self.d_max
 
-    def take_level(self) -> List[int]:
-        """Vertices settled at the current depth; advances the cursor."""
+    def take_level(self, budget: Optional[Budget] = None) -> List[int]:
+        """Vertices settled at the current depth; advances the cursor.
+
+        A budget is charged one unit per vertex in the level *before*
+        any expansion work, so exhaustion leaves the settled map and the
+        stream's lower bound consistent.
+        """
+        if budget is not None:
+            budget.charge(len(self._levels.get(self.depth, [])))
         if self._static:
             level = self._levels.get(self.depth, [])
             self.depth += 1
@@ -312,28 +321,44 @@ class BlinksSearcher(GraphSearcher):
         self.k = k
         self.scr = scr
 
-    def search(self, query: KeywordQuery) -> List[Answer]:
+    def search(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        k: object = USE_BOUND_K,
+    ) -> List[Answer]:
         """Distinct-root top-k via round-robin backward expansion.
 
         Collects discovered answers and stops once the k-th best score is
         at most the stream's lower bound — every undiscovered root must
         then score worse.
         """
+        k = self._resolve_k(k)
         answers: List[Answer] = []
-        for answer in self.iter_search(query):
-            answers.append(answer)
-            if self.k is not None and len(answers) >= self.k:
-                kth = sorted(a.score for a in answers)[self.k - 1]
-                if kth <= self.stream_lower_bound:
-                    break
-        return top_k(answers, self.k)
+        try:
+            for answer in self.iter_search(query, budget=budget):
+                answers.append(answer)
+                if k is not None and len(answers) >= k:
+                    kth = sorted(a.score for a in answers)[k - 1]
+                    if kth <= self.stream_lower_bound:
+                        break
+        except BudgetExceeded as exc:
+            # Unseen roots score at least the stream bound, so the
+            # emitted answers strictly below it are a ranking prefix.
+            lower_bound = self.stream_lower_bound
+            exc.partial = top_k(
+                [a for a in answers if a.score < lower_bound], k
+            )
+            exc.lower_bound = lower_bound
+            raise
+        return top_k(answers, k)
 
     #: Lower bound on the score of every answer the current / most recent
     #: ``iter_search`` stream has not yielded yet.  Consumers use it for
     #: sound early termination without requiring a fully sorted stream.
     stream_lower_bound: float = 0.0
 
-    def iter_search(self, query: KeywordQuery):
+    def iter_search(self, query: KeywordQuery, budget: Optional[Budget] = None):
         """Lazily yield distinct-root answers as they are discovered.
 
         Yields are *not* globally score-sorted (sorting would force full
@@ -372,7 +397,7 @@ class BlinksSearcher(GraphSearcher):
             # (ties by keyword order), the paper's expansion strategy.
             keyword = min(active, key=lambda kw: cursors[kw].depth)
             cursor = cursors[keyword]
-            for vertex in cursor.take_level():
+            for vertex in cursor.take_level(budget):
                 if vertex in emitted:
                     continue
                 info = settled_everywhere(vertex)

@@ -50,13 +50,15 @@ from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tupl
 from repro.graph.digraph import Graph
 from repro.graph.traversal import bfs_distances
 from repro.search.base import (
+    USE_BOUND_K,
     Answer,
     GraphSearcher,
     KeywordQuery,
     KeywordSearchAlgorithm,
     top_k,
 )
-from repro.utils.errors import BigIndexError, QueryError
+from repro.utils.budget import Budget
+from repro.utils.errors import BigIndexError, BudgetExceeded, QueryError
 
 
 class NeighborIndexTooLarge(BigIndexError):
@@ -148,22 +150,43 @@ class RCliqueSearcher(GraphSearcher):
         self.radius = radius
         self.k = k
 
-    def search(self, query: KeywordQuery) -> List[Answer]:
+    def search(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        k: object = USE_BOUND_K,
+    ) -> List[Answer]:
         """Top-k r-cliques by total pairwise distance (branch and bound)."""
+        k = self._resolve_k(k)
         answers: List[Answer] = []
-        for answer in self.iter_search(query):
-            answers.append(answer)
-            if self.k is not None and len(answers) >= self.k:
-                break
-        return top_k(answers, self.k)
+        try:
+            for answer in self.iter_search(query, budget=budget):
+                answers.append(answer)
+                if k is not None and len(answers) >= k:
+                    break
+        except BudgetExceeded as exc:
+            # Lawler decomposition emits in non-decreasing weight, so
+            # every unseen clique weighs at least the last emitted weight.
+            # Emitted answers *tying* that weight are dropped from the
+            # proven prefix: an unseen clique could tie too, and the
+            # prefix contract is strict (complete below the bound).
+            lower_bound = answers[-1].score if answers else 0.0
+            exc.partial = top_k(
+                [a for a in answers if a.score < lower_bound], k
+            )
+            exc.lower_bound = lower_bound
+            raise
+        return top_k(answers, k)
 
-    def iter_search(self, query: KeywordQuery):
+    def iter_search(self, query: KeywordQuery, budget: Optional[Budget] = None):
         """Lazily yield r-cliques in non-decreasing weight order.
 
         This is the search-space decomposition loop itself; consuming it
         partially performs exactly as many ``best_answer`` computations as
         needed, which lets boost-dkws interleave specialization with
-        decomposition (Sec. 5.2).
+        decomposition (Sec. 5.2).  A budget is charged one unit per
+        ``best_answer`` computation — the unit of work the paper's
+        Sec. 5.2 decomposition counts.
         """
         keywords = list(query.keywords)
         keyword_sets: List[List[int]] = []
@@ -179,6 +202,8 @@ class RCliqueSearcher(GraphSearcher):
         )
         counter = itertools.count()
         heap: List[Tuple[float, int, _SearchSpace, Tuple[int, ...]]] = []
+        if budget is not None:
+            budget.charge(1)
         first = self._best_answer(keywords, keyword_sets, root_space)
         if first is not None:
             weight, assignment = first
@@ -206,6 +231,8 @@ class RCliqueSearcher(GraphSearcher):
                     fixed=tuple(fixed),
                     excluded=tuple(frozenset(x) for x in excluded),
                 )
+                if budget is not None:
+                    budget.charge(1)
                 best = self._best_answer(keywords, keyword_sets, subspace)
                 if best is not None:
                     sub_weight, sub_assignment = best

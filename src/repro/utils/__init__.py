@@ -1,8 +1,13 @@
-"""Shared utilities: errors, deterministic RNG helpers, and timers."""
+"""Shared utilities: errors, execution budgets, and timers."""
 
+from repro.utils.budget import Budget, CancellationToken
 from repro.utils.errors import (
     BigIndexError,
+    BudgetExceeded,
     GraphError,
+    IndexCorruptedError,
+    IndexPersistenceError,
+    IndexVersionError,
     OntologyError,
     ConfigurationError,
     QueryError,
@@ -11,7 +16,13 @@ from repro.utils.timers import Stopwatch, TimeBreakdown
 
 __all__ = [
     "BigIndexError",
+    "Budget",
+    "BudgetExceeded",
+    "CancellationToken",
     "GraphError",
+    "IndexCorruptedError",
+    "IndexPersistenceError",
+    "IndexVersionError",
     "OntologyError",
     "ConfigurationError",
     "QueryError",

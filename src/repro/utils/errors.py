@@ -37,3 +37,64 @@ class IndexError_(BigIndexError):
     Named with a trailing underscore to avoid shadowing the builtin
     :class:`IndexError`.
     """
+
+
+class IndexPersistenceError(BigIndexError):
+    """Base class for failures loading a persisted index directory.
+
+    Subclasses classify the failure so callers can act on it: a
+    :class:`IndexVersionError` calls for a rebuild with the current code,
+    a :class:`IndexCorruptedError` calls for restoring from a good copy
+    (see ``docs/ROBUSTNESS.md`` for the recovery runbook).
+    """
+
+
+class IndexCorruptedError(IndexPersistenceError):
+    """The on-disk index is damaged: checksum mismatch, truncated or
+    unparsable file, or structurally inconsistent contents.
+
+    A corrupted index never loads as a *wrong* index — the loader raises
+    this instead of returning a silently half-loaded hierarchy.
+    """
+
+
+class IndexVersionError(IndexPersistenceError):
+    """The on-disk index uses a format version this code cannot read."""
+
+
+class BudgetExceeded(BigIndexError):
+    """An execution budget ran out before the operation completed.
+
+    Attributes
+    ----------
+    reason:
+        ``"deadline"``, ``"expansions"`` or ``"cancelled"``.
+    expansions:
+        Node expansions charged to the budget when it tripped.
+    partial:
+        Sound partial answers found before exhaustion.  Searchers
+        guarantee the *prefix-soundness* contract: ``partial`` is sorted
+        and equals the full search's ranking truncated at
+        :attr:`lower_bound` — every answer the search did not get to
+        scores at least ``lower_bound``.
+    lower_bound:
+        Sound lower bound on the score of every answer not in
+        ``partial``; ``None`` when the raiser had no answer context
+        (e.g. the budget tripped inside a bare charge).
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        expansions: int = 0,
+        partial=(),
+        lower_bound=None,
+    ) -> None:
+        super().__init__(
+            f"execution budget exceeded ({reason}) after "
+            f"{expansions} node expansion(s)"
+        )
+        self.reason = reason
+        self.expansions = expansions
+        self.partial = list(partial)
+        self.lower_bound = lower_bound

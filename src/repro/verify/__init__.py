@@ -23,6 +23,7 @@ verify`` CLI subcommand that CI runs on every push.
 """
 
 from repro.verify.auditor import AuditReport, Violation, audit_index
+from repro.verify.faults import FaultFinding, FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzFailure, FuzzReport, fuzz_index, shrink_ops
 from repro.verify.oracle import DifferentialOracle, Divergence, OracleReport
 from repro.verify.runner import VerifyReport, run_verification
@@ -31,6 +32,8 @@ __all__ = [
     "AuditReport",
     "DifferentialOracle",
     "Divergence",
+    "FaultFinding",
+    "FaultReport",
     "FuzzFailure",
     "FuzzReport",
     "OracleReport",
@@ -38,6 +41,7 @@ __all__ = [
     "Violation",
     "audit_index",
     "fuzz_index",
+    "run_fault_injection",
     "run_verification",
     "shrink_ops",
 ]

@@ -1,0 +1,420 @@
+"""Deterministic fault injection for the resilience contracts.
+
+Where the oracle/auditor/fuzzer legs check the paper's *correctness*
+claims, this leg checks the repository's *robustness* claims
+(docs/ROBUSTNESS.md), by deliberately breaking things and asserting the
+failure is the promised one:
+
+* **Storage faults** — every file of a saved index is truncated and
+  bit-flipped (seeded, reproducible); loading must raise
+  :class:`~repro.utils.errors.IndexPersistenceError` — a corrupted index
+  must never load as a silently wrong index.  Deeper parse paths are
+  reached by re-blessing tampered files with
+  :func:`~repro.core.persistence.write_manifest` so the checksum gate
+  passes and the structural validation has to catch the damage itself.
+* **Budget exhaustion** — queries are run through
+  :meth:`~repro.core.evaluator.HierarchicalEvaluator.evaluate_resilient`
+  under a sweep of expansion caps; every degraded result must be a
+  *ranking prefix* of the direct oracle's answers (same score sequence
+  below the reported ``lower_bound``), and every complete result must
+  match the oracle exactly.
+* **Clock skew** — a deadline budget driven by a fake clock that jumps
+  backward must stay expired (sticky expiry, monotone elapsed).
+* **Cancellation** — a tripped token must abort the next charge with
+  reason ``"cancelled"``.
+
+All faults derive from one master seed, so a failure report reproduces
+exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.cost import CostParams
+from repro.core.evaluator import eval_direct
+from repro.core.index import BiGIndex
+from repro.core.persistence import (
+    MANIFEST_NAME,
+    load_index,
+    save_index,
+    write_manifest,
+)
+from repro.core.plugins import boost
+from repro.datasets.synthetic import verification_corpus
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import top_k
+from repro.utils.budget import Budget, CancellationToken
+from repro.utils.errors import (
+    BudgetExceeded,
+    IndexCorruptedError,
+    IndexPersistenceError,
+    IndexVersionError,
+)
+
+#: Distance bound for the budget-sweep probe algorithm.
+_D_MAX = 3
+#: Expansion caps swept per query (deterministic; Budget counting is
+#: machine-independent).
+_EXPANSION_CAPS = (1, 4, 16, 64, 256, 4096)
+
+
+@dataclass
+class FaultFinding:
+    """One violated robustness contract."""
+
+    drill: str
+    case: str
+    detail: str
+
+    def format(self) -> str:
+        return f"{self.drill} [{self.case}]: {self.detail}"
+
+
+@dataclass
+class FaultReport:
+    """Outcome of one :func:`run_fault_injection` campaign."""
+
+    quick: bool = True
+    seed: int = 0
+    #: Individual fault scenarios exercised (each one an assertion).
+    checks: int = 0
+    findings: List[FaultFinding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        status = "OK" if self.ok else f"{len(self.findings)} finding(s)"
+        lines = [f"faults: {status} ({self.checks} fault scenario(s))"]
+        lines.extend("  " + finding.format() for finding in self.findings)
+        return "\n".join(lines)
+
+
+class _FakeClock:
+    """Scripted clock; repeats its last value once the script runs out."""
+
+    def __init__(self, values: Sequence[float]) -> None:
+        self._values = list(values)
+        self._i = 0
+
+    def __call__(self) -> float:
+        value = self._values[min(self._i, len(self._values) - 1)]
+        self._i += 1
+        return value
+
+
+# ----------------------------------------------------------------------
+# Storage faults
+# ----------------------------------------------------------------------
+def _expect_load_failure(
+    report: FaultReport,
+    case: str,
+    drill: str,
+    directory: str,
+    ontology,
+    expected: type = IndexPersistenceError,
+    must_mention: Optional[str] = None,
+) -> None:
+    report.checks += 1
+    try:
+        load_index(directory, ontology)
+    except expected as exc:
+        if must_mention is not None and must_mention not in str(exc):
+            report.findings.append(
+                FaultFinding(
+                    drill,
+                    case,
+                    f"error did not mention {must_mention!r}: {exc}",
+                )
+            )
+    except Exception as exc:  # noqa: BLE001 - classifying is the point
+        report.findings.append(
+            FaultFinding(
+                drill,
+                case,
+                f"expected {expected.__name__}, got "
+                f"{type(exc).__name__}: {exc}",
+            )
+        )
+    else:
+        report.findings.append(
+            FaultFinding(
+                drill, case, "corrupted index loaded without any error"
+            )
+        )
+
+
+def _storage_drills(
+    report: FaultReport, index: BiGIndex, ontology, rng: random.Random
+) -> None:
+    workdir = tempfile.mkdtemp(prefix="bigindex-faults-")
+    try:
+        pristine = os.path.join(workdir, "pristine")
+        save_index(index, pristine)
+
+        # Sanity: the pristine copy must load (otherwise every drill
+        # below would "pass" vacuously).
+        report.checks += 1
+        try:
+            load_index(pristine, ontology)
+        except Exception as exc:  # noqa: BLE001
+            report.findings.append(
+                FaultFinding(
+                    "storage/pristine",
+                    "save-load",
+                    f"pristine index failed to load: {exc}",
+                )
+            )
+            return
+
+        victims = sorted(
+            name
+            for name in os.listdir(pristine)
+            if os.path.isfile(os.path.join(pristine, name))
+        )
+
+        def fresh_copy(tag: str) -> str:
+            target = os.path.join(workdir, tag)
+            if os.path.exists(target):
+                shutil.rmtree(target)
+            shutil.copytree(pristine, target)
+            return target
+
+        # Truncation and a seeded bit flip, per file.
+        for name in victims:
+            target = fresh_copy("truncate")
+            path = os.path.join(target, name)
+            size = os.path.getsize(path)
+            with open(path, "r+b") as f:
+                f.truncate(size // 2)
+            _expect_load_failure(
+                report, f"truncate:{name}", "storage/truncate", target,
+                ontology,
+            )
+
+            if size == 0:
+                continue
+            target = fresh_copy("bitflip")
+            path = os.path.join(target, name)
+            offset = rng.randrange(size)
+            bit = 1 << rng.randrange(8)
+            with open(path, "r+b") as f:
+                f.seek(offset)
+                byte = f.read(1)[0]
+                f.seek(offset)
+                f.write(bytes([byte ^ bit]))
+            _expect_load_failure(
+                report, f"bitflip:{name}@{offset}", "storage/bitflip",
+                target, ontology,
+            )
+
+        # Whole-file loss.
+        for name in victims:
+            target = fresh_copy("missing")
+            os.remove(os.path.join(target, name))
+            _expect_load_failure(
+                report, f"missing:{name}", "storage/missing", target,
+                ontology,
+            )
+
+        # Re-blessed tampering: write_manifest makes the checksum gate
+        # pass, so the structural validators must catch the damage.
+        target = fresh_copy("parents-noise")
+        parents = os.path.join(target, "layer1.parents.txt")
+        with open(parents, "a", encoding="utf-8") as f:
+            f.write("notanint\n")
+        write_manifest(target)
+        _expect_load_failure(
+            report, "reblessed:parents-noise", "storage/deep-parse",
+            target, ontology,
+            expected=IndexCorruptedError, must_mention="parents.txt:",
+        )
+
+        target = fresh_copy("parents-range")
+        parents = os.path.join(target, "layer1.parents.txt")
+        with open(parents, "r", encoding="utf-8") as f:
+            lines = f.read().splitlines()
+        lines[0] = "999999"
+        with open(parents, "w", encoding="utf-8") as f:
+            f.write("\n".join(lines) + "\n")
+        write_manifest(target)
+        _expect_load_failure(
+            report, "reblessed:parents-range", "storage/deep-parse",
+            target, ontology, expected=IndexCorruptedError,
+        )
+
+        # Foreign format version must classify as version, not corruption.
+        target = fresh_copy("version")
+        meta_path = os.path.join(target, "meta.json")
+        with open(meta_path, "r", encoding="utf-8") as f:
+            meta = json.load(f)
+        meta["version"] = 99
+        with open(meta_path, "w", encoding="utf-8") as f:
+            json.dump(meta, f)
+        _expect_load_failure(
+            report, "version:99", "storage/version", target, ontology,
+            expected=IndexVersionError,
+        )
+
+        # Manifest corruption is itself detected.
+        target = fresh_copy("manifest")
+        with open(
+            os.path.join(target, MANIFEST_NAME), "w", encoding="utf-8"
+        ) as f:
+            f.write("{not json")
+        _expect_load_failure(
+            report, "manifest:garbage", "storage/manifest", target,
+            ontology, expected=IndexCorruptedError,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Budget faults
+# ----------------------------------------------------------------------
+def _budget_drills(
+    report: FaultReport,
+    case: str,
+    index: BiGIndex,
+    graph,
+    queries,
+) -> None:
+    algorithm = BackwardKeywordSearch(d_max=_D_MAX)
+    boosted = boost(algorithm, index, allow_layer_zero=True)
+    searcher = algorithm.bind(graph)
+    for query in queries:
+        oracle, _ = eval_direct(graph, algorithm, query, searcher=searcher)
+        oracle_scores = [a.score for a in top_k(oracle, None)]
+        for cap in _EXPANSION_CAPS:
+            report.checks += 1
+            result = boosted.evaluate_resilient(
+                query, budget=Budget(max_expansions=cap)
+            )
+            got = [a.score for a in result.answers]
+            if result.degraded:
+                want = [s for s in oracle_scores if s < result.lower_bound]
+                if got != want:
+                    report.findings.append(
+                        FaultFinding(
+                            "budget/prefix",
+                            f"{case} {list(query.keywords)} cap={cap}",
+                            f"degraded scores {got} != oracle prefix "
+                            f"{want} below {result.lower_bound}",
+                        )
+                    )
+            elif got != oracle_scores:
+                report.findings.append(
+                    FaultFinding(
+                        "budget/complete",
+                        f"{case} {list(query.keywords)} cap={cap}",
+                        f"complete result scores {got} != oracle "
+                        f"{oracle_scores}",
+                    )
+                )
+
+
+def _clock_and_cancel_drills(report: FaultReport) -> None:
+    # Clock skew: once expired, a backward-jumping clock must not revive
+    # the budget, and elapsed() must stay monotone.
+    report.checks += 1
+    clock = _FakeClock([0.0, 10.0, 3.0, 1.0, 0.5])
+    budget = Budget(deadline=5.0, clock=clock)
+    try:
+        budget.charge(1)  # clock reads 10.0 -> expired
+    except BudgetExceeded as exc:
+        if exc.reason != "deadline":
+            report.findings.append(
+                FaultFinding(
+                    "clock/skew", "deadline",
+                    f"expected reason 'deadline', got {exc.reason!r}",
+                )
+            )
+        # Subsequent backward jumps (3.0, 1.0, 0.5) must keep it expired.
+        if budget.exhausted_reason() != "deadline" or budget.elapsed() < 10.0:
+            report.findings.append(
+                FaultFinding(
+                    "clock/skew", "stickiness",
+                    "backward clock jump un-expired the budget "
+                    f"(reason={budget.exhausted_reason()!r}, "
+                    f"elapsed={budget.elapsed()})",
+                )
+            )
+    else:
+        report.findings.append(
+            FaultFinding(
+                "clock/skew", "deadline",
+                "deadline budget did not trip past its deadline",
+            )
+        )
+
+    # Cancellation: a tripped token aborts the next charge.
+    report.checks += 1
+    token = CancellationToken()
+    budget = Budget(token=token)
+    budget.charge(100)  # unlimited budget: charges freely
+    token.cancel()
+    try:
+        budget.charge(1)
+    except BudgetExceeded as exc:
+        if exc.reason != "cancelled":
+            report.findings.append(
+                FaultFinding(
+                    "cancel", "reason",
+                    f"expected reason 'cancelled', got {exc.reason!r}",
+                )
+            )
+    else:
+        report.findings.append(
+            FaultFinding(
+                "cancel", "latch", "cancelled token did not abort the charge"
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+def run_fault_injection(
+    quick: bool = True,
+    seed: int = 0,
+    num_layers: int = 2,
+    probe_queries: Optional[
+        Callable[..., List]
+    ] = None,
+) -> FaultReport:
+    """Run every fault drill over the deterministic corpus.
+
+    Parameters mirror :func:`repro.verify.runner.run_verification`;
+    ``probe_queries`` is injectable for tests (defaults to the runner's).
+    """
+    if probe_queries is None:
+        from repro.verify.runner import probe_queries as probe_queries_fn
+    else:
+        probe_queries_fn = probe_queries
+    report = FaultReport(quick=quick, seed=seed)
+    rng = random.Random(seed)
+    _clock_and_cancel_drills(report)
+    for case_index, (name, graph, ontology) in enumerate(
+        verification_corpus(quick=quick, seed=seed)
+    ):
+        index = BiGIndex.build(
+            graph.copy(share_label_table=True),
+            ontology,
+            num_layers=num_layers,
+            cost_params=CostParams(exact=True),
+        )
+        if case_index == 0:
+            # Storage drills are O(files x copies); smallest case only.
+            _storage_drills(report, index, ontology, rng)
+        queries = probe_queries_fn(graph)
+        if quick:
+            queries = queries[:2]
+        _budget_drills(report, name, index, graph, queries)
+    return report

@@ -25,6 +25,7 @@ from repro.search.bidirectional import BidirectionalSearch
 from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
 from repro.verify.auditor import AuditReport, audit_index
+from repro.verify.faults import FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzReport, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
 
@@ -67,10 +68,14 @@ class VerifyReport:
     quick: bool = True
     seed: int = 0
     cases: List[CaseResult] = field(default_factory=list)
+    #: Fault-injection leg (``--faults``); ``None`` when not requested.
+    faults: Optional[FaultReport] = None
 
     @property
     def ok(self) -> bool:
-        return all(case.ok for case in self.cases)
+        return all(case.ok for case in self.cases) and (
+            self.faults is None or self.faults.ok
+        )
 
     def format(self) -> str:
         mode = "quick" if self.quick else "full"
@@ -79,6 +84,8 @@ class VerifyReport:
             f"{'PASS' if self.ok else 'FAIL'}"
         ]
         lines.extend(case.format() for case in self.cases)
+        if self.faults is not None:
+            lines.append(self.faults.format())
         return "\n".join(lines)
 
 
@@ -106,6 +113,7 @@ def run_verification(
     num_layers: int = 2,
     fuzz_sequences: Optional[int] = None,
     ops_per_sequence: Optional[int] = None,
+    faults: bool = False,
 ) -> VerifyReport:
     """Run the full harness over the deterministic corpus.
 
@@ -120,6 +128,9 @@ def run_verification(
         Layers per built index.
     fuzz_sequences / ops_per_sequence:
         Override the fuzz budget (defaults scale with ``quick``).
+    faults:
+        Also run the fault-injection leg
+        (:func:`repro.verify.faults.run_fault_injection`).
     """
     if fuzz_sequences is None:
         fuzz_sequences = 2 if quick else 5
@@ -171,5 +182,9 @@ def run_verification(
             CaseResult(
                 name=name, audit=audit, oracle=oracle_report, fuzz=fuzz_report
             )
+        )
+    if faults:
+        report.faults = run_fault_injection(
+            quick=quick, seed=seed, num_layers=num_layers
         )
     return report

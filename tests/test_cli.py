@@ -104,6 +104,73 @@ class TestBuildStatsQuery:
              "--scale", "0.05"]
         ) == 1
 
+    def _two_keywords(self, graph_prefix):
+        from repro.graph.io import load_graph_tsv
+
+        graph, _ = load_graph_tsv(graph_prefix)
+        histogram = sorted(
+            graph.label_histogram().items(), key=lambda kv: -kv[1]
+        )
+        return histogram[0][0], histogram[1][0]
+
+    def test_query_with_tight_budget_degrades_with_exit_3(
+        self, workspace, capsys
+    ):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        kw1, kw2 = self._two_keywords(graph_prefix)
+        code = main(
+            [
+                "query", index_dir,
+                "--keywords", kw1, kw2,
+                "--max-expansions", "1",
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "degraded" in captured.err
+        assert "proven" in captured.err
+
+    def test_query_with_roomy_budget_completes_with_exit_0(
+        self, workspace, capsys
+    ):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        kw1, kw2 = self._two_keywords(graph_prefix)
+        code = main(
+            [
+                "query", index_dir,
+                "--keywords", kw1, kw2,
+                "--max-expansions", "1000000",
+                "--timeout", "3600",
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "answer(s) in" in captured.out
+        assert captured.err == ""
+
+    def test_query_on_corrupted_index_errors(self, workspace, capsys):
+        graph_prefix, index_dir = workspace
+        self._generate_and_build(graph_prefix, index_dir)
+        with open(os.path.join(index_dir, "layer1.parents.txt"), "a") as f:
+            f.write("tamper\n")
+        kw1, kw2 = self._two_keywords(graph_prefix)
+        code = main(
+            [
+                "query", index_dir,
+                "--keywords", kw1, kw2,
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        )
+        assert code == 1
+        assert "checksum mismatch" in capsys.readouterr().err
+
 
 class TestVerifyCommand:
     def test_quick_harness_passes(self, capsys):
@@ -118,3 +185,10 @@ class TestVerifyCommand:
         assert main(["verify", "--quick", "--seed", "3",
                      "--fuzz-sequences", "1", "--fuzz-ops", "3"]) == 0
         assert "seed 3" in capsys.readouterr().out
+
+    def test_faults_flag_runs_fault_leg(self, capsys):
+        assert main(["verify", "--quick", "--faults",
+                     "--fuzz-sequences", "1", "--fuzz-ops", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "faults: OK" in out
+        assert "fault scenario(s)" in out

@@ -5,13 +5,19 @@ import os
 
 import pytest
 
+from repro.core import persistence
 from repro.core.cost import CostParams
 from repro.core.index import BiGIndex
-from repro.core.persistence import load_index, save_index
+from repro.core.persistence import load_index, save_index, write_manifest
 from repro.core.plugins import boost_bkws
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import KeywordQuery
-from repro.utils.errors import BigIndexError
+from repro.utils.errors import (
+    BigIndexError,
+    IndexCorruptedError,
+    IndexPersistenceError,
+    IndexVersionError,
+)
 
 EXACT = CostParams(exact=True)
 
@@ -104,3 +110,120 @@ class TestLoadErrors:
         open(path, "w").write("\n".join(lines) + "\n")
         with pytest.raises(BigIndexError):
             load_index(directory, fig2_ontology)
+
+
+class TestIntegrity:
+    """Corruption classification: every failure mode gets the right class."""
+
+    @pytest.fixture
+    def saved(self, built, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        return directory
+
+    def test_manifest_written_and_covers_every_file(self, saved):
+        manifest = json.load(open(os.path.join(saved, "manifest.json")))
+        names = {
+            name for name in os.listdir(saved) if name != "manifest.json"
+        }
+        assert set(manifest["files"]) == names
+        assert manifest["algorithm"] == "sha256"
+
+    def test_truncated_meta_is_corruption(self, saved, fig2_ontology):
+        path = os.path.join(saved, "meta.json")
+        with open(path, "r+b") as f:
+            f.truncate(os.path.getsize(path) // 2)
+        with pytest.raises(IndexCorruptedError):
+            load_index(saved, fig2_ontology)
+
+    def test_missing_layer_file_is_corruption(self, saved, fig2_ontology):
+        os.remove(os.path.join(saved, "layer1.parents.txt"))
+        with pytest.raises(IndexCorruptedError):
+            load_index(saved, fig2_ontology)
+
+    def test_checksum_mismatch_is_corruption(self, saved, fig2_ontology):
+        path = os.path.join(saved, "layer1.nodes")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n")
+        with pytest.raises(IndexCorruptedError, match="checksum mismatch"):
+            load_index(saved, fig2_ontology)
+
+    def test_bad_version_wins_over_checksums(self, saved, fig2_ontology):
+        # Editing meta.json also breaks its checksum; the version error
+        # must still be the one reported.
+        meta_path = os.path.join(saved, "meta.json")
+        meta = json.load(open(meta_path))
+        meta["version"] = 99
+        json.dump(meta, open(meta_path, "w"))
+        with pytest.raises(IndexVersionError):
+            load_index(saved, fig2_ontology)
+
+    def test_out_of_range_parent_reblessed(self, saved, fig2_ontology):
+        path = os.path.join(saved, "layer1.parents.txt")
+        lines = open(path).read().splitlines()
+        lines[0] = "999999"
+        open(path, "w").write("\n".join(lines) + "\n")
+        write_manifest(saved)  # checksum gate passes; validation must catch
+        with pytest.raises(IndexCorruptedError, match="unknown supernode"):
+            load_index(saved, fig2_ontology)
+
+    def test_non_integer_parent_line_names_the_line(
+        self, saved, fig2_ontology
+    ):
+        path = os.path.join(saved, "layer1.parents.txt")
+        lines = open(path).read().splitlines()
+        lines[2] = "notanint"
+        open(path, "w").write("\n".join(lines) + "\n")
+        write_manifest(saved)
+        with pytest.raises(
+            IndexCorruptedError, match=r"parents\.txt:3"
+        ) as excinfo:
+            load_index(saved, fig2_ontology)
+        assert "notanint" in str(excinfo.value)
+
+    def test_rebless_permits_deliberate_edits(self, saved, fig2_ontology):
+        # A harmless edit plus write_manifest must load again.
+        path = os.path.join(saved, "layer1.parents.txt")
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("\n")  # blank lines are skipped by the parser
+        write_manifest(saved)
+        load_index(saved, fig2_ontology)
+
+    def test_error_hierarchy(self):
+        assert issubclass(IndexCorruptedError, IndexPersistenceError)
+        assert issubclass(IndexVersionError, IndexPersistenceError)
+        assert issubclass(IndexPersistenceError, BigIndexError)
+
+
+class TestAtomicity:
+    def test_failed_save_preserves_previous_index(
+        self, built, fig2_ontology, tmp_path, monkeypatch
+    ):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+
+        def explode(index, staging):
+            with open(os.path.join(staging, "meta.json"), "w") as f:
+                f.write("{")  # a torn write, then the crash
+            raise OSError("disk full")
+
+        monkeypatch.setattr(persistence, "_write_index_files", explode)
+        with pytest.raises(OSError):
+            save_index(built, directory)
+        monkeypatch.undo()
+        # The original is untouched and still verifiable.
+        loaded = load_index(directory, fig2_ontology)
+        assert loaded.num_layers == built.num_layers
+        # No staging residue is left next to it.
+        residue = [
+            name for name in os.listdir(str(tmp_path)) if ".tmp-" in name
+        ]
+        assert residue == []
+
+    def test_resave_replaces_atomically(self, built, fig2_ontology, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory)
+        save_index(built, directory)  # overwrite in place
+        loaded = load_index(directory, fig2_ontology)
+        assert loaded.num_layers == built.num_layers
+        assert not os.path.exists(directory + ".stale")

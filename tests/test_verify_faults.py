@@ -1,0 +1,48 @@
+"""Tests for the fault-injection leg of the verification harness."""
+
+from repro.verify import FaultReport, run_fault_injection, run_verification
+from repro.verify.faults import FaultFinding
+
+
+class TestFaultInjection:
+    def test_quick_campaign_is_clean(self):
+        report = run_fault_injection(quick=True, seed=0)
+        assert report.ok, report.format()
+        assert report.checks > 40  # storage + budget + clock drills all ran
+
+    def test_campaign_is_deterministic(self):
+        first = run_fault_injection(quick=True, seed=7)
+        second = run_fault_injection(quick=True, seed=7)
+        assert first.checks == second.checks
+        assert [f.format() for f in first.findings] == [
+            f.format() for f in second.findings
+        ]
+
+    def test_report_formatting(self):
+        report = FaultReport(checks=3)
+        assert "OK" in report.format()
+        report.findings.append(
+            FaultFinding("storage/bitflip", "case", "loaded anyway")
+        )
+        assert not report.ok
+        text = report.format()
+        assert "1 finding(s)" in text
+        assert "storage/bitflip" in text
+
+
+class TestRunnerIntegration:
+    def test_verification_includes_faults_when_asked(self):
+        report = run_verification(
+            quick=True, seed=0, fuzz_sequences=1, ops_per_sequence=2,
+            faults=True,
+        )
+        assert report.faults is not None
+        assert report.ok, report.format()
+        assert "faults: OK" in report.format()
+
+    def test_faults_leg_off_by_default(self):
+        report = run_verification(
+            quick=True, seed=0, fuzz_sequences=1, ops_per_sequence=2
+        )
+        assert report.faults is None
+        assert "faults:" not in report.format()
