@@ -1,0 +1,350 @@
+"""Pinned hot-path micro-suite and benchmark-regression gate.
+
+The three hot paths this PR optimized — partition refinement, CSR-backed
+search, and parallel index construction — each get a fixed, seeded
+workload here so their cost can be tracked as a number instead of a
+vibe.  ``repro-bigindex bench`` runs the suite and prints it;
+``repro-bigindex bench --check`` replays it against the committed
+baseline (``BENCH_hotpaths.json``) and exits non-zero when a timing
+regresses beyond the tolerance band, which is how CI catches an
+accidental de-optimization of a path no functional test times.
+
+Suite (full mode)
+-----------------
+* ``refine.<graph>`` — ``maximal_bisimulation`` on every graph of the
+  differential-verification corpus plus ``synt-2k``; best of ``repeats``
+  runs.  ``synt-deep-3k`` is the depth-stress case where the worklist
+  algorithm's asymptotic advantage shows.
+* ``search.<algo>`` — the four plugged searchers over the seeded probe
+  queries on ``synt-1k``; best-of-``repeats`` wall-clock without a
+  budget, plus a second budgeted pass recording the exact node-expansion
+  count, which is machine-independent.
+* ``build.synt-1k`` — a 2-layer ``BiGIndex.build``, serial and with a
+  worker pool; best of two runs.
+
+Cross-machine gating
+--------------------
+Wall-clock baselines are machine-bound, so the gate normalizes: each run
+also times a fixed pure-Python calibration kernel, and the comparison
+scales the baseline's timings by the ratio of calibration times before
+applying the tolerance.  A CI runner 2x slower than the machine that
+blessed the baseline therefore gets a 2x allowance — the gate measures
+*the code*, not the hardware.  Deterministic metrics (block counts,
+expansion counts, layer sizes) must match exactly, unscaled.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.bisim.refinement import BisimDirection, maximal_bisimulation
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.datasets.synthetic import (
+    deep_dataset,
+    synthetic_dataset,
+    verification_corpus,
+)
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordSearchAlgorithm
+from repro.search.bidirectional import BidirectionalSearch
+from repro.search.blinks import Blinks
+from repro.search.rclique import RClique
+from repro.utils.budget import Budget
+from repro.verify.runner import probe_queries
+
+#: Metric dictionary: flat ``"group.case.metric" -> value``.  Values are
+#: floats (seconds), ints (counts), or lists of ints (layer sizes).
+Metrics = Dict[str, object]
+
+#: Absolute slack added on top of the relative tolerance so sub-millisecond
+#: entries (toy graphs) don't trip the gate on scheduler noise.
+ABS_SLACK_SECONDS = 0.005
+
+#: Keys gated for exact equality (machine-independent determinism).
+EXACT_SUFFIXES = (".blocks", ".expansions", ".layer_sizes", ".answers")
+
+
+def machine_info() -> Dict[str, object]:
+    """Where a measurement was taken (recorded, never compared)."""
+    import os
+
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    }
+
+
+def peak_rss_kib() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None off-Linux)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix
+        return None
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """A fixed pure-Python kernel timing interpreter+machine speed.
+
+    Deliberately *not* repro code (gating repro code against itself would
+    hide uniform slowdowns): signature-shaped dict/tuple churn over fixed
+    pseudo-random data, best of ``repeats``.
+    """
+    rng = random.Random(0)
+    data = [
+        [rng.randrange(200) for _ in range(8)] for _ in range(2000)
+    ]
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        acc: Dict[Tuple[int, ...], int] = {}
+        for row in data:
+            key = tuple(sorted(set(row)))
+            acc[key] = acc.get(key, 0) + 1
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """(best wall-clock, last result) over ``repeats`` calls."""
+    best = None
+    result: object = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, result
+
+
+def _search_algorithms(d_max: int = 3, k: int = 10) -> Dict[str, KeywordSearchAlgorithm]:
+    return {
+        "bkws": BackwardKeywordSearch(d_max=d_max, k=k),
+        "bdws": BidirectionalSearch(d_max=d_max, k=k),
+        "blinks": Blinks(d_max=d_max, k=k),
+        "r-clique": RClique(radius=2, k=k),
+    }
+
+
+def run_suite(
+    quick: bool = False,
+    seed: int = 0,
+    workers: int = 4,
+    repeats: int = 3,
+) -> Metrics:
+    """Run the pinned micro-suite and return its flat metric dict.
+
+    ``quick`` restricts to the toy corpus and skips the index build —
+    a smoke-sized subset for tests; its numbers are not comparable to a
+    full-mode baseline (:func:`compare` refuses to mix modes).
+    """
+    metrics: Metrics = {"mode": "quick" if quick else "full"}
+    metrics["calibration.seconds"] = calibration_seconds(repeats)
+
+    # --- refinement over the verification corpus -----------------------
+    for name, graph, _ontology in verification_corpus(quick=quick, seed=seed):
+        elapsed, blocks = _best_of(
+            lambda g=graph: maximal_bisimulation(g, BisimDirection.SUCCESSORS),
+            repeats,
+        )
+        metrics[f"refine.{name}.seconds"] = elapsed
+        metrics[f"refine.{name}.blocks"] = len(set(blocks))
+
+    if not quick:
+        extra = [("synt-2k", synthetic_dataset("synt-2k", seed=seed)[0])]
+        # synt-deep-1k: the smaller depth-stress case (synt-deep-3k is
+        # already in the verification corpus).
+        extra.append(("synt-deep-1k", deep_dataset("synt-deep-1k", seed=seed)[0]))
+        for name, extra_graph in extra:
+            elapsed, blocks = _best_of(
+                lambda g=extra_graph: maximal_bisimulation(
+                    g, BisimDirection.SUCCESSORS
+                ),
+                repeats,
+            )
+            metrics[f"refine.{name}.seconds"] = elapsed
+            metrics[f"refine.{name}.blocks"] = len(set(blocks))
+
+    # --- seed search: the four plugged algorithms ----------------------
+    if quick:
+        corpus = verification_corpus(quick=True, seed=seed)
+        search_graph = corpus[0][1]
+    else:
+        search_graph, ontology = synthetic_dataset("synt-1k", seed=seed)
+    queries = probe_queries(search_graph)
+    for name, algorithm in _search_algorithms().items():
+        searcher = algorithm.bind(search_graph)
+
+        def run_queries(s=searcher):
+            for query in queries:
+                s.search(query)
+
+        elapsed, _ = _best_of(run_queries, repeats)
+        metrics[f"search.{name}.seconds"] = elapsed
+        # Second, budgeted pass: exact expansion counts (deterministic
+        # across machines; timed separately so charge overhead doesn't
+        # pollute the wall-clock metric).
+        budget = Budget()
+        for query in queries:
+            searcher.search(query, budget=budget)
+        metrics[f"search.{name}.expansions"] = budget.expansions
+
+    # --- full index build ----------------------------------------------
+    if not quick:
+        build_repeats = min(2, repeats)
+        elapsed, index = _best_of(
+            lambda: BiGIndex.build(
+                search_graph.copy(share_label_table=True),
+                ontology,
+                num_layers=2,
+                cost_params=CostParams(num_samples=25),
+            ),
+            build_repeats,
+        )
+        metrics["build.synt-1k.serial.seconds"] = elapsed
+        metrics["build.synt-1k.layer_sizes"] = index.layer_sizes()
+
+        elapsed, parallel_index = _best_of(
+            lambda: BiGIndex.build(
+                search_graph.copy(share_label_table=True),
+                ontology,
+                num_layers=2,
+                cost_params=CostParams(num_samples=25),
+                workers=workers,
+            ),
+            build_repeats,
+        )
+        metrics["build.synt-1k.parallel.seconds"] = elapsed
+        metrics["build.synt-1k.parallel.workers"] = workers
+        if parallel_index.layer_sizes() != index.layer_sizes():
+            raise AssertionError(
+                "parallel build diverged from serial: "
+                f"{parallel_index.layer_sizes()} != {index.layer_sizes()}"
+            )
+
+    rss = peak_rss_kib()
+    if rss is not None:
+        metrics["peak_rss_kib"] = rss
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Baseline documents and the regression gate
+# ----------------------------------------------------------------------
+def make_document(
+    metrics: Metrics, before: Optional[Metrics] = None
+) -> Dict[str, object]:
+    """The JSON document shape committed as ``BENCH_hotpaths.json``."""
+    document: Dict[str, object] = {
+        "schema": 1,
+        "machine": machine_info(),
+        "current": metrics,
+    }
+    if before:
+        document["before"] = before
+        document["speedups"] = derive_speedups(before, metrics)
+    return document
+
+
+def derive_speedups(before: Metrics, current: Metrics) -> Dict[str, float]:
+    """``before/current`` wall-clock ratios for every shared timing key."""
+    speedups: Dict[str, float] = {}
+    for key, old in before.items():
+        if not key.endswith(".seconds"):
+            continue
+        new = current.get(key)
+        if isinstance(old, (int, float)) and isinstance(new, (int, float)) and new > 0:
+            speedups[key[: -len(".seconds")]] = round(old / new, 2)
+    # The headline parallel-build claim compares against the *serial*
+    # pre-change build — the knob didn't exist before this change.
+    old_serial = before.get("build.synt-1k.serial.seconds")
+    new_parallel = current.get("build.synt-1k.parallel.seconds")
+    if isinstance(old_serial, (int, float)) and isinstance(new_parallel, (int, float)):
+        if new_parallel > 0:
+            speedups["build.synt-1k.parallel-vs-before-serial"] = round(
+                old_serial / new_parallel, 2
+            )
+    return speedups
+
+
+def load_document(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(
+    current: Metrics,
+    baseline: Metrics,
+    tolerance: float = 0.25,
+) -> List[str]:
+    """Regressions of ``current`` against ``baseline``, as messages.
+
+    Timing keys fail when ``current > scaled_baseline * (1 + tolerance)
+    + ABS_SLACK_SECONDS`` where ``scaled_baseline`` is the baseline
+    timing multiplied by the machines' calibration ratio.  Deterministic
+    keys (block/expansion counts, layer sizes) fail on any difference.
+    An empty list means the gate passes.
+    """
+    failures: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        return [
+            f"mode mismatch: current={current.get('mode')!r} "
+            f"baseline={baseline.get('mode')!r}; quick and full runs "
+            f"are not comparable"
+        ]
+
+    base_cal = baseline.get("calibration.seconds")
+    cur_cal = current.get("calibration.seconds")
+    if isinstance(base_cal, (int, float)) and isinstance(cur_cal, (int, float)) \
+            and base_cal > 0:
+        scale = cur_cal / base_cal
+    else:
+        scale = 1.0
+
+    for key, base_value in sorted(baseline.items()):
+        cur_value = current.get(key)
+        if key.endswith(".seconds") and key != "calibration.seconds":
+            if not isinstance(cur_value, (int, float)):
+                failures.append(f"{key}: missing from current run")
+                continue
+            allowed = base_value * scale * (1.0 + tolerance) + ABS_SLACK_SECONDS
+            if cur_value > allowed:
+                failures.append(
+                    f"{key}: {cur_value:.6f}s exceeds allowance "
+                    f"{allowed:.6f}s (baseline {base_value:.6f}s, "
+                    f"machine scale {scale:.2f}, tolerance "
+                    f"{tolerance:.0%})"
+                )
+        elif key.endswith(EXACT_SUFFIXES):
+            if cur_value != base_value:
+                failures.append(
+                    f"{key}: {cur_value!r} != baseline {base_value!r} "
+                    f"(deterministic metric; must match exactly)"
+                )
+    return failures
+
+
+def format_metrics(
+    metrics: Metrics, speedups: Optional[Dict[str, float]] = None
+) -> str:
+    """Human-readable metric table (timings in ms, counts verbatim)."""
+    lines: List[str] = []
+    for key in sorted(metrics):
+        value = metrics[key]
+        if key.endswith(".seconds"):
+            line = f"  {key:<40s} {value * 1e3:10.3f} ms"
+            if speedups:
+                ratio = speedups.get(key[: -len(".seconds")])
+                if ratio is not None:
+                    line += f"   ({ratio:.2f}x vs before)"
+            lines.append(line)
+        else:
+            lines.append(f"  {key:<40s} {value!r}")
+    return "\n".join(lines)

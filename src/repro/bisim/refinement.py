@@ -25,18 +25,33 @@ expose the matching direction explicitly:
 
 Algorithm
 ---------
-Kanellakis–Smolka style signature refinement: start from the partition by
-label; repeatedly split blocks by the *set* of neighbor blocks until stable.
-Each round is ``O(|V| + |E|)``; the number of rounds is bounded by the
-partition's refinement depth.  Block ids are renumbered canonically (by the
-smallest member vertex) so results are deterministic and stable across runs,
-which the test-suite and the hierarchical index rely on.
+Worklist-driven signature refinement.  The classical Kanellakis–Smolka
+loop (kept as :func:`_reference_bisimulation` for differential testing)
+re-signatures **all** ``n`` vertices every round and pays a full
+confirmation round to detect stability; stable regions of the graph are
+re-hashed again and again, which dominates construction cost at scale
+(cf. Luo et al., *I/O-efficient localized bisimulation partition
+construction*, and Rau et al., *Computing k-Bisimulations for Large
+Graphs*).  The worklist variant instead tracks **dirty blocks**: after a
+round splits some blocks, only the vertices with an edge into a *moved*
+vertex can change signature, so only their blocks are re-examined in the
+next round.  Signatures are sorted int tuples built from the graph's CSR
+adjacency snapshot (no per-vertex frozensets), and a block's own id is
+excluded from its members' signatures (it is constant within the block,
+and the worklist never merges blocks).
+
+Both implementations converge to the same fixpoint — the coarsest stable
+refinement of the start partition is unique regardless of split order —
+and both renumber blocks canonically (by smallest member vertex), so the
+returned arrays are byte-identical.  The test-suite and the hierarchical
+index rely on that determinism; ``tests/test_properties.py`` checks the
+equivalence on randomized graphs across all three directions.
 """
 
 from __future__ import annotations
 
 from enum import Enum
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.graph.digraph import Graph
 
@@ -78,14 +93,162 @@ def maximal_bisimulation(
     n = graph.num_vertices
     if n == 0:
         return []
+    if initial_blocks is not None and len(initial_blocks) != n:
+        raise ValueError("initial_blocks must cover every vertex")
+
+    use_out = direction in (BisimDirection.SUCCESSORS, BisimDirection.BOTH)
+    use_in = direction in (BisimDirection.PREDECESSORS, BisimDirection.BOTH)
+
+    csr = graph.csr()
+    # Offsets as plain lists: CPython caches small ints in lists, while
+    # ``array('i').__getitem__`` boxes a fresh int every access, and the
+    # offsets are read twice per vertex per round.
+    out_off, out_tgt = csr.out_offsets.tolist(), csr.out_targets
+    in_off, in_tgt = csr.in_offsets.tolist(), csr.in_targets
+
+    labels = graph.labels
+    if initial_blocks is None:
+        block: List[int] = list(labels)
+        # The start partition *is* the label partition: folding the label
+        # into the first-round signature would be a no-op.
+        first_round_labels = None
+    else:
+        block = list(initial_blocks)
+        # Label refinement is fused into the first worklist round instead
+        # of allocating a (initial_block, label)-keyed dict up front: the
+        # first round groups every block's members by signature anyway, so
+        # the label simply rides along as the signature's first component.
+        first_round_labels = labels
+
+    # Block bookkeeping: member lists per block id, worklist of dirty ids.
+    members: Dict[int, List[int]] = {}
+    for v in range(n):
+        b = block[v]
+        got = members.get(b)
+        if got is None:
+            members[b] = [v]
+        else:
+            got.append(v)
+
+    next_id = max(members) + 1
+    dirty = list(members)
+    in_dirty = set(dirty)
+
+    while dirty:
+        moved: List[int] = []
+        process, dirty = dirty, []
+        in_dirty.clear()
+        bg = block.__getitem__
+        lbls = first_round_labels
+        for b in process:
+            mem = members[b]
+            if len(mem) == 1:
+                continue  # singletons cannot split
+            # Group members by signature: sorted deduped neighbor-block
+            # tuples (plus the vertex label in the fused first round).
+            # The three direction cases are split into separate loops so
+            # the dominant successor-only path pays for exactly one
+            # signature and no wrapper tuple.
+            groups: Dict[Tuple, List[int]] = {}
+            for v in mem:
+                if use_out:
+                    ids = sorted(map(bg, out_tgt[out_off[v] : out_off[v + 1]]))
+                    if ids:
+                        last = ids[0]
+                        sig = [last]
+                        for x in ids:
+                            if x != last:
+                                sig.append(x)
+                                last = x
+                        succ = tuple(sig)
+                    else:
+                        succ = ()
+                    if not use_in:
+                        key = succ if lbls is None else (lbls[v], succ)
+                        got = groups.get(key)
+                        if got is None:
+                            groups[key] = [v]
+                        else:
+                            got.append(v)
+                        continue
+                else:
+                    succ = ()
+                ids = sorted(map(bg, in_tgt[in_off[v] : in_off[v + 1]]))
+                if ids:
+                    last = ids[0]
+                    sig = [last]
+                    for x in ids:
+                        if x != last:
+                            sig.append(x)
+                            last = x
+                    pred = tuple(sig)
+                else:
+                    pred = ()
+                if use_out:
+                    key = (succ, pred) if lbls is None else (lbls[v], succ, pred)
+                else:
+                    key = pred if lbls is None else (lbls[v], pred)
+                got = groups.get(key)
+                if got is None:
+                    groups[key] = [v]
+                else:
+                    got.append(v)
+            if len(groups) == 1:
+                continue
+            # Split: the largest group keeps the old id (fewest moved
+            # vertices => fewest dirty neighbors next round); every other
+            # group gets a fresh id and its members are marked moved.
+            ordered = sorted(groups.values(), key=len, reverse=True)
+            members[b] = ordered[0]
+            for group in ordered[1:]:
+                fresh = next_id
+                next_id += 1
+                members[fresh] = group
+                for v in group:
+                    block[v] = fresh
+                moved.extend(group)
+        if not moved:
+            break
+        first_round_labels = None
+        # A vertex's signature mentions block[w] for its out-neighbors w
+        # (successor matching) and in-neighbors (predecessor matching);
+        # only vertices with an edge *to* a moved vertex (resp. *from*)
+        # can have changed signature — mark their blocks dirty.  block
+        # ids are mapped at C speed; the set may pick up clean singleton
+        # blocks, which the next round skips for free.
+        bg = block.__getitem__
+        for w in moved:
+            if use_out:
+                in_dirty.update(map(bg, in_tgt[in_off[w] : in_off[w + 1]]))
+            if use_in:
+                in_dirty.update(map(bg, out_tgt[out_off[w] : out_off[w + 1]]))
+        dirty = list(in_dirty)
+
+    return _canonicalize(block, n, len(members))
+
+
+def _reference_bisimulation(
+    graph: Graph,
+    direction: BisimDirection = BisimDirection.SUCCESSORS,
+    initial_blocks: Sequence[int] | None = None,
+) -> List[int]:
+    """The naive Kanellakis–Smolka loop, kept as the differential oracle.
+
+    Re-signatures every vertex each round with frozenset signatures; the
+    property tests assert :func:`maximal_bisimulation` matches it
+    byte-for-byte on randomized graphs.  The live block count is threaded
+    through the loop rather than recomputed with ``len(set(block))`` per
+    round.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return []
 
     if initial_blocks is None:
         block = list(graph.labels)
     else:
         if len(initial_blocks) != n:
             raise ValueError("initial_blocks must cover every vertex")
-        # Refine the provided partition by label so the label condition of
-        # bisimulation holds from the start.
         combined: Dict[Tuple[int, int], int] = {}
         block = []
         for v in range(n):
@@ -96,39 +259,45 @@ def maximal_bisimulation(
     use_out = direction in (BisimDirection.SUCCESSORS, BisimDirection.BOTH)
     use_in = direction in (BisimDirection.PREDECESSORS, BisimDirection.BOTH)
 
+    num_blocks = len(set(block))
     while True:
         signatures: Dict[Tuple, int] = {}
         new_block = [0] * n
         for v in range(n):
-            succ_sig: FrozenSet[int] = frozenset(
+            succ_sig = frozenset(
                 block[w] for w in graph.out_neighbors(v)
             ) if use_out else frozenset()
-            pred_sig: FrozenSet[int] = frozenset(
+            pred_sig = frozenset(
                 block[w] for w in graph.in_neighbors(v)
             ) if use_in else frozenset()
             key = (block[v], succ_sig, pred_sig)
             new_block[v] = signatures.setdefault(key, len(signatures))
-        if len(signatures) == _num_blocks(block, n):
-            block = new_block
-            break
         block = new_block
+        if len(signatures) == num_blocks:
+            break
+        num_blocks = len(signatures)
     return _canonicalize(block, n)
 
 
-def _num_blocks(block: List[int], n: int) -> int:
-    return len(set(block[:n]))
+def _canonicalize(
+    block: List[int], n: int, num_blocks: int | None = None
+) -> List[int]:
+    """Renumber blocks by smallest member vertex for determinism.
 
-
-def _canonicalize(block: List[int], n: int) -> List[int]:
-    """Renumber blocks by smallest member vertex for determinism."""
+    When the caller knows the block count, the discovery scan stops as
+    soon as every id has been seen and the remap runs at C speed.
+    """
     first_seen: Dict[int, int] = {}
-    result = [0] * n
-    for v in range(n):
-        old = block[v]
+    if num_blocks is None:
+        num_blocks = len(set(block))
+    seen = 0
+    for old in block:
         if old not in first_seen:
-            first_seen[old] = len(first_seen)
-        result[v] = first_seen[old]
-    return result
+            first_seen[old] = seen
+            seen += 1
+            if seen == num_blocks:
+                break
+    return list(map(first_seen.__getitem__, block))
 
 
 def is_bisimulation_partition(
@@ -147,10 +316,15 @@ def is_bisimulation_partition(
         return False
     use_out = direction in (BisimDirection.SUCCESSORS, BisimDirection.BOTH)
     use_in = direction in (BisimDirection.PREDECESSORS, BisimDirection.BOTH)
+    csr = graph.csr()
     rep_signature: Dict[int, Tuple] = {}
     for v in range(n):
-        succ = frozenset(block[w] for w in graph.out_neighbors(v)) if use_out else None
-        pred = frozenset(block[w] for w in graph.in_neighbors(v)) if use_in else None
+        succ = (
+            frozenset(block[w] for w in csr.out_neighbors(v)) if use_out else None
+        )
+        pred = (
+            frozenset(block[w] for w in csr.in_neighbors(v)) if use_in else None
+        )
         sig = (graph.labels[v], succ, pred)
         existing = rep_signature.get(block[v])
         if existing is None:

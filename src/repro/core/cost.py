@@ -83,6 +83,10 @@ class CostModel:
         self.direction = direction
         self._samples: Optional[List[Graph]] = None
         self._support_cache: Dict[str, float] = {}
+        #: (sample index, config projected onto the sample's labels) ->
+        #: that sample's compression ratio.
+        self._ratio_cache: Dict[Tuple[int, Tuple[Tuple[str, str], ...]], float] = {}
+        self._sample_labels: Optional[List[frozenset]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -116,14 +120,39 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def compress(self, config: Configuration) -> float:
-        """Estimated (or exact) compression ratio ``|chi(G, C)| / |G|``."""
+        """Estimated (or exact) compression ratio ``|chi(G, C)| / |G|``.
+
+        Per-sample ratios are memoized keyed by the configuration's
+        *projection* onto the sample's label set: a mapping whose source
+        label is absent from a sample is a no-op for that sample's
+        generalization, so any two configurations with the same projection
+        produce bit-identical ratios.  Algorithm 1 evaluates hundreds of
+        near-identical configurations (every single-mapping candidate,
+        then each cumulative extension), and most samples are blind to
+        most mappings — the cache collapses that to one summarization per
+        distinct (sample, projection) pair without changing a single
+        float.
+        """
         if self.params.exact:
             return compression_ratio(self.graph, config, self.direction)
-        ratios = [
-            compression_ratio(sample, config, self.direction)
-            for sample in self.samples
-            if sample.size > 0
-        ]
+        samples = self.samples
+        if self._sample_labels is None:
+            self._sample_labels = [
+                frozenset(sample.distinct_labels()) for sample in samples
+            ]
+        items = sorted(config.mappings.items())
+        cache = self._ratio_cache
+        ratios: List[float] = []
+        for i, sample in enumerate(samples):
+            if sample.size <= 0:
+                continue
+            labels_here = self._sample_labels[i]
+            key = (i, tuple(m for m in items if m[0] in labels_here))
+            ratio = cache.get(key)
+            if ratio is None:
+                ratio = compression_ratio(sample, config, self.direction)
+                cache[key] = ratio
+            ratios.append(ratio)
         if not ratios:
             return 1.0
         return sum(ratios) / len(ratios)

@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.config import Configuration
 from repro.core.cost import CostModel, CostParams
+from repro.core.parallel import score_candidates
 from repro.graph.digraph import Graph
 from repro.ontology.ontology import OntologyGraph
 
@@ -48,6 +49,7 @@ def greedy_configuration(
     max_mappings: Optional[int] = None,
     cost_params: Optional[CostParams] = None,
     cost_model: Optional[CostModel] = None,
+    workers: Optional[int] = None,
 ) -> Configuration:
     """Algorithm 1: a maximal configuration under the cost threshold.
 
@@ -67,6 +69,12 @@ def greedy_configuration(
     cost_params / cost_model:
         Cost-model configuration, or a prebuilt model (which lets callers
         reuse one sample set across layers/benchmarks).
+    workers:
+        Fan the initial candidate-scoring pass out over this many worker
+        processes (:mod:`repro.core.parallel`); ``None``/1 scores inline.
+        The subsequent extension loop is inherently sequential (each
+        acceptance changes the configuration being extended) and always
+        runs in-process.
 
     Returns
     -------
@@ -78,11 +86,14 @@ def greedy_configuration(
     if not candidates:
         return config
 
-    # Priority queue keyed by the estimated single-mapping cost.
-    queue: List[Tuple[float, str, str]] = []
-    for source, target in candidates:
-        single = Configuration({source: target}, ontology=ontology)
-        heapq.heappush(queue, (model.cost(single), source, target))
+    # Priority queue keyed by the estimated single-mapping cost.  The
+    # scores are identical floats whether computed inline or by workers.
+    scores = score_candidates(model, candidates, workers=workers)
+    queue: List[Tuple[float, str, str]] = [
+        (score, source, target)
+        for score, (source, target) in zip(scores, candidates)
+    ]
+    heapq.heapify(queue)
 
     while queue:
         if max_mappings is not None and len(config) >= max_mappings:

@@ -118,6 +118,7 @@ class BiGIndex:
         cost_params: Optional[CostParams] = None,
         direction: BisimDirection = BisimDirection.SUCCESSORS,
         stop_ratio: float = 0.98,
+        workers: Optional[int] = None,
     ) -> "BiGIndex":
         """Construct a BiG-index bottom-up.
 
@@ -140,6 +141,11 @@ class BiGIndex:
         stop_ratio:
             Stop when a new layer's size exceeds this fraction of the layer
             below (compression has saturated).
+        workers:
+            Score each layer's candidate generalizations on this many
+            worker processes (threads when process pools are unavailable);
+            ``None``/1 builds serially.  Results are identical either way
+            — only the wall clock changes.
         """
         index = cls(graph, ontology, direction=direction)
         start_total = time.perf_counter()
@@ -152,6 +158,7 @@ class BiGIndex:
                 theta=theta,
                 max_mappings=max_mappings,
                 cost_params=cost_params,
+                workers=workers,
             )
             generalized = generalize_graph(current, config)
             summary = summarize(generalized, direction=direction)

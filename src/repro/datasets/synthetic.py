@@ -27,6 +27,12 @@ SYNTHETIC_SCALES: Dict[str, Tuple[int, int]] = {
     "synt-8k": (8_000, 16_000),
 }
 
+#: (name, layers, layer width, out-branching) for the deep layered DAGs.
+DEEP_SCALES: Dict[str, Tuple[int, int, int]] = {
+    "synt-deep-1k": (10, 100, 2),
+    "synt-deep-3k": (30, 100, 2),
+}
+
 
 def zipf_choice(rng: random.Random, items: Sequence[str], exponent: float = 1.0) -> str:
     """Draw one item with probability proportional to ``1 / rank**exponent``."""
@@ -93,6 +99,96 @@ def generate_synthetic_graph(
     return graph
 
 
+def generate_deep_graph(
+    num_layers: int,
+    layer_width: int,
+    ontology: OntologyGraph,
+    seed: int = 0,
+    branching: int = 2,
+) -> Graph:
+    """A layered DAG whose bisimulation refinement is *deep*.
+
+    ``num_layers`` layers of ``layer_width`` vertices; every vertex has
+    ``branching`` out-edges into the next layer.  Each layer carries one
+    leaf type, except the last layer which alternates two types — that
+    single seam makes the partition refine one layer per round, so the
+    refinement depth equals the number of layers.  Random graphs like
+    :func:`generate_synthetic_graph` converge in 2–3 rounds and therefore
+    never exercise the long-chain regime that dominates construction on
+    real knowledge graphs (deep type hierarchies, citation chains); this
+    shape is the corpus's depth stressor and the benchmark where
+    worklist refinement shows its asymptotic advantage over the global
+    re-signature loop.
+    """
+    if num_layers < 2:
+        raise GraphError("a deep graph needs at least two layers")
+    if layer_width <= 0 or branching <= 0:
+        raise GraphError("layer_width and branching must be positive")
+    leaves = ontology.leaves()
+    if len(leaves) < num_layers + 1:
+        raise GraphError(
+            f"ontology has {len(leaves)} leaf types; "
+            f"need {num_layers + 1} for {num_layers} layers plus the seam"
+        )
+    rng = random.Random(seed)
+    shuffled = list(leaves)
+    rng.shuffle(shuffled)
+    seam_label = shuffled[num_layers]
+
+    graph = Graph()
+    for layer in range(num_layers):
+        for position in range(layer_width):
+            if layer == num_layers - 1 and position % 2:
+                graph.add_vertex(seam_label)
+            else:
+                graph.add_vertex(shuffled[layer])
+    for layer in range(num_layers - 1):
+        base = layer * layer_width
+        next_base = base + layer_width
+        for position in range(layer_width):
+            v = base + position
+            for target in rng.sample(
+                range(next_base, next_base + layer_width),
+                min(branching, layer_width),
+            ):
+                graph.add_edge(v, target)
+    return graph
+
+
+def deep_dataset(
+    name: str,
+    seed: int = 0,
+    ontology_types: int = 500,
+    ontology_fanout: int = 5,
+    ontology_height: int = 7,
+) -> Tuple[Graph, OntologyGraph]:
+    """One of the ``synt-deep-*`` layered datasets with its ontology.
+
+    Same ontology shape as :func:`synthetic_dataset`; the graph is the
+    deep layered DAG of :func:`generate_deep_graph`.
+
+    >>> graph, ontology = deep_dataset("synt-deep-1k")
+    >>> graph.num_vertices
+    1000
+    """
+    try:
+        num_layers, layer_width, branching = DEEP_SCALES[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown deep dataset {name!r}; choose from {sorted(DEEP_SCALES)}"
+        ) from None
+    ontology = generate_ontology(
+        ontology_types,
+        avg_fanout=ontology_fanout,
+        height=ontology_height,
+        seed=seed,
+    )
+    graph = generate_deep_graph(
+        num_layers, layer_width, ontology, seed=seed, branching=branching
+    )
+    return graph, ontology
+
+
 def verification_ontology() -> OntologyGraph:
     """The two-level toy ontology used by the verification corpus.
 
@@ -123,7 +219,8 @@ def verification_corpus(
     The quick corpus is two small random graphs over the toy ontology —
     big enough to exercise multi-layer summarization, small enough for the
     exhaustive oracle comparisons CI runs on every push.  The full corpus
-    adds the scaled ``synt-1k`` benchmark graph with its generated
+    adds the scaled ``synt-1k`` benchmark graph and the ``synt-deep-3k``
+    layered DAG (the refinement-depth stressor), each with its generated
     ontology.
     """
     ontology = verification_ontology()
@@ -144,6 +241,8 @@ def verification_corpus(
     if not quick:
         graph, synt_ontology = synthetic_dataset("synt-1k", seed=seed)
         cases.append(("synt-1k", graph, synt_ontology))
+        deep_graph, deep_ontology = deep_dataset("synt-deep-3k", seed=seed)
+        cases.append(("synt-deep-3k", deep_graph, deep_ontology))
     return cases
 
 

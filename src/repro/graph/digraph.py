@@ -19,6 +19,7 @@ Design notes
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.utils.errors import GraphError
@@ -77,6 +78,69 @@ class LabelTable:
         return iter(self._to_label)
 
 
+class CSRView:
+    """A frozen compressed-sparse-row snapshot of a graph's adjacency.
+
+    The traversal and refinement hot paths iterate neighbor lists millions
+    of times; list-of-lists adjacency pays a pointer chase and a bounds
+    check per ``out_neighbors`` call.  A CSR view packs both directions
+    into four ``array('i')`` buffers so the inner loops become two offset
+    lookups and one contiguous slice:
+
+    ``out_targets[out_offsets[v]:out_offsets[v + 1]]`` — successors of ``v``
+    ``in_targets[in_offsets[v]:in_offsets[v + 1]]``  — predecessors of ``v``
+
+    Views are immutable snapshots owned by :meth:`Graph.csr`: the graph
+    builds one lazily and drops it on any topology mutation, so holding a
+    view across mutations never observes stale adjacency — re-fetch via
+    ``graph.csr()`` after mutating.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_targets",
+    )
+
+    def __init__(self, out_adj: List[List[int]], in_adj: List[List[int]]) -> None:
+        self.num_vertices = len(out_adj)
+        self.out_offsets, self.out_targets = _pack_csr(out_adj)
+        self.in_offsets, self.in_targets = _pack_csr(in_adj)
+
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        """Successors of ``v`` as a contiguous slice (do not mutate)."""
+        return self.out_targets[self.out_offsets[v] : self.out_offsets[v + 1]]
+
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        """Predecessors of ``v`` as a contiguous slice (do not mutate)."""
+        return self.in_targets[self.in_offsets[v] : self.in_offsets[v + 1]]
+
+    def out_degree(self, v: int) -> int:
+        return self.out_offsets[v + 1] - self.out_offsets[v]
+
+    def in_degree(self, v: int) -> int:
+        return self.in_offsets[v + 1] - self.in_offsets[v]
+
+
+def _pack_csr(adjacency: List[List[int]]) -> Tuple[array, array]:
+    """Pack a list-of-lists adjacency into (offsets, targets) int arrays."""
+    offsets = array("i", bytes(4 * (len(adjacency) + 1)))
+    total = 0
+    for v, row in enumerate(adjacency):
+        offsets[v] = total
+        total += len(row)
+    offsets[len(adjacency)] = total
+    targets = array("i", bytes(4 * total))
+    pos = 0
+    for row in adjacency:
+        for w in row:
+            targets[pos] = w
+            pos += 1
+    return offsets, targets
+
+
 class Graph:
     """A directed graph with one string label per vertex.
 
@@ -108,6 +172,9 @@ class Graph:
         self.label_table = label_table if label_table is not None else LabelTable()
         #: Optional human-readable vertex names (entity names in examples).
         self.names: Dict[int, str] = {}
+        # Lazily built caches, dropped on mutation (see csr()).
+        self._csr: Optional[CSRView] = None
+        self._posting_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -120,6 +187,8 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
+        self._csr = None
+        self._posting_cache.pop(label_id, None)
         if name is not None:
             self.names[vid] = name
         return vid
@@ -133,6 +202,8 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
+        self._csr = None
+        self._posting_cache.pop(label_id, None)
         return vid
 
     def add_edge(self, u: int, v: int) -> bool:
@@ -149,6 +220,7 @@ class Graph:
         self._out[u].append(v)
         self._in[v].append(u)
         self._num_edges += 1
+        self._csr = None
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -159,6 +231,7 @@ class Graph:
         self._out[u].remove(v)
         self._in[v].remove(u)
         self._num_edges -= 1
+        self._csr = None
 
     def relabel_vertex(self, v: int, new_label: str) -> None:
         """Change the label of ``v``, keeping the inverted index consistent."""
@@ -176,6 +249,8 @@ class Graph:
             del self._label_index[old_id]
         self.labels[v] = new_label_id
         self._label_index.setdefault(new_label_id, set()).add(v)
+        self._posting_cache.pop(old_id, None)
+        self._posting_cache.pop(new_label_id, None)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -246,6 +321,39 @@ class Graph:
     def name(self, v: int) -> str:
         """Human-readable name of ``v`` (falls back to its label)."""
         return self.names.get(v, self.label(v))
+
+    def csr(self) -> CSRView:
+        """The current CSR adjacency snapshot, built lazily.
+
+        The view is rebuilt (O(|V| + |E|)) on first access after any
+        topology mutation; between mutations repeated calls return the
+        same frozen object, so hot loops can hoist its arrays into locals.
+        """
+        view = self._csr
+        if view is None:
+            view = CSRView(self._out, self._in)
+            self._csr = view
+        return view
+
+    def sorted_vertices_with_label_id(self, label_id: int) -> Tuple[int, ...]:
+        """Sorted vertices carrying ``label_id``, cached (do not mutate).
+
+        The searchers seed their per-keyword frontiers from this inverted
+        index; unlike :meth:`vertices_with_label_id` it neither copies nor
+        re-sorts on repeated lookups of the same label.
+        """
+        cached = self._posting_cache.get(label_id)
+        if cached is None:
+            cached = tuple(sorted(self._label_index.get(label_id, ())))
+            self._posting_cache[label_id] = cached
+        return cached
+
+    def sorted_vertices_with_label(self, label: str) -> Tuple[int, ...]:
+        """Sorted vertices labeled ``label`` (empty for unknown labels)."""
+        label_id = self.label_table.get_id(label)
+        if label_id is None:
+            return ()
+        return self.sorted_vertices_with_label_id(label_id)
 
     def vertices_with_label(self, label: str) -> Set[int]:
         """All vertices labeled ``label`` (empty set for unknown labels)."""

@@ -23,12 +23,16 @@ BOTH = "both"
 
 
 def _neighbor_fn(graph: Graph, direction: str):
+    # Traversals read the frozen CSR snapshot: contiguous int arrays beat
+    # per-vertex adjacency lists, and ``graph.csr()`` rebuilds lazily after
+    # any mutation, so a traversal started later always sees fresh edges.
+    csr = graph.csr()
     if direction == FORWARD:
-        return graph.out_neighbors
+        return csr.out_neighbors
     if direction == BACKWARD:
-        return graph.in_neighbors
+        return csr.in_neighbors
     if direction == BOTH:
-        return lambda v: graph.out_neighbors(v) + graph.in_neighbors(v)
+        return lambda v: csr.out_neighbors(v) + csr.in_neighbors(v)
     raise GraphError(f"unknown traversal direction: {direction!r}")
 
 
@@ -155,6 +159,7 @@ def bidirectional_distance(
     """
     if source == target:
         return 0
+    csr = graph.csr()
     fwd: Dict[int, int] = {source: 0}
     bwd: Dict[int, int] = {target: 0}
     fwd_frontier: List[int] = [source]
@@ -165,10 +170,10 @@ def bidirectional_distance(
         expand_forward = len(fwd_frontier) <= len(bwd_frontier)
         if expand_forward:
             frontier, dist, other = fwd_frontier, fwd, bwd
-            neighbors = graph.out_neighbors
+            neighbors = csr.out_neighbors
         else:
             frontier, dist, other = bwd_frontier, bwd, fwd
-            neighbors = graph.in_neighbors
+            neighbors = csr.in_neighbors
         next_frontier: List[int] = []
         for v in frontier:
             d = dist[v]
@@ -262,10 +267,11 @@ def nearest_labeled_forward(
     dist: Dict[int, int] = {root: 0}
     frontier = [root]
     depth = 0
+    out_neighbors = graph.csr().out_neighbors
     while frontier and remaining and depth < d_max:
         next_frontier: List[int] = []
         for v in frontier:
-            for w in graph.out_neighbors(v):
+            for w in out_neighbors(v):
                 if w in dist:
                     continue
                 dist[w] = depth + 1

@@ -27,7 +27,7 @@ when the same code runs on a much smaller summary graph.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.graph.digraph import Graph
 from repro.graph.traversal import (
@@ -50,9 +50,10 @@ from repro.utils.errors import BudgetExceeded, QueryError
 class _BackwardExpansion:
     """Backward BFS from one keyword's vertex set, expandable level by level."""
 
-    def __init__(self, graph: Graph, sources: Set[int], d_max: int) -> None:
+    def __init__(self, graph: Graph, sources: Sequence[int], d_max: int) -> None:
         self.graph = graph
         self.d_max = d_max
+        self._in_neighbors = graph.csr().in_neighbors
         #: settled vertex -> distance to the nearest source.
         self.dist: Dict[int, int] = {v: 0 for v in sources}
         #: settled vertex -> the nearest source vertex itself.
@@ -83,9 +84,10 @@ class _BackwardExpansion:
         if budget is not None:
             budget.charge(len(self._frontier))
         reached: Dict[int, int] = {}
+        in_neighbors = self._in_neighbors
         for v in self._frontier:
             origin = self.origin[v]
-            for u in self.graph.in_neighbors(v):
+            for u in in_neighbors(v):
                 if u in self.dist:
                     continue
                 prev = reached.get(u)
@@ -123,7 +125,7 @@ class BanksSearcher(GraphSearcher):
         k = self._resolve_k(k)
         expansions: Dict[str, _BackwardExpansion] = {}
         for keyword in query:
-            sources = self.graph.vertices_with_label(keyword)
+            sources = self.graph.sorted_vertices_with_label(keyword)
             if not sources:
                 return []
             expansions[keyword] = _BackwardExpansion(

@@ -58,15 +58,16 @@ class BidirectionalSearcher(GraphSearcher):
         """Distinct-root answers via prioritized bidirectional expansion."""
         k = self._resolve_k(k)
         keywords = list(query.keywords)
+        in_neighbors = self.graph.csr().in_neighbors
         # Backward state per keyword: vertex -> (distance, origin).
         settled: Dict[str, Dict[int, Tuple[int, int]]] = {}
         frontiers: Dict[str, List[Tuple[int, int]]] = {}
         for keyword in keywords:
-            sources = self.graph.vertices_with_label(keyword)
+            sources = self.graph.sorted_vertices_with_label(keyword)
             if not sources:
                 return []
             settled[keyword] = {v: (0, v) for v in sources}
-            frontiers[keyword] = [(0, v) for v in sorted(sources)]
+            frontiers[keyword] = [(0, v) for v in sources]
 
         # Priority queue of candidate roots by spreading activation:
         # (-keyword sets reached, accumulated distance, vertex).
@@ -107,7 +108,7 @@ class BidirectionalSearcher(GraphSearcher):
                     reached: Dict[int, int] = {}
                     for dist, vertex in frontier:
                         origin = settled[keyword][vertex][1]
-                        for pred in self.graph.in_neighbors(vertex):
+                        for pred in in_neighbors(vertex):
                             if pred in settled[keyword]:
                                 continue
                             prev = reached.get(pred)

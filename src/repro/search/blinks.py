@@ -35,7 +35,17 @@ paper's experiments.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, Iterator, List, Mapping, Optional, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.graph.digraph import Graph
 from repro.graph.partition import Partition, partition_bfs_grow
@@ -64,13 +74,14 @@ def distance_sum_score(distances: Mapping[str, int]) -> float:
 
 
 def _backward_distance_map(
-    graph: Graph, sources: Set[int], d_max: int
+    graph: Graph, sources: Sequence[int], d_max: int
 ) -> DistanceMap:
     """Multi-source backward BFS tracking the nearest source per vertex.
 
     The nearest source is canonical — on equal distance the smallest
     origin id wins — so index entries are independent of adjacency order.
     """
+    in_neighbors = graph.csr().in_neighbors
     result: DistanceMap = {v: (0, v) for v in sources}
     frontier = sorted(sources)
     depth = 0
@@ -78,7 +89,7 @@ def _backward_distance_map(
         reached: Dict[int, int] = {}
         for v in frontier:
             origin = result[v][1]
-            for u in graph.in_neighbors(v):
+            for u in in_neighbors(v):
                 if u in result:
                     continue
                 prev = reached.get(u)
@@ -112,7 +123,7 @@ class BlinksSingleLevelIndex:
         self._maps: Dict[str, DistanceMap] = {}
         for label in sorted(graph.distinct_labels()):
             self._maps[label] = _backward_distance_map(
-                graph, graph.vertices_with_label(label), d_max
+                graph, graph.sorted_vertices_with_label(label), d_max
             )
 
     @property
@@ -173,13 +184,14 @@ class BlinksBiLevelIndex:
     def _intra_block_backward_bfs(
         self, sources: Set[int], members: Set[int]
     ) -> Dict[int, int]:
+        in_neighbors = self.graph.csr().in_neighbors
         dist = {v: 0 for v in sources}
         frontier = sorted(sources)
         depth = 0
         while frontier and depth < self.d_max:
             next_frontier = []
             for v in frontier:
-                for u in self.graph.in_neighbors(v):
+                for u in in_neighbors(v):
                     if u in members and u not in dist:
                         dist[u] = depth + 1
                         next_frontier.append(u)
@@ -208,7 +220,7 @@ class BlinksBiLevelIndex:
         (intra-block distances are already in the local maps; the global
         expansion resolves the portal crossings).
         """
-        sources = self.graph.vertices_with_label(label)
+        sources = self.graph.sorted_vertices_with_label(label)
         return _backward_distance_map(self.graph, sources, self.d_max)
 
     def keyword_cursor(self, label: str) -> Iterator[Tuple[int, int]]:
@@ -255,10 +267,11 @@ class _LazyBackwardCursor:
             self._frontier: List[int] = []
             self._static = True
         else:
-            sources = graph.vertices_with_label(keyword)
+            sources = graph.sorted_vertices_with_label(keyword)
+            self._in_neighbors = graph.csr().in_neighbors
             self.settled = {v: (0, v) for v in sources}
-            self._levels = {0: sorted(sources)}
-            self._frontier = sorted(sources)
+            self._levels = {0: list(sources)}
+            self._frontier = list(sources)
             self._static = False
 
     @property
@@ -285,9 +298,10 @@ class _LazyBackwardCursor:
         # origin is canonical (smallest id on equal distance).
         if self.depth < self.d_max:
             reached: Dict[int, int] = {}
+            in_neighbors = self._in_neighbors
             for v in self._frontier:
                 origin = self.settled[v][1]
-                for u in self.graph.in_neighbors(v):
+                for u in in_neighbors(v):
                     if u in self.settled:
                         continue
                     prev = reached.get(u)
@@ -515,6 +529,7 @@ def _forward_distances_until(
     graph: Graph, root: int, targets: Set[int], d_max: int
 ) -> Dict[int, int]:
     """Forward BFS from ``root``, stopping once every target is settled."""
+    out_neighbors = graph.csr().out_neighbors
     dist: Dict[int, int] = {root: 0}
     remaining = set(targets) - {root}
     frontier = [root]
@@ -522,7 +537,7 @@ def _forward_distances_until(
     while frontier and remaining and depth < d_max:
         next_frontier: List[int] = []
         for v in frontier:
-            for w in graph.out_neighbors(v):
+            for w in out_neighbors(v):
                 if w not in dist:
                     dist[w] = depth + 1
                     remaining.discard(w)

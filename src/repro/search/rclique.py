@@ -191,7 +191,7 @@ class RCliqueSearcher(GraphSearcher):
         keywords = list(query.keywords)
         keyword_sets: List[List[int]] = []
         for keyword in keywords:
-            nodes = sorted(self.graph.vertices_with_label(keyword))
+            nodes = list(self.graph.sorted_vertices_with_label(keyword))
             if not nodes:
                 return
             keyword_sets.append(nodes)

@@ -1,0 +1,172 @@
+"""Hot-path bench suite: metric shape, the regression gate, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench.hotpaths import (
+    ABS_SLACK_SECONDS,
+    compare,
+    derive_speedups,
+    make_document,
+    run_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_metrics():
+    """One quick-suite run shared by the shape tests (seconds, not minutes)."""
+    return run_suite(quick=True, seed=0, repeats=1)
+
+
+class TestRunSuite:
+    def test_quick_mode_shape(self, quick_metrics):
+        assert quick_metrics["mode"] == "quick"
+        assert quick_metrics["calibration.seconds"] > 0
+        refine_keys = [k for k in quick_metrics if k.startswith("refine.")]
+        assert any(k.endswith(".seconds") for k in refine_keys)
+        assert any(k.endswith(".blocks") for k in refine_keys)
+        for algo in ("bkws", "bdws", "blinks", "r-clique"):
+            assert quick_metrics[f"search.{algo}.seconds"] >= 0
+            assert quick_metrics[f"search.{algo}.expansions"] > 0
+
+    def test_quick_mode_skips_build(self, quick_metrics):
+        assert not any(k.startswith("build.") for k in quick_metrics)
+
+    def test_expansions_deterministic(self, quick_metrics):
+        again = run_suite(quick=True, seed=0, repeats=1)
+        for key, value in quick_metrics.items():
+            if key.endswith((".expansions", ".blocks")):
+                assert again[key] == value
+
+
+class TestRegressionGate:
+    BASE = {
+        "mode": "full",
+        "calibration.seconds": 0.002,
+        "refine.x.seconds": 0.100,
+        "refine.x.blocks": 42,
+        "search.y.expansions": 500,
+    }
+
+    def test_identical_run_passes(self):
+        assert compare(dict(self.BASE), dict(self.BASE)) == []
+
+    def test_small_drift_within_tolerance(self):
+        current = dict(self.BASE)
+        current["refine.x.seconds"] = 0.110  # +10% < 25%
+        assert compare(current, self.BASE) == []
+
+    def test_large_regression_fails(self):
+        current = dict(self.BASE)
+        current["refine.x.seconds"] = 0.200  # +100%
+        failures = compare(current, self.BASE)
+        assert len(failures) == 1 and "refine.x.seconds" in failures[0]
+
+    def test_calibration_scales_allowance(self):
+        # Same 2x wall-clock, but the machine is 2x slower overall: pass.
+        current = dict(self.BASE)
+        current["refine.x.seconds"] = 0.200
+        current["calibration.seconds"] = 0.004
+        assert compare(current, self.BASE) == []
+
+    def test_absolute_slack_shields_tiny_timings(self):
+        base = dict(self.BASE)
+        base["refine.x.seconds"] = 0.0001
+        current = dict(base)
+        # 10x regression but still under the absolute slack.
+        current["refine.x.seconds"] = 0.0001 * 10
+        assert current["refine.x.seconds"] < ABS_SLACK_SECONDS
+        assert compare(current, base) == []
+
+    def test_deterministic_metric_must_match_exactly(self):
+        current = dict(self.BASE)
+        current["refine.x.blocks"] = 43
+        failures = compare(current, self.BASE)
+        assert len(failures) == 1 and "refine.x.blocks" in failures[0]
+
+    def test_missing_timing_fails(self):
+        current = dict(self.BASE)
+        del current["refine.x.seconds"]
+        failures = compare(current, self.BASE)
+        assert failures and "missing" in failures[0]
+
+    def test_mode_mismatch_refused(self):
+        current = dict(self.BASE)
+        current["mode"] = "quick"
+        failures = compare(current, self.BASE)
+        assert failures and "mode mismatch" in failures[0]
+
+    def test_tolerance_is_tunable(self):
+        current = dict(self.BASE)
+        current["refine.x.seconds"] = 0.200
+        assert compare(current, self.BASE, tolerance=2.0) == []
+
+
+class TestDocuments:
+    def test_speedups_derived_per_timing(self):
+        before = {"refine.x.seconds": 0.2, "refine.x.blocks": 42}
+        current = {"refine.x.seconds": 0.1, "refine.x.blocks": 42}
+        assert derive_speedups(before, current) == {"refine.x": 2.0}
+
+    def test_parallel_vs_before_serial_headline(self):
+        before = {"build.synt-1k.serial.seconds": 3.0}
+        current = {"build.synt-1k.parallel.seconds": 1.0}
+        speedups = derive_speedups(before, current)
+        assert speedups["build.synt-1k.parallel-vs-before-serial"] == 3.0
+
+    def test_document_shape(self, quick_metrics):
+        document = make_document(quick_metrics, before={"mode": "quick"})
+        assert document["schema"] == 1
+        assert "machine" in document and "python" in document["machine"]
+        assert document["current"] is quick_metrics
+        assert "speedups" in document
+        json.dumps(document)  # must be serializable as committed
+
+
+class TestCommittedBaseline:
+    def test_baseline_file_is_well_formed(self):
+        with open("BENCH_hotpaths.json", "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == 1
+        assert document["current"]["mode"] == "full"
+        assert document["before"]["mode"] == "full"
+        speedups = document["speedups"]
+        # The PR's headline acceptance numbers, as committed evidence:
+        # worklist refinement on the corpus's largest synthetic graph and
+        # the parallel build against the pre-change serial build.
+        assert speedups["refine.synt-deep-3k"] >= 5.0
+        assert speedups["build.synt-1k.parallel-vs-before-serial"] >= 2.0
+
+
+class TestCLI:
+    def test_bench_quick_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["current"]["mode"] == "quick"
+        assert "search.bkws.seconds" in capsys.readouterr().out
+
+    def test_bench_check_fails_on_planted_regression(self, tmp_path):
+        from repro.cli import main
+
+        out = tmp_path / "first.json"
+        assert main(["bench", "--quick", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        # Plant an impossible baseline: expansions can never match.
+        document["current"]["search.bkws.expansions"] -= 1
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(document))
+        assert main(["bench", "--quick", "--repeats", "1", "--check",
+                     "--baseline", str(baseline)]) == 1
+
+    def test_bench_check_missing_baseline_errors(self, tmp_path):
+        from repro.cli import main
+
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--quick", "--repeats", "1", "--check",
+                     "--baseline", str(missing)]) == 2

@@ -1,0 +1,164 @@
+"""CSR adjacency view and label-posting cache: correctness + invalidation.
+
+The CSR view and the sorted label postings are *caches* over the mutable
+adjacency lists; every mutation (add_vertex, add_edge, remove_edge,
+relabel) must drop them so no reader ever sees stale topology.  These
+tests pin both halves: the packed arrays agree with the list adjacency,
+and traversals issued after a mutation see the post-mutation graph.
+"""
+
+import pytest
+
+from repro.graph.digraph import Graph
+from repro.graph.traversal import bfs_distances, reachable_within
+
+
+def _assert_csr_matches_adjacency(g: Graph) -> None:
+    csr = g.csr()
+    for v in range(g.num_vertices):
+        assert list(csr.out_neighbors(v)) == list(g.out_neighbors(v))
+        assert list(csr.in_neighbors(v)) == list(g.in_neighbors(v))
+        assert csr.out_degree(v) == g.out_degree(v)
+        assert csr.in_degree(v) == g.in_degree(v)
+
+
+class TestCSRView:
+    def test_matches_adjacency_on_random_graph(self, random_graph_factory):
+        g = random_graph_factory(num_vertices=80, num_edges=300, seed=3)
+        _assert_csr_matches_adjacency(g)
+
+    def test_empty_graph(self):
+        g = Graph()
+        csr = g.csr()
+        assert len(csr.out_offsets) == 1
+        assert len(csr.in_offsets) == 1
+
+    def test_isolated_vertices(self):
+        g = Graph()
+        for _ in range(4):
+            g.add_vertex("A")
+        csr = g.csr()
+        for v in range(4):
+            assert list(csr.out_neighbors(v)) == []
+            assert list(csr.in_neighbors(v)) == []
+
+    def test_view_is_cached_until_mutation(self):
+        g = Graph()
+        a, b = g.add_vertex("A"), g.add_vertex("B")
+        g.add_edge(a, b)
+        assert g.csr() is g.csr()
+
+    def test_offsets_cover_all_edges(self, random_graph_factory):
+        g = random_graph_factory(num_vertices=50, num_edges=200, seed=9)
+        csr = g.csr()
+        assert csr.out_offsets[-1] == g.num_edges == len(csr.out_targets)
+        assert csr.in_offsets[-1] == g.num_edges == len(csr.in_targets)
+
+
+class TestCSRInvalidation:
+    def test_add_edge_after_traversal(self):
+        g = Graph()
+        a, b, c = g.add_vertex("A"), g.add_vertex("B"), g.add_vertex("C")
+        g.add_edge(a, b)
+        assert reachable_within(g, a, 3) == {a, b}
+        g.add_edge(b, c)
+        assert reachable_within(g, a, 3) == {a, b, c}
+        _assert_csr_matches_adjacency(g)
+
+    def test_remove_edge_after_traversal(self):
+        g = Graph()
+        a, b, c = g.add_vertex("A"), g.add_vertex("B"), g.add_vertex("C")
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        assert bfs_distances(g, [a])[c] == 2
+        g.remove_edge(b, c)
+        assert c not in bfs_distances(g, [a])
+        _assert_csr_matches_adjacency(g)
+
+    def test_add_vertex_after_traversal(self):
+        g = Graph()
+        a = g.add_vertex("A")
+        g.csr()  # materialize
+        b = g.add_vertex("B")
+        csr = g.csr()
+        assert list(csr.out_neighbors(b)) == []
+        g.add_edge(a, b)
+        assert reachable_within(g, a, 2) == {a, b}
+
+    def test_stale_view_not_reused_after_mutation(self):
+        g = Graph()
+        a, b = g.add_vertex("A"), g.add_vertex("B")
+        g.add_edge(a, b)
+        before = g.csr()
+        g.remove_edge(a, b)
+        after = g.csr()
+        assert after is not before
+        assert list(after.out_neighbors(a)) == []
+
+
+class TestLabelPostings:
+    def test_sorted_and_complete(self, random_graph_factory):
+        g = random_graph_factory(num_vertices=60, num_edges=150, seed=5)
+        for label in g.distinct_labels():
+            posting = g.sorted_vertices_with_label(label)
+            assert list(posting) == sorted(g.vertices_with_label(label))
+
+    def test_unknown_label_is_empty(self):
+        g = Graph()
+        g.add_vertex("A")
+        assert g.sorted_vertices_with_label("missing") == ()
+
+    def test_posting_is_cached(self):
+        g = Graph()
+        g.add_vertex("A")
+        assert g.sorted_vertices_with_label("A") is g.sorted_vertices_with_label("A")
+
+    def test_add_vertex_invalidates_posting(self):
+        g = Graph()
+        a = g.add_vertex("A")
+        assert g.sorted_vertices_with_label("A") == (a,)
+        a2 = g.add_vertex("A")
+        assert g.sorted_vertices_with_label("A") == (a, a2)
+
+    def test_relabel_invalidates_both_postings(self):
+        g = Graph()
+        a, b = g.add_vertex("A"), g.add_vertex("B")
+        assert g.sorted_vertices_with_label("A") == (a,)
+        assert g.sorted_vertices_with_label("B") == (b,)
+        g.relabel_vertex(a, "B")
+        assert g.sorted_vertices_with_label("A") == ()
+        assert g.sorted_vertices_with_label("B") == (a, b)
+
+
+class TestSearchersSeeFreshTopology:
+    """End-to-end: searchers route through the CSR, so a mutation between
+    two searches must change the second search's results."""
+
+    @pytest.mark.parametrize("algo_name", ["bkws", "bdws", "blinks", "r-clique"])
+    def test_search_after_edge_insertion(self, algo_name):
+        from repro.search.banks import BackwardKeywordSearch
+        from repro.search.base import KeywordQuery
+        from repro.search.bidirectional import BidirectionalSearch
+        from repro.search.blinks import Blinks
+        from repro.search.rclique import RClique
+
+        algos = {
+            "bkws": BackwardKeywordSearch(d_max=3, k=5),
+            "bdws": BidirectionalSearch(d_max=3, k=5),
+            "blinks": Blinks(d_max=3, k=5),
+            "r-clique": RClique(radius=3, k=5),
+        }
+        g = Graph()
+        a, b = g.add_vertex("A"), g.add_vertex("B")
+        # Disconnected: no answer can connect A and B.
+        searcher = algos[algo_name].bind(g)
+        assert searcher.search(KeywordQuery(["A", "B"])) == []
+        g.add_edge(a, b)
+        if algo_name == "r-clique":
+            # r-clique's neighbor index is an offline structure built at
+            # bind time and cached per graph (the paper's O(mn) neighbor
+            # list); a fresh algorithm's bind must pick the new edge up
+            # through a fresh CSR.
+            searcher = RClique(radius=3, k=5).bind(g)
+        answers = searcher.search(KeywordQuery(["A", "B"]))
+        assert answers, f"{algo_name} missed the newly inserted edge"

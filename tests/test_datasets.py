@@ -10,9 +10,13 @@ from repro.datasets.knowledge import (
     yago_like,
 )
 from repro.datasets.synthetic import (
+    DEEP_SCALES,
     SYNTHETIC_SCALES,
+    deep_dataset,
+    generate_deep_graph,
     generate_synthetic_graph,
     synthetic_dataset,
+    verification_corpus,
     zipf_choice,
 )
 from repro.datasets.workloads import (
@@ -72,6 +76,70 @@ class TestSyntheticGraphs:
         rng = random.Random(0)
         draws = [zipf_choice(rng, ["a", "b", "c"], 2.0) for _ in range(500)]
         assert draws.count("a") > draws.count("c")
+
+
+class TestDeepGraphs:
+    def test_named_scales_match(self):
+        for name, (layers, width, _branching) in DEEP_SCALES.items():
+            graph, _ontology = deep_dataset(name)
+            assert graph.num_vertices == layers * width
+
+    def test_deterministic(self):
+        a, _ = deep_dataset("synt-deep-1k", seed=3)
+        b, _ = deep_dataset("synt-deep-1k", seed=3)
+        assert list(a.edges()) == list(b.edges())
+        assert a.labels == b.labels
+
+    def test_layered_dag_structure(self):
+        ont = generate_ontology(100, seed=0)
+        g = generate_deep_graph(5, 20, ont, seed=1, branching=3)
+        # Every edge goes exactly one layer forward.
+        for u, v in g.edges():
+            assert v // 20 == u // 20 + 1
+        # Non-final layers have out-degree == branching.
+        for v in range(4 * 20):
+            assert g.out_degree(v) == 3
+
+    def test_one_label_per_layer_plus_seam(self):
+        ont = generate_ontology(100, seed=0)
+        layers, width = 4, 10
+        g = generate_deep_graph(layers, width, ont, seed=2)
+        for layer in range(layers - 1):
+            labels = {g.label(layer * width + i) for i in range(width)}
+            assert len(labels) == 1
+        last = {g.label((layers - 1) * width + i) for i in range(width)}
+        assert len(last) == 2
+
+    def test_refinement_depth_equals_layers(self):
+        """The seam's split wave must walk one layer per round, making
+        the final partition distinguish every layer position pairing."""
+        from repro.bisim.refinement import maximal_bisimulation
+
+        ont = generate_ontology(100, seed=0)
+        layers, width = 6, 8
+        g = generate_deep_graph(layers, width, ont, seed=0)
+        blocks = maximal_bisimulation(g)
+        # Vertices in different layers are never bisimilar (distinct labels
+        # / distinct depth), so the block count is at least the layer count.
+        assert len(set(blocks)) >= layers
+        # The seam separates the last layer's two parities...
+        last_base = (layers - 1) * width
+        assert blocks[last_base] != blocks[last_base + 1]
+
+    def test_too_few_layers_rejected(self):
+        ont = generate_ontology(100, seed=0)
+        with pytest.raises(GraphError):
+            generate_deep_graph(1, 10, ont)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GraphError):
+            deep_dataset("synt-deep-9k")
+
+    def test_verification_corpus_includes_depth_stressor(self):
+        full_names = [name for name, _g, _o in verification_corpus(quick=False)]
+        quick_names = [name for name, _g, _o in verification_corpus(quick=True)]
+        assert "synt-deep-3k" in full_names
+        assert "synt-deep-3k" not in quick_names
 
 
 class TestKnowledgeGraphs:
