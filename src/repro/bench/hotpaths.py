@@ -38,7 +38,6 @@ from __future__ import annotations
 import json
 import platform
 import random
-import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bisim.refinement import BisimDirection, maximal_bisimulation
@@ -49,12 +48,14 @@ from repro.datasets.synthetic import (
     synthetic_dataset,
     verification_corpus,
 )
+from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import KeywordSearchAlgorithm
 from repro.search.bidirectional import BidirectionalSearch
 from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
 from repro.utils.budget import Budget
+from repro.utils.timers import monotonic_now
 from repro.verify.runner import probe_queries
 
 #: Metric dictionary: flat ``"group.case.metric" -> value``.  Values are
@@ -102,12 +103,12 @@ def calibration_seconds(repeats: int = 3) -> float:
     ]
     best = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = monotonic_now()
         acc: Dict[Tuple[int, ...], int] = {}
         for row in data:
             key = tuple(sorted(set(row)))
             acc[key] = acc.get(key, 0) + 1
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         best = elapsed if best is None else min(best, elapsed)
     return best
 
@@ -117,11 +118,22 @@ def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
     best = None
     result: object = None
     for _ in range(repeats):
-        start = time.perf_counter()
+        start = monotonic_now()
         result = fn()
-        elapsed = time.perf_counter() - start
+        elapsed = monotonic_now() - start
         best = elapsed if best is None else min(best, elapsed)
     return best, result
+
+
+def _refine_counters(graph) -> Dict[str, int]:
+    """One metrics-only refinement pass: the telemetry counters.
+
+    Runs outside the timed loop so counter collection can never pollute
+    the wall-clock metric; the counts themselves are deterministic.
+    """
+    with instrumented(trace=False) as inst:
+        maximal_bisimulation(graph, BisimDirection.SUCCESSORS)
+    return inst.metrics.counters()
 
 
 def _search_algorithms(d_max: int = 3, k: int = 10) -> Dict[str, KeywordSearchAlgorithm]:
@@ -156,6 +168,7 @@ def run_suite(
         )
         metrics[f"refine.{name}.seconds"] = elapsed
         metrics[f"refine.{name}.blocks"] = len(set(blocks))
+        metrics[f"counters.refine.{name}"] = _refine_counters(graph)
 
     if not quick:
         extra = [("synt-2k", synthetic_dataset("synt-2k", seed=seed)[0])]
@@ -171,6 +184,7 @@ def run_suite(
             )
             metrics[f"refine.{name}.seconds"] = elapsed
             metrics[f"refine.{name}.blocks"] = len(set(blocks))
+            metrics[f"counters.refine.{name}"] = _refine_counters(extra_graph)
 
     # --- seed search: the four plugged algorithms ----------------------
     if quick:
@@ -190,11 +204,22 @@ def run_suite(
         metrics[f"search.{name}.seconds"] = elapsed
         # Second, budgeted pass: exact expansion counts (deterministic
         # across machines; timed separately so charge overhead doesn't
-        # pollute the wall-clock metric).
+        # pollute the wall-clock metric).  Running it under metrics-only
+        # instrumentation doubles as the accounting cross-check: the
+        # telemetry counter and the budget ledger observe the same
+        # charge_expansions() increments, so any drift is a bug.
         budget = Budget()
-        for query in queries:
-            searcher.search(query, budget=budget)
+        with instrumented(trace=False) as inst:
+            for query in queries:
+                searcher.search(query, budget=budget)
         metrics[f"search.{name}.expansions"] = budget.expansions
+        counted = inst.metrics.counter("search.expansions")
+        if counted != budget.expansions:
+            raise AssertionError(
+                f"expansion accounting drift for {name}: telemetry "
+                f"counted {counted}, budget charged {budget.expansions}"
+            )
+        metrics[f"counters.search.{name}"] = inst.metrics.counters()
 
     # --- full index build ----------------------------------------------
     if not quick:

@@ -33,6 +33,7 @@ from repro.bisim.refinement import (
 )
 from repro.bisim.summary import SummaryGraph, summarize
 from repro.graph.digraph import Graph
+from repro.obs.runtime import OBS
 from repro.utils.errors import GraphError
 
 
@@ -98,6 +99,9 @@ class IncrementalBisimulation:
         """Recompute the maximal bisimulation from scratch (restores minimality)."""
         self.blocks = maximal_bisimulation(self.graph, direction=self.direction)
         self.drift = 0
+        if OBS.enabled:
+            OBS.metrics.inc("incremental.rebuilds")
+            OBS.metrics.gauge("incremental.drift", 0)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -142,6 +146,9 @@ class IncrementalBisimulation:
         self._refine_from_current()
 
     def _refine_from_current(self) -> None:
+        if OBS.enabled:
+            OBS.metrics.inc("incremental.updates")
+            OBS.metrics.gauge("incremental.drift", self.drift)
         self.blocks = maximal_bisimulation(
             self.graph, direction=self.direction, initial_blocks=self.blocks
         )

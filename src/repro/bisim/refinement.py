@@ -54,6 +54,7 @@ from enum import Enum
 from typing import Dict, List, Sequence, Tuple
 
 from repro.graph.digraph import Graph
+from repro.obs.runtime import OBS
 
 
 class BisimDirection(str, Enum):
@@ -134,7 +135,14 @@ def maximal_bisimulation(
     dirty = list(members)
     in_dirty = set(dirty)
 
+    # Telemetry rides in plain local ints (free on the hot path) and is
+    # flushed to the metrics registry once, after the fixpoint.
+    rounds = 0
+    blocks_split = 0
+    vertices_moved = 0
+
     while dirty:
+        rounds += 1
         moved: List[int] = []
         process, dirty = dirty, []
         in_dirty.clear()
@@ -200,6 +208,7 @@ def maximal_bisimulation(
             # group gets a fresh id and its members are marked moved.
             ordered = sorted(groups.values(), key=len, reverse=True)
             members[b] = ordered[0]
+            blocks_split += 1
             for group in ordered[1:]:
                 fresh = next_id
                 next_id += 1
@@ -209,6 +218,7 @@ def maximal_bisimulation(
                 moved.extend(group)
         if not moved:
             break
+        vertices_moved += len(moved)
         first_round_labels = None
         # A vertex's signature mentions block[w] for its out-neighbors w
         # (successor matching) and in-neighbors (predecessor matching);
@@ -224,6 +234,13 @@ def maximal_bisimulation(
                 in_dirty.update(map(bg, out_tgt[out_off[w] : out_off[w + 1]]))
         dirty = list(in_dirty)
 
+    if OBS.enabled:
+        metrics = OBS.metrics
+        metrics.inc("refine.calls")
+        metrics.inc("refine.rounds", rounds)
+        metrics.inc("refine.blocks_split", blocks_split)
+        metrics.inc("refine.vertices_moved", vertices_moved)
+        metrics.gauge("refine.blocks", len(members))
     return _canonicalize(block, n, len(members))
 
 

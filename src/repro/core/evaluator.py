@@ -59,6 +59,7 @@ from repro.core.generalize import generalize_label
 from repro.core.index import BiGIndex
 from repro.core.path_answer_gen import p_ans_graph_gen
 from repro.core.query_cost import QueryCostModel
+from repro.obs.runtime import OBS, charge_expansions
 from repro.search.base import (
     Answer,
     GraphSearcher,
@@ -117,6 +118,31 @@ class DegradedAttempt:
 
 
 @dataclass
+class DegradationStats:
+    """How far a degraded evaluation got before its budget ran out."""
+
+    #: Node expansions charged to the parent budget across all attempts.
+    expansions_consumed: int
+    #: Expansions still unspent, or ``None`` without an expansion cap.
+    expansions_remaining: Optional[int]
+    #: Seconds left before the deadline, or ``None`` without one.
+    time_remaining_seconds: Optional[float]
+    #: Layers tried, in attempt order.
+    layers_attempted: List[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [f"spent {self.expansions_consumed} expansion(s)"]
+        if self.expansions_remaining is not None:
+            parts.append(f"{self.expansions_remaining} remaining")
+        if self.time_remaining_seconds is not None:
+            parts.append(f"{self.time_remaining_seconds:.3f}s left")
+        layers = ", ".join(str(m) for m in self.layers_attempted)
+        if layers:
+            parts.append(f"layers tried: {layers}")
+        return ", ".join(parts)
+
+
+@dataclass
 class DegradedResult:
     """Partial — but sound — outcome of a budget-exhausted evaluation.
 
@@ -138,6 +164,8 @@ class DegradedResult:
     unranked: List[Answer] = field(default_factory=list)
     attempts: List[DegradedAttempt] = field(default_factory=list)
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    #: Budget consumption at the moment the evaluation gave up.
+    stats: Optional[DegradationStats] = None
 
     degraded = True
 
@@ -167,6 +195,8 @@ class DegradedResult:
         )
         if trail:
             parts.append(f"attempts: {trail}")
+        if self.stats is not None:
+            parts.append(self.stats.describe())
         return "; ".join(parts)
 
 
@@ -222,6 +252,22 @@ class HierarchicalEvaluator:
         self._searchers: Dict[int, GraphSearcher] = {}
 
     # ------------------------------------------------------------------
+    def _layer_cost_attrs(self, query: KeywordQuery) -> Dict[str, object]:
+        """Per-layer Formula-4 costs as span attributes (--explain only).
+
+        Shows *why* the cost model picked its layer; colliding layers
+        (``|Gen^m(Q)| < |Q|``) are marked ineligible instead of costed.
+        """
+        try:
+            costs = self.cost_model.all_layer_costs(query)
+        except QueryError:  # pragma: no cover - defensive
+            return {}
+        attrs: Dict[str, object] = {}
+        for entry in costs:
+            key = f"cost.G{entry.layer}"
+            attrs[key] = round(entry.cost, 4) if entry.distinct else "collides"
+        return attrs
+
     def searcher_for_layer(self, m: int) -> GraphSearcher:
         """The algorithm bound to ``G^m`` (cached)."""
         searcher = self._searchers.get(m)
@@ -272,7 +318,10 @@ class HierarchicalEvaluator:
         if k is None:
             k = getattr(self.algorithm, "k", None)
 
-        with breakdown.phase("layer-selection"):
+        with breakdown.phase("layer-selection"), OBS.tracer.span(
+            "layer-selection"
+        ) as selection_span:
+            forced = layer is not None
             if layer is None:
                 layer = self.cost_model.optimal_layer(query)
             elif layer > 0 and not self.index.query_distinct_at(query, layer):
@@ -280,13 +329,19 @@ class HierarchicalEvaluator:
                     f"keywords collide at layer {layer}; Def. 4.1 requires "
                     "|Gen^m(Q)| = |Q|"
                 )
+            if OBS.enabled:
+                selection_span.annotate(
+                    layer=layer, forced=forced, **self._layer_cost_attrs(query)
+                )
 
         if layer == 0:
             # Degenerate case: evaluate directly on the data graph.  The
             # searcher attaches its own (already data-level) prefix; it is
             # re-truncated to this call's k before propagating.
             try:
-                with breakdown.phase("explore"):
+                with breakdown.phase("explore"), OBS.tracer.span(
+                    "explore", layer=0
+                ):
                     answers = self.searcher_for_layer(0).search(
                         query, budget=budget
                     )
@@ -312,9 +367,19 @@ class HierarchicalEvaluator:
                 num_verified=len(answers),
             )
 
-        generalized_keywords = self.index.generalize_query(query, layer)
-        keyword_by_generalized = dict(zip(generalized_keywords, query.keywords))
-        generalized_query = KeywordQuery(generalized_keywords)
+        with breakdown.phase("translate"), OBS.tracer.span(
+            "translate", layer=layer
+        ) as translate_span:
+            generalized_keywords = self.index.generalize_query(query, layer)
+            keyword_by_generalized = dict(
+                zip(generalized_keywords, query.keywords)
+            )
+            generalized_query = KeywordQuery(generalized_keywords)
+            if OBS.enabled:
+                translate_span.annotate(
+                    generalized=",".join(generalized_keywords)
+                )
+                OBS.metrics.inc("eval.queries_generalized")
 
         # Stream summary answers lazily: specialization is interleaved
         # with enumeration so top-k runs stop as soon as the verified
@@ -323,7 +388,9 @@ class HierarchicalEvaluator:
         # not necessarily score-sorted; searchers that emit out of order
         # expose a running ``stream_lower_bound`` instead.
         searcher = self.searcher_for_layer(layer)
-        with breakdown.phase("explore"):
+        with breakdown.phase("explore"), OBS.tracer.span(
+            "explore", layer=layer
+        ):
             summary_stream = searcher.iter_search(
                 generalized_query, budget=budget
             )
@@ -340,14 +407,17 @@ class HierarchicalEvaluator:
         try:
             while True:
                 current_summary = None
-                with breakdown.phase("explore"):
+                with breakdown.phase("explore"), OBS.tracer.span(
+                    "explore", layer=layer
+                ):
                     summary_answer = next(summary_stream, None)
                 if summary_answer is None:
                     break
                 current_summary = summary_answer
-                if budget is not None:
-                    budget.charge(1)
+                charge_expansions(budget, 1)
                 result.num_generalized += 1
+                if OBS.enabled:
+                    OBS.metrics.inc("eval.summary_answers")
                 if (
                     max_generalized is not None
                     and result.num_generalized > max_generalized
@@ -367,7 +437,9 @@ class HierarchicalEvaluator:
                     and summary_answer.root is not None
                     and hasattr(self.algorithm, "best_answer_for_root")
                 )
-                with breakdown.phase("specialize"):
+                with breakdown.phase("specialize"), OBS.tracer.span(
+                    "specialize", layer=layer
+                ):
                     spec = self._specialize_answer(
                         summary_answer,
                         layer,
@@ -378,7 +450,9 @@ class HierarchicalEvaluator:
                     )
                 if spec is None:
                     continue
-                with breakdown.phase("generate"):
+                with breakdown.phase("generate"), OBS.tracer.span(
+                    "generate", strategy=self.generation
+                ):
                     self._generate(
                         summary_answer,
                         spec,
@@ -397,6 +471,9 @@ class HierarchicalEvaluator:
 
         result.answers = top_k(list(verified.values()), k)
         result.num_verified = len(verified)
+        if OBS.enabled:
+            OBS.metrics.inc("eval.candidates", result.num_candidates)
+            OBS.metrics.inc("eval.verified", result.num_verified)
         return result
 
     def _attach_partial(
@@ -501,52 +578,73 @@ class HierarchicalEvaluator:
         for position, m in enumerate(plan):
             last = position == len(plan) - 1
             attempt_budget = budget if last else budget.sub(0.5)
-            try:
-                result = self.evaluate(
-                    query,
-                    layer=m,
-                    k=k,
-                    max_generalized=max_generalized,
-                    budget=attempt_budget,
-                )
-            except BudgetExceeded as exc:
-                partial = getattr(exc, "partial_result", None)
-                if partial is not None:
-                    breakdown.merge(partial.breakdown)
-                attempts.append(
-                    DegradedAttempt(
+            retry = position > 0
+            if retry and OBS.enabled:
+                OBS.metrics.inc("eval.degradation_retries")
+            with OBS.tracer.span(
+                "attempt", layer=m, retry=retry
+            ) as attempt_span:
+                try:
+                    result = self.evaluate(
+                        query,
                         layer=m,
-                        reason=exc.reason,
-                        expansions=exc.expansions,
-                        num_generalized=(
-                            partial.num_generalized if partial else 0
-                        ),
-                        num_candidates=(
-                            partial.num_candidates if partial else 0
-                        ),
-                        proven=len(exc.partial),
-                        unproven=len(getattr(exc, "unproven", [])),
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=attempt_budget,
                     )
-                )
-                final_reason = exc.reason
-                bound = (
-                    float(exc.lower_bound)
-                    if exc.lower_bound is not None
-                    else 0.0
-                )
-                candidate = (bound, len(exc.partial), m, exc)
-                if best is None or candidate[:2] > best[:2]:
-                    best = candidate
-                if budget.exhausted_reason() is not None:
-                    break  # the *parent* budget is spent; stop retrying
-                continue
-            breakdown.merge(result.breakdown)
-            result.breakdown = breakdown
-            return result
+                except BudgetExceeded as exc:
+                    partial = getattr(exc, "partial_result", None)
+                    if partial is not None:
+                        breakdown.merge(partial.breakdown)
+                    attempts.append(
+                        DegradedAttempt(
+                            layer=m,
+                            reason=exc.reason,
+                            expansions=exc.expansions,
+                            num_generalized=(
+                                partial.num_generalized if partial else 0
+                            ),
+                            num_candidates=(
+                                partial.num_candidates if partial else 0
+                            ),
+                            proven=len(exc.partial),
+                            unproven=len(getattr(exc, "unproven", [])),
+                        )
+                    )
+                    if OBS.enabled:
+                        attempt_span.annotate(
+                            outcome=exc.reason,
+                            expansions=exc.expansions,
+                            proven=len(exc.partial),
+                        )
+                    final_reason = exc.reason
+                    bound = (
+                        float(exc.lower_bound)
+                        if exc.lower_bound is not None
+                        else 0.0
+                    )
+                    candidate = (bound, len(exc.partial), m, exc)
+                    if best is None or candidate[:2] > best[:2]:
+                        best = candidate
+                    if budget.exhausted_reason() is not None:
+                        break  # the *parent* budget is spent; stop retrying
+                    continue
+                if OBS.enabled:
+                    attempt_span.annotate(
+                        outcome="complete", answers=len(result.answers)
+                    )
+                    self._record_budget_gauges(budget)
+                breakdown.merge(result.breakdown)
+                result.breakdown = breakdown
+                return result
 
         if best is None:  # pragma: no cover - plan is never empty
             raise QueryError("no evaluation attempt was made")
+        if OBS.enabled:
+            self._record_budget_gauges(budget)
         bound, _, best_layer, exc = best
+        rem_exp = budget.remaining_expansions()
+        rem_time = budget.remaining_time()
         return DegradedResult(
             answers=list(exc.partial),
             layer=best_layer,
@@ -555,7 +653,23 @@ class HierarchicalEvaluator:
             unranked=list(getattr(exc, "unproven", [])),
             attempts=attempts,
             breakdown=breakdown,
+            stats=DegradationStats(
+                expansions_consumed=budget.expansions,
+                expansions_remaining=rem_exp,
+                time_remaining_seconds=rem_time,
+                layers_attempted=[a.layer for a in attempts],
+            ),
         )
+
+    @staticmethod
+    def _record_budget_gauges(budget: Budget) -> None:
+        OBS.metrics.gauge("budget.expansions_consumed", budget.expansions)
+        rem = budget.remaining_expansions()
+        if rem is not None:
+            OBS.metrics.gauge("budget.expansions_remaining", rem)
+        rem_time = budget.remaining_time()
+        if rem_time is not None:
+            OBS.metrics.gauge("budget.time_remaining_seconds", rem_time)
 
     # ------------------------------------------------------------------
     # Step 3: specialization with pruning
@@ -593,12 +707,17 @@ class HierarchicalEvaluator:
         if root_only:
             root = summary_answer.root
             assert root is not None
-            if budget is not None:
-                budget.charge(1)
+            charge_expansions(budget, 1)
+            spec_set = sorted(self.index.spec_to_base(root, layer))
+            if OBS.enabled:
+                OBS.metrics.inc("spec.lookups")
+                OBS.metrics.observe(
+                    "spec.candidates_per_lookup", len(spec_set)
+                )
             return GeneralizedAnswerGraph(
                 vertices=(root,),
                 edges=(),
-                spec_sets={root: sorted(self.index.spec_to_base(root, layer))},
+                spec_sets={root: spec_set},
                 keyword_of={},
             )
 
@@ -607,8 +726,7 @@ class HierarchicalEvaluator:
             keyword = keyword_of.get(supernode)
             members = [supernode]
             for level in range(layer, 0, -1):
-                if budget is not None:
-                    budget.charge(len(members))
+                charge_expansions(budget, len(members))
                 extent = self.index.layers[level - 1].extent
                 members = [child for s in members for child in extent[s]]
                 if keyword is not None:
@@ -622,6 +740,11 @@ class HierarchicalEvaluator:
                     if not members:
                         return None  # early keyword specialization prune
             spec_sets[supernode] = sorted(members)
+            if OBS.enabled:
+                OBS.metrics.inc("spec.lookups")
+                OBS.metrics.observe(
+                    "spec.candidates_per_lookup", len(members)
+                )
         return GeneralizedAnswerGraph(
             vertices=summary_answer.vertices,
             edges=summary_answer.edges,
@@ -685,8 +808,7 @@ class HierarchicalEvaluator:
                 kth = sorted(a.score for a in verified.values())[k - 1]
                 if kth <= summary_answer.score:
                     return
-            if budget is not None:
-                budget.charge(1)
+            charge_expansions(budget, 1)
             seen_roots.add(root)
             result.num_candidates += 1
             answer = best_for_root(self.index.base_graph, root, query)
@@ -729,8 +851,7 @@ class HierarchicalEvaluator:
                 use_spec_order=self.use_spec_order,
             )
         for assignment in assignments:
-            if budget is not None:
-                budget.charge(1)
+            charge_expansions(budget, 1)
             result.num_candidates += 1
             keyword_nodes = {
                 keyword: assignment[supernode]

@@ -21,6 +21,7 @@ from repro.core.config import Configuration
 from repro.core.cost import CostModel, CostParams
 from repro.core.parallel import score_candidates
 from repro.graph.digraph import Graph
+from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
 
 
@@ -89,6 +90,9 @@ def greedy_configuration(
     # Priority queue keyed by the estimated single-mapping cost.  The
     # scores are identical floats whether computed inline or by workers.
     scores = score_candidates(model, candidates, workers=workers)
+    if OBS.enabled:
+        for score in scores:
+            OBS.metrics.observe("build.candidate_cost", score)
     queue: List[Tuple[float, str, str]] = [
         (score, source, target)
         for score, (source, target) in zip(scores, candidates)

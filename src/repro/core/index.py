@@ -27,7 +27,6 @@ Maintenance (Sec. 3.2):
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -42,9 +41,11 @@ from repro.core.generalize import (
 )
 from repro.core.heuristic import greedy_configuration
 from repro.graph.digraph import Graph
+from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
 from repro.search.base import KeywordQuery
 from repro.utils.errors import BigIndexError, QueryError
+from repro.utils.timers import monotonic_now
 
 
 @dataclass
@@ -148,39 +149,56 @@ class BiGIndex:
             — only the wall clock changes.
         """
         index = cls(graph, ontology, direction=direction)
-        start_total = time.perf_counter()
+        start_total = monotonic_now()
         current = graph
         while num_layers is None or len(index.layers) < num_layers:
-            start = time.perf_counter()
-            config = greedy_configuration(
-                current,
-                ontology,
-                theta=theta,
-                max_mappings=max_mappings,
-                cost_params=cost_params,
-                workers=workers,
-            )
-            generalized = generalize_graph(current, config)
-            summary = summarize(generalized, direction=direction)
-            elapsed = time.perf_counter() - start
-            ratio = summary.graph.size / current.size if current.size else 1.0
-            if not config and ratio > stop_ratio:
-                break  # nothing generalized and bisim stopped compressing
-            index.layers.append(
-                Layer(
-                    config=config,
-                    graph=summary.graph,
-                    parent_of=summary.supernode_of,
-                    extent=summary.extent,
-                    build_seconds=elapsed,
+            start = monotonic_now()
+            with OBS.tracer.span(
+                "build-layer", layer=len(index.layers) + 1, size=current.size
+            ) as layer_span:
+                with OBS.tracer.span("configure"):
+                    config = greedy_configuration(
+                        current,
+                        ontology,
+                        theta=theta,
+                        max_mappings=max_mappings,
+                        cost_params=cost_params,
+                        workers=workers,
+                    )
+                with OBS.tracer.span("generalize"):
+                    generalized = generalize_graph(current, config)
+                with OBS.tracer.span("summarize"):
+                    summary = summarize(generalized, direction=direction)
+                elapsed = monotonic_now() - start
+                ratio = (
+                    summary.graph.size / current.size if current.size else 1.0
                 )
-            )
-            index.report.layer_sizes.append(summary.graph.size)
-            index.report.layer_seconds.append(elapsed)
-            if ratio > stop_ratio and num_layers is None:
-                break  # keep the layer but stop stacking more
-            current = summary.graph
-        index.report.total_seconds = time.perf_counter() - start_total
+                if OBS.enabled:
+                    layer_span.annotate(
+                        mappings=len(config),
+                        summary_size=summary.graph.size,
+                        ratio=round(ratio, 4),
+                    )
+                if not config and ratio > stop_ratio:
+                    break  # nothing generalized and bisim stopped compressing
+                index.layers.append(
+                    Layer(
+                        config=config,
+                        graph=summary.graph,
+                        parent_of=summary.supernode_of,
+                        extent=summary.extent,
+                        build_seconds=elapsed,
+                    )
+                )
+                index.report.layer_sizes.append(summary.graph.size)
+                index.report.layer_seconds.append(elapsed)
+                if OBS.enabled:
+                    OBS.metrics.inc("build.layers")
+                    OBS.metrics.inc("build.mappings_accepted", len(config))
+                if ratio > stop_ratio and num_layers is None:
+                    break  # keep the layer but stop stacking more
+                current = summary.graph
+        index.report.total_seconds = monotonic_now() - start_total
         return index
 
     # ------------------------------------------------------------------
@@ -362,27 +380,35 @@ class BiGIndex:
         # new layer-(i-1) vertex -> old layer-(i-1) vertex; identity at base.
         old_of_new: List[int] = list(range(current.num_vertices))
         rebuilt: List[Layer] = []
-        for layer in self.layers:
-            generalized = generalize_graph(current, layer.config)
-            seed = [layer.parent_of[old_of_new[v]] for v in generalized.vertices()]
-            blocks = maximal_bisimulation(
-                generalized, direction=self.direction, initial_blocks=seed
-            )
-            summary = summarize(generalized, direction=self.direction, blocks=blocks)
-            rebuilt.append(
-                Layer(
-                    config=layer.config,
-                    graph=summary.graph,
-                    parent_of=summary.supernode_of,
-                    extent=summary.extent,
+        for position, layer in enumerate(self.layers):
+            if OBS.enabled:
+                OBS.metrics.inc("build.layers_refreshed")
+            with OBS.tracer.span("refresh-layer", layer=position + 1):
+                generalized = generalize_graph(current, layer.config)
+                seed = [
+                    layer.parent_of[old_of_new[v]]
+                    for v in generalized.vertices()
+                ]
+                blocks = maximal_bisimulation(
+                    generalized, direction=self.direction, initial_blocks=seed
                 )
-            )
-            # Map each new supernode to the old supernode of its members.
-            old_of_new = [
-                layer.parent_of[old_of_new[members[0]]]
-                for members in summary.extent
-            ]
-            current = summary.graph
+                summary = summarize(
+                    generalized, direction=self.direction, blocks=blocks
+                )
+                rebuilt.append(
+                    Layer(
+                        config=layer.config,
+                        graph=summary.graph,
+                        parent_of=summary.supernode_of,
+                        extent=summary.extent,
+                    )
+                )
+                # Map each new supernode to the old supernode of its members.
+                old_of_new = [
+                    layer.parent_of[old_of_new[members[0]]]
+                    for members in summary.extent
+                ]
+                current = summary.graph
         self.layers = rebuilt
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,6 +30,7 @@ from repro.bisim.refinement import BisimDirection
 from repro.core.config import Configuration
 from repro.core.cost import CostModel, compression_ratio
 from repro.graph.digraph import Graph
+from repro.obs.runtime import OBS
 
 #: One picklable graph snapshot: (per-vertex label strings, CSR offsets,
 #: CSR targets).  Only out-edges are shipped; the rebuilt Graph derives
@@ -151,8 +152,13 @@ def score_candidates(
     candidates out over a process pool, falling back to threads and then
     to inline scoring when pools are unavailable.
     """
+    if OBS.enabled:
+        OBS.metrics.inc("build.candidates_scored", len(candidates))
     if workers is None or workers <= 1 or len(candidates) <= 1:
-        return _score_serial(model, candidates)
+        with OBS.tracer.span(
+            "score-candidates", pool="serial", candidates=len(candidates)
+        ):
+            return _score_serial(model, candidates)
 
     exact = model.params.exact
     sample_payloads = (
@@ -167,15 +173,25 @@ def score_candidates(
         graph_payload,
     )
     chunks = _chunked(candidates, workers * 4)
+    if OBS.enabled:
+        OBS.metrics.inc("build.parallel_chunks", len(chunks))
 
     try:
         import concurrent.futures as futures
 
-        with futures.ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=init_args
-        ) as pool:
-            results = list(pool.map(_score_chunk, chunks))
-        return [score for chunk in results for score in chunk]
+        with OBS.tracer.span(
+            "score-candidates",
+            pool="process",
+            workers=workers,
+            candidates=len(candidates),
+        ):
+            with futures.ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=init_args,
+            ) as pool:
+                results = list(pool.map(_score_chunk, chunks))
+            return [score for chunk in results for score in chunk]
     except Exception:
         # Process pools need fork/spawn + semaphores; restricted
         # environments get the threaded path (identical results).
@@ -185,11 +201,20 @@ def score_candidates(
         import concurrent.futures as futures
 
         _init_worker(*init_args)
-        with futures.ThreadPoolExecutor(max_workers=workers) as pool:
-            results = list(pool.map(_score_chunk, chunks))
-        return [score for chunk in results for score in chunk]
+        with OBS.tracer.span(
+            "score-candidates",
+            pool="thread",
+            workers=workers,
+            candidates=len(candidates),
+        ):
+            with futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_score_chunk, chunks))
+            return [score for chunk in results for score in chunk]
     except Exception:
-        return _score_serial(model, candidates)
+        with OBS.tracer.span(
+            "score-candidates", pool="serial", candidates=len(candidates)
+        ):
+            return _score_serial(model, candidates)
     finally:
         _STATE.clear()
 

@@ -55,6 +55,7 @@ from typing import Dict, List
 from repro.core.config import Configuration
 from repro.core.index import BiGIndex, Layer
 from repro.graph.io import load_graph_tsv, save_graph_tsv
+from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
 from repro.utils.errors import (
     BigIndexError,
@@ -167,20 +168,35 @@ def save_index(index: BiGIndex, directory: str) -> None:
     staging = tempfile.mkdtemp(
         prefix=os.path.basename(directory) + ".tmp-", dir=parent
     )
-    try:
-        _write_index_files(index, staging)
-        write_manifest(staging)
-        stale = directory + ".stale"
-        if os.path.exists(directory):
+    with OBS.tracer.span(
+        "index-save", layers=index.num_layers
+    ) as save_span:
+        try:
+            _write_index_files(index, staging)
+            write_manifest(staging)
+            if OBS.enabled:
+                names = os.listdir(staging)
+                OBS.metrics.inc("persist.saves")
+                OBS.metrics.inc("persist.files_written", len(names))
+                OBS.metrics.inc(
+                    "persist.bytes_written",
+                    sum(
+                        os.path.getsize(os.path.join(staging, name))
+                        for name in names
+                    ),
+                )
+                save_span.annotate(files=len(names))
+            stale = directory + ".stale"
+            if os.path.exists(directory):
+                if os.path.exists(stale):
+                    shutil.rmtree(stale)
+                os.rename(directory, stale)
+            os.rename(staging, directory)
             if os.path.exists(stale):
                 shutil.rmtree(stale)
-            os.rename(directory, stale)
-        os.rename(staging, directory)
-        if os.path.exists(stale):
-            shutil.rmtree(stale)
-    except BaseException:
-        shutil.rmtree(staging, ignore_errors=True)
-        raise
+        except BaseException:
+            shutil.rmtree(staging, ignore_errors=True)
+            raise
 
 
 def _write_index_files(index: BiGIndex, directory: str) -> None:
@@ -226,6 +242,15 @@ def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
     format version and :class:`~repro.utils.errors.IndexCorruptedError`
     for missing/tampered/structurally-invalid files.
     """
+    with OBS.tracer.span("index-load") as load_span:
+        index = _load_index_impl(directory, ontology)
+        if OBS.enabled:
+            OBS.metrics.inc("persist.loads")
+            load_span.annotate(layers=index.num_layers)
+        return index
+
+
+def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
     meta_path = os.path.join(directory, "meta.json")
     if not os.path.exists(meta_path):
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):

@@ -22,6 +22,7 @@ from __future__ import annotations
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.obs.runtime import OBS
 from repro.utils.errors import GraphError
 
 
@@ -187,7 +188,7 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
-        self._csr = None
+        self._drop_csr()
         self._posting_cache.pop(label_id, None)
         if name is not None:
             self.names[vid] = name
@@ -202,7 +203,7 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
-        self._csr = None
+        self._drop_csr()
         self._posting_cache.pop(label_id, None)
         return vid
 
@@ -220,7 +221,7 @@ class Graph:
         self._out[u].append(v)
         self._in[v].append(u)
         self._num_edges += 1
-        self._csr = None
+        self._drop_csr()
         return True
 
     def remove_edge(self, u: int, v: int) -> None:
@@ -231,7 +232,18 @@ class Graph:
         self._out[u].remove(v)
         self._in[v].remove(u)
         self._num_edges -= 1
-        self._csr = None
+        self._drop_csr()
+
+    def _drop_csr(self) -> None:
+        """Invalidate the CSR snapshot after a topology mutation.
+
+        Counts as an invalidation only when a snapshot actually existed —
+        appending vertices to a never-snapshotted graph is not churn.
+        """
+        if self._csr is not None:
+            self._csr = None
+            if OBS.enabled:
+                OBS.metrics.inc("csr.invalidations")
 
     def relabel_vertex(self, v: int, new_label: str) -> None:
         """Change the label of ``v``, keeping the inverted index consistent."""
@@ -333,6 +345,10 @@ class Graph:
         if view is None:
             view = CSRView(self._out, self._in)
             self._csr = view
+            if OBS.enabled:
+                OBS.metrics.inc("csr.builds")
+        elif OBS.enabled:
+            OBS.metrics.inc("csr.hits")
         return view
 
     def sorted_vertices_with_label_id(self, label_id: int) -> Tuple[int, ...]:

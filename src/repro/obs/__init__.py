@@ -1,0 +1,31 @@
+"""Observability: span tracing, metrics, and the EXPLAIN surface.
+
+Zero-overhead-when-disabled instrumentation for the whole query and
+build path.  See docs/OBSERVABILITY.md for the span taxonomy and metric
+name reference.
+"""
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.runtime import OBS, Instrumentation, charge_expansions, instrumented
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    write_trace,
+)
+
+__all__ = [
+    "OBS",
+    "Instrumentation",
+    "instrumented",
+    "charge_expansions",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "NULL_TRACER",
+    "write_trace",
+]

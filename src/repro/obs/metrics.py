@@ -1,0 +1,179 @@
+"""Metrics registry: counters, gauges, and histograms for query telemetry.
+
+The registry is deliberately minimal — plain dict-backed counters with
+string names — because its hot-path cost matters more than its feature
+set.  Instrumented code guards every call behind ``if OBS.enabled:`` (see
+:mod:`repro.obs.runtime`), so when observability is off the registry is
+never touched at all; :data:`NULL_METRICS` exists only as a safe default
+for code that stores a registry reference up front.
+
+Naming convention (documented in docs/OBSERVABILITY.md): dot-separated,
+``<subsystem>.<event>`` — e.g. ``search.expansions``, ``refine.rounds``,
+``csr.invalidations``.  Counters count events, gauges record last-seen
+values, histograms accumulate (count, sum, min, max) of observations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+
+class _Histogram:
+    """Streaming summary of observed values: count/sum/min/max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "mean": self.mean,
+        }
+
+    def merge(self, other: "_Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        for bound in (other.min, other.max):
+            if bound is None:
+                continue
+            if self.min is None or bound < self.min:
+                self.min = bound
+            if self.max is None or bound > self.max:
+                self.max = bound
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by dotted metric names."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, _Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the last-seen value of gauge ``name``."""
+        self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Feed one observation into histogram ``name``."""
+        hist = self._histograms.get(name)
+        if hist is None:
+            hist = self._histograms[name] = _Histogram()
+        hist.observe(value)
+
+    # -- reading --------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters, sorted by name (a copy; safe to serialize)."""
+        return dict(sorted(self._counters.items()))
+
+    def gauges(self) -> Dict[str, float]:
+        """All gauges, sorted by name (a copy)."""
+        return dict(sorted(self._gauges.items()))
+
+    def histograms(self) -> Dict[str, Dict[str, float]]:
+        """All histograms as {name: {count, sum, min, max, mean}}."""
+        return {
+            name: hist.as_dict()
+            for name, hist in sorted(self._histograms.items())
+        }
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-serializable dict of everything recorded."""
+        return {
+            "counters": self.counters(),
+            "gauges": self.gauges(),
+            "histograms": self.histograms(),
+        }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters add, gauges take
+        the other's last value, histograms combine)."""
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, hist in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = _Histogram()
+            mine.merge(hist)
+
+    def format(self, prefixes: Optional[Mapping[str, None]] = None) -> str:
+        """Human-readable multi-line dump, optionally filtered by prefix.
+
+        ``prefixes`` (an iterable of name prefixes; a mapping's keys work
+        too) limits the output to matching metric names.
+        """
+        wanted = tuple(prefixes) if prefixes is not None else None
+
+        def keep(name: str) -> bool:
+            return wanted is None or name.startswith(wanted)
+
+        lines: List[str] = []
+        for name, value in sorted(self._counters.items()):
+            if keep(name):
+                lines.append(f"  {name} = {value}")
+        for name, value in sorted(self._gauges.items()):
+            if keep(name):
+                lines.append(f"  {name} = {value:g} (gauge)")
+        for name, hist in sorted(self._histograms.items()):
+            if keep(name):
+                lines.append(
+                    f"  {name} = count={hist.count} mean={hist.mean:.3g}"
+                    f" min={hist.min:g} max={hist.max:g} (histogram)"
+                )
+        return "\n".join(lines)
+
+
+class NullMetrics(MetricsRegistry):
+    """A registry that drops everything.
+
+    Exists so un-guarded code paths holding a registry reference stay
+    correct when instrumentation is disabled; the hot paths never reach
+    it because they gate on ``OBS.enabled`` first.
+    """
+
+    __slots__ = ()
+
+    def inc(self, name: str, amount: int = 1) -> None:  # pragma: no cover
+        pass
+
+    def gauge(self, name: str, value: float) -> None:  # pragma: no cover
+        pass
+
+    def observe(self, name: str, value: float) -> None:  # pragma: no cover
+        pass
+
+
+#: Shared do-nothing registry used while instrumentation is disabled.
+NULL_METRICS = NullMetrics()

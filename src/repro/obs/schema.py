@@ -1,0 +1,134 @@
+"""Validator for the JSONL trace files emitted by ``--trace-out``.
+
+Each line must be one Chrome-trace event object.  ``"X"`` (complete)
+events need ``name``/``ts``/``dur``/``pid``/``tid``/``args``; the single
+optional ``"i"`` (instant) event carries the final metrics snapshot.
+
+Runs standalone for the CI trace smoke job::
+
+    python -m repro.obs.schema trace.jsonl --min-phases 4
+
+which fails (exit 1) on any malformed line, or when the trace contains
+fewer distinct span names than ``--min-phases`` — the acceptance bar
+that a query trace shows at least layer selection, translation, search,
+and answer recovery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def validate_event(event: object) -> List[str]:
+    """Schema errors for one parsed event (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(event, dict):
+        return [f"event is {type(event).__name__}, expected object"]
+    phase = event.get("ph")
+    if phase not in ("X", "i"):
+        errors.append(f"ph must be 'X' or 'i', got {phase!r}")
+    name = event.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append("name must be a non-empty string")
+    for key in ("ts",) + (("dur",) if phase == "X" else ()):
+        value = event.get(key)
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            errors.append(f"{key} must be a number, got {value!r}")
+        elif value < 0:
+            errors.append(f"{key} must be >= 0, got {value!r}")
+    for key in ("pid", "tid"):
+        if not isinstance(event.get(key), int):
+            errors.append(f"{key} must be an integer")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        errors.append("args must be an object when present")
+    return errors
+
+
+def validate_lines(
+    lines: Sequence[str],
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Parse and validate JSONL trace content.
+
+    Returns ``(events, errors)`` where each error names its 1-based line.
+    """
+    events: List[Dict[str, object]] = []
+    errors: List[str] = []
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            event = json.loads(text)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        event_errors = validate_event(event)
+        if event_errors:
+            errors.extend(f"line {lineno}: {msg}" for msg in event_errors)
+        else:
+            events.append(event)
+    if not events and not errors:
+        errors.append("trace is empty")
+    return events, errors
+
+
+def distinct_phases(events: Sequence[Dict[str, object]]) -> List[str]:
+    """Distinct span names among the complete ("X") events, sorted."""
+    return sorted({
+        str(event["name"]) for event in events if event.get("ph") == "X"
+    })
+
+
+def validate_file(
+    path: str, min_phases: int = 0
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Validate a trace file; enforce a distinct-span-name floor."""
+    with open(path, "r", encoding="utf-8") as handle:
+        events, errors = validate_lines(handle.readlines())
+    if min_phases:
+        phases = distinct_phases(events)
+        if len(phases) < min_phases:
+            errors.append(
+                f"trace has {len(phases)} distinct span name(s)"
+                f" {phases}, expected >= {min_phases}"
+            )
+    return events, errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate a --trace-out JSONL trace file.",
+    )
+    parser.add_argument("trace", help="path to the JSONL trace")
+    parser.add_argument(
+        "--min-phases",
+        type=int,
+        default=0,
+        metavar="N",
+        help="require at least N distinct span names among X events",
+    )
+    args = parser.parse_args(argv)
+    try:
+        events, errors = validate_file(args.trace, min_phases=args.min_phases)
+    except OSError as exc:
+        print(f"error: cannot read {args.trace}: {exc}")
+        return 2
+    if errors:
+        for message in errors:
+            print(f"error: {message}")
+        return 1
+    phases = distinct_phases(events)
+    print(
+        f"ok: {len(events)} event(s), {len(phases)} distinct span name(s):"
+        f" {', '.join(phases)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by CI smoke job
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ from repro.search.base import (
     KeywordSearchAlgorithm,
     top_k,
 )
+from repro.obs.runtime import OBS, charge_expansions
 from repro.utils.budget import Budget
 from repro.utils.errors import BudgetExceeded, QueryError
 
@@ -81,8 +82,9 @@ class _BackwardExpansion:
         """
         if self.exhausted:
             return []
-        if budget is not None:
-            budget.charge(len(self._frontier))
+        charge_expansions(budget, len(self._frontier))
+        if OBS.enabled:
+            OBS.metrics.inc("search.levels_expanded")
         reached: Dict[int, int] = {}
         in_neighbors = self._in_neighbors
         for v in self._frontier:

@@ -37,6 +37,7 @@ from repro.search.base import (
     KeywordSearchAlgorithm,
     top_k,
 )
+from repro.obs.runtime import OBS, charge_expansions
 from repro.utils.budget import Budget
 from repro.utils.errors import BudgetExceeded, QueryError
 
@@ -95,11 +96,14 @@ class BidirectionalSearcher(GraphSearcher):
             while depth < self.d_max:
                 depth += 1
                 progressed = False
-                if budget is not None:
-                    # One expansion per frontier vertex about to be
-                    # processed; charging up front keeps the settled maps
-                    # consistent (complete through depth - 1) on raise.
-                    budget.charge(sum(len(f) for f in frontiers.values()))
+                # One expansion per frontier vertex about to be
+                # processed; charging up front keeps the settled maps
+                # consistent (complete through depth - 1) on raise.
+                charge_expansions(
+                    budget, sum(len(f) for f in frontiers.values())
+                )
+                if OBS.enabled:
+                    OBS.metrics.inc("search.levels_expanded")
                 # Backward step: grow each keyword frontier one level.  The
                 # nearest-origin choice is canonical (smallest origin wins on
                 # equal distance) so answers match bkws' signature-for-signature.
@@ -126,6 +130,8 @@ class BidirectionalSearcher(GraphSearcher):
                 confirmed = 0
                 while candidates and confirmed < 8:
                     neg_reached, _, vertex = heapq.heappop(candidates)
+                    if OBS.enabled:
+                        OBS.metrics.inc("search.heap_pops")
                     if vertex in emitted:
                         continue
                     if -neg_reached < len(keywords) and depth < self.d_max:
@@ -134,13 +140,14 @@ class BidirectionalSearcher(GraphSearcher):
                         # half the keywords reached).
                         if -neg_reached * 2 <= len(keywords):
                             continue
-                    if budget is not None:
-                        budget.charge(1)
+                    charge_expansions(budget, 1)
                     answer = self._confirm_root(vertex, query)
                     if answer is not None:
                         emitted.add(vertex)
                         answers[vertex] = answer
                         confirmed += 1
+                        if OBS.enabled:
+                            OBS.metrics.inc("search.roots_confirmed")
                 if not progressed and not candidates:
                     break
         except BudgetExceeded as exc:

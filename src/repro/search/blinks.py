@@ -58,6 +58,7 @@ from repro.search.base import (
     KeywordSearchAlgorithm,
     top_k,
 )
+from repro.obs.runtime import OBS, charge_expansions
 from repro.utils.budget import Budget
 from repro.utils.errors import BudgetExceeded, QueryError
 
@@ -287,8 +288,9 @@ class _LazyBackwardCursor:
         any expansion work, so exhaustion leaves the settled map and the
         stream's lower bound consistent.
         """
-        if budget is not None:
-            budget.charge(len(self._levels.get(self.depth, [])))
+        charge_expansions(budget, len(self._levels.get(self.depth, [])))
+        if OBS.enabled:
+            OBS.metrics.inc("search.levels_expanded")
         if self._static:
             level = self._levels.get(self.depth, [])
             self.depth += 1

@@ -57,6 +57,7 @@ from repro.search.base import (
     KeywordSearchAlgorithm,
     top_k,
 )
+from repro.obs.runtime import OBS, charge_expansions
 from repro.utils.budget import Budget
 from repro.utils.errors import BigIndexError, BudgetExceeded, QueryError
 
@@ -202,8 +203,7 @@ class RCliqueSearcher(GraphSearcher):
         )
         counter = itertools.count()
         heap: List[Tuple[float, int, _SearchSpace, Tuple[int, ...]]] = []
-        if budget is not None:
-            budget.charge(1)
+        charge_expansions(budget, 1)
         first = self._best_answer(keywords, keyword_sets, root_space)
         if first is not None:
             weight, assignment = first
@@ -212,6 +212,8 @@ class RCliqueSearcher(GraphSearcher):
         emitted: Set[Tuple[int, ...]] = set()
         while heap:
             weight, _, space, assignment = heapq.heappop(heap)
+            if OBS.enabled:
+                OBS.metrics.inc("search.heap_pops")
             if assignment not in emitted:
                 emitted.add(assignment)
                 yield Answer.make(
@@ -231,8 +233,7 @@ class RCliqueSearcher(GraphSearcher):
                     fixed=tuple(fixed),
                     excluded=tuple(frozenset(x) for x in excluded),
                 )
-                if budget is not None:
-                    budget.charge(1)
+                charge_expansions(budget, 1)
                 best = self._best_answer(keywords, keyword_sets, subspace)
                 if best is not None:
                     sub_weight, sub_assignment = best

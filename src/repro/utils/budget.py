@@ -28,10 +28,10 @@ a coarser layer" is just charging the same parent again.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional
 
 from repro.utils.errors import BudgetExceeded
+from repro.utils.timers import monotonic_now
 
 #: Budget charge reasons, in check order.
 REASONS = ("cancelled", "expansions", "deadline")
@@ -72,7 +72,9 @@ class Budget:
     token:
         Shared :class:`CancellationToken`; ``None`` creates a private one.
     clock:
-        Seconds-returning callable (default :func:`time.monotonic`).
+        Seconds-returning callable (default
+        :data:`repro.utils.timers.monotonic_now`, the repo-wide
+        monotonic clock shared with the bench harness and tracer).
         Injectable for deterministic tests and clock-skew fault drills.
     """
 
@@ -81,7 +83,7 @@ class Budget:
         deadline: Optional[float] = None,
         max_expansions: Optional[int] = None,
         token: Optional[CancellationToken] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = monotonic_now,
     ) -> None:
         if deadline is not None and deadline < 0:
             raise ValueError("deadline must be non-negative")

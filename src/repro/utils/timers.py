@@ -4,6 +4,12 @@ The paper's Exp-1 figures break query time into three phases: exploring the
 summary graphs, pruning/specialization, and final answer generation.
 :class:`TimeBreakdown` accumulates named phases so the harness can print the
 same breakdown.
+
+:data:`monotonic_now` is the one clock every timing path uses — the
+benchmark harness, budgets, the tracer, and these helpers all read it so
+their timestamps are mutually comparable and immune to wall-clock steps
+(NTP adjustments, DST).  It aliases :func:`time.perf_counter`, the
+highest-resolution monotonic clock CPython offers.
 """
 
 from __future__ import annotations
@@ -11,6 +17,10 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator
+
+#: The repo-wide monotonic clock: seconds as a float, arbitrary epoch,
+#: never goes backwards.  Do not mix with ``time.time()`` in timing code.
+monotonic_now = time.perf_counter
 
 
 class Stopwatch:
@@ -22,14 +32,14 @@ class Stopwatch:
 
     def start(self) -> "Stopwatch":
         """Start (or restart) timing from now."""
-        self._start = time.perf_counter()
+        self._start = monotonic_now()
         return self
 
     def stop(self) -> float:
         """Stop timing and add the interval to :attr:`elapsed`."""
         if self._start is None:
             raise RuntimeError("Stopwatch.stop() called before start()")
-        self.elapsed += time.perf_counter() - self._start
+        self.elapsed += monotonic_now() - self._start
         self._start = None
         return self.elapsed
 
@@ -57,12 +67,12 @@ class TimeBreakdown:
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Context manager timing one phase; time accumulates across uses."""
-        start = time.perf_counter()
+        start = monotonic_now()
         try:
             yield
         finally:
             self.totals[name] = self.totals.get(name, 0.0) + (
-                time.perf_counter() - start
+                monotonic_now() - start
             )
 
     def add(self, name: str, seconds: float) -> None:

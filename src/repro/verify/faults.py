@@ -48,6 +48,7 @@ from repro.core.persistence import (
 )
 from repro.core.plugins import boost
 from repro.datasets.synthetic import verification_corpus
+from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import top_k
 from repro.utils.budget import Budget, CancellationToken
@@ -322,6 +323,41 @@ def _budget_drills(
                 )
 
 
+def _expansion_parity_drills(
+    report: FaultReport,
+    case: str,
+    index: BiGIndex,
+    queries,
+) -> None:
+    """Expansion accounting must be authoritative on every exit path.
+
+    ``charge_expansions`` is the single tap through which searchers and
+    the evaluator both debit the budget and bump the telemetry counter,
+    so after any ``evaluate_resilient`` run — complete, degraded
+    mid-layer, or degraded after retrying the whole ladder — the counter
+    and the budget ledger must agree exactly.  Drift means some path
+    charges one side and not the other.
+    """
+    algorithm = BackwardKeywordSearch(d_max=_D_MAX)
+    boosted = boost(algorithm, index, allow_layer_zero=True)
+    for query in queries:
+        for cap in _EXPANSION_CAPS:
+            report.checks += 1
+            budget = Budget(max_expansions=cap)
+            with instrumented(trace=False) as inst:
+                boosted.evaluate_resilient(query, budget=budget)
+            counted = inst.metrics.counter("search.expansions")
+            if counted != budget.expansions:
+                report.findings.append(
+                    FaultFinding(
+                        "budget/accounting",
+                        f"{case} {list(query.keywords)} cap={cap}",
+                        f"telemetry counted {counted} expansion(s), "
+                        f"budget charged {budget.expansions}",
+                    )
+                )
+
+
 def _clock_and_cancel_drills(report: FaultReport) -> None:
     # Clock skew: once expired, a backward-jumping clock must not revive
     # the budget, and elapsed() must stay monotone.
@@ -417,4 +453,5 @@ def run_fault_injection(
         if quick:
             queries = queries[:2]
         _budget_drills(report, name, index, graph, queries)
+        _expansion_parity_drills(report, name, index, queries)
     return report

@@ -13,12 +13,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.cost import CostParams
 from repro.core.index import BiGIndex
 from repro.datasets.synthetic import verification_corpus
 from repro.graph.digraph import Graph
+from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import KeywordQuery
 from repro.search.bidirectional import BidirectionalSearch
@@ -43,6 +44,10 @@ class CaseResult:
     audit: AuditReport
     oracle: OracleReport
     fuzz: Optional[FuzzReport] = None
+    #: Telemetry counters captured while the oracle leg ran (search and
+    #: evaluator activity for this case; empty when instrumentation was
+    #: unavailable).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -58,6 +63,14 @@ class CaseResult:
         for part in (self.audit, self.oracle, self.fuzz):
             if part is not None:
                 lines.append("  " + part.format().replace("\n", "\n  "))
+        shown = {
+            key: value
+            for key, value in sorted(self.counters.items())
+            if key.startswith(("search.", "eval.", "spec."))
+        }
+        if shown:
+            rendered = " ".join(f"{k}={v}" for k, v in shown.items())
+            lines.append(f"  counters: {rendered}")
         return "\n".join(lines)
 
 
@@ -165,8 +178,11 @@ def run_verification(
             # (uninteresting) source of set differences.
             algorithms.append(RClique(radius=_RCLIQUE_RADIUS, k=None))
         oracle = DifferentialOracle(index)
-        oracle_report = oracle.run(algorithms, queries)
-        oracle_report.merge(oracle.run(algorithms[:1], queries, k=2))
+        # Metrics-only instrumentation: the counters ride along on the
+        # case report without perturbing the differential comparison.
+        with instrumented(trace=False) as inst:
+            oracle_report = oracle.run(algorithms, queries)
+            oracle_report.merge(oracle.run(algorithms[:1], queries, k=2))
 
         fuzz_report: Optional[FuzzReport] = None
         if quick or case_index == 0:
@@ -180,7 +196,11 @@ def run_verification(
             )
         report.cases.append(
             CaseResult(
-                name=name, audit=audit, oracle=oracle_report, fuzz=fuzz_report
+                name=name,
+                audit=audit,
+                oracle=oracle_report,
+                fuzz=fuzz_report,
+                counters=inst.metrics.counters(),
             )
         )
     if faults:
