@@ -21,6 +21,14 @@ Suite (full mode)
   count, which is machine-independent.
 * ``build.synt-1k`` — a 2-layer ``BiGIndex.build``, serial and with a
   worker pool; best of two runs.
+* ``query.cold`` / ``query.warm`` / ``query.batch`` — the full boosted
+  query path (``eval_Ont`` via ``boost-bkws``) over the probe queries on
+  a 2-layer index: cold drops every cache (CSR, postings, ``Gen``/
+  ``Spec`` memos, result cache) and rebinds the searchers per repeat;
+  warm reuses a long-lived evaluator so repeats are served from the
+  query-result cache; batch runs the workload (queries x 4) through
+  ``evaluate_many``.  The answer totals are gated exactly — the caches
+  must never change what a query returns.
 
 Cross-machine gating
 --------------------
@@ -48,6 +56,7 @@ from repro.datasets.synthetic import (
     synthetic_dataset,
     verification_corpus,
 )
+from repro.core.plugins import boost
 from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import KeywordSearchAlgorithm
@@ -253,6 +262,84 @@ def run_suite(
                 "parallel build diverged from serial: "
                 f"{parallel_index.layer_sizes()} != {index.layer_sizes()}"
             )
+
+    # --- query serving: cold vs warm vs batched -------------------------
+    if quick:
+        qindex = BiGIndex.build(
+            search_graph.copy(share_label_table=True),
+            corpus[0][2],
+            num_layers=2,
+            cost_params=CostParams(exact=True),
+        )
+    else:
+        qindex = index  # reuse the serial build from the section above
+
+    def _drop_query_caches() -> None:
+        """Everything lazily derived: CSR views, postings, memos, results."""
+        qindex.drop_caches()
+        qindex.base_graph.drop_caches()
+        for layer in qindex.layers:
+            layer.graph.drop_caches()
+
+    def _boosted():
+        return boost(
+            BackwardKeywordSearch(d_max=3, k=10),
+            qindex,
+            allow_layer_zero=True,
+        )
+
+    def run_cold() -> int:
+        _drop_query_caches()
+        boosted = _boosted()
+        return sum(
+            len(boosted.evaluate_resilient(query).answers)
+            for query in queries
+        )
+
+    elapsed, cold_answers = _best_of(run_cold, repeats)
+    metrics["query.cold.seconds"] = elapsed
+    metrics["query.cold.answers"] = cold_answers
+
+    warm_boosted = _boosted()
+
+    def run_warm() -> int:
+        return sum(
+            len(warm_boosted.evaluate_resilient(query).answers)
+            for query in queries
+        )
+
+    populate_answers = run_warm()  # fill the result cache, untimed
+    elapsed, warm_answers = _best_of(run_warm, repeats)
+    for label, answers in (("populate", populate_answers),
+                           ("warm", warm_answers)):
+        if answers != cold_answers:
+            raise AssertionError(
+                f"query caching changed the answers: {label} run returned "
+                f"{answers}, cold returned {cold_answers}"
+            )
+    metrics["query.warm.seconds"] = elapsed
+    metrics["query.warm.answers"] = warm_answers
+    if elapsed > 0:
+        metrics["query.warm_speedup_vs_cold"] = round(
+            metrics["query.cold.seconds"] / elapsed, 2
+        )
+
+    workload = list(queries) * 4
+
+    def run_batch() -> int:
+        _drop_query_caches()
+        results = _boosted().evaluate_many(workload)
+        return sum(len(result.answers) for result in results)
+
+    elapsed, batch_answers = _best_of(run_batch, min(2, repeats))
+    if batch_answers != 4 * cold_answers:
+        raise AssertionError(
+            f"batched serving changed the answers: {batch_answers} != "
+            f"4 x {cold_answers}"
+        )
+    metrics["query.batch.seconds"] = elapsed
+    metrics["query.batch.queries"] = len(workload)
+    metrics["query.batch.answers"] = batch_answers
 
     rss = peak_rss_kib()
     if rss is not None:

@@ -48,17 +48,27 @@ cheaper layer).  See ``docs/ROBUSTNESS.md`` for the exact guarantees.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.answer_gen import (
     GeneralizedAnswerGraph,
     ans_graph_gen,
 )
-from repro.core.generalize import generalize_label
 from repro.core.index import BiGIndex
 from repro.core.path_answer_gen import p_ans_graph_gen
 from repro.core.query_cost import QueryCostModel
+from repro.core.querycache import LRUCache, budget_class
 from repro.obs.runtime import OBS, charge_expansions
 from repro.search.base import (
     Answer,
@@ -220,6 +230,13 @@ class HierarchicalEvaluator:
     use_spec_order:
         Toggle for the Sec. 4.3.2 specialization-order optimization
         (``"vertex"`` strategy only; the Exp-5 ablation flips it).
+    cache_size:
+        Capacity of the per-evaluator query-result LRU (``0`` disables
+        caching).  Cached and uncached evaluation are byte-identical —
+        entries are keyed by the canonicalized query plus every knob that
+        affects the ranking and dropped whenever the index's ``epoch``
+        moves; budgeted executions bypass the cache entirely (see
+        :func:`repro.core.querycache.budget_class`).
     """
 
     def __init__(
@@ -231,6 +248,7 @@ class HierarchicalEvaluator:
         use_spec_order: bool = True,
         verify_mode: str = "exact",
         allow_layer_zero: bool = False,
+        cache_size: int = 128,
     ) -> None:
         if generation not in GENERATION_STRATEGIES:
             raise QueryError(f"unknown generation strategy: {generation!r}")
@@ -250,6 +268,63 @@ class HierarchicalEvaluator:
         #: path-preservation argument (Prop. 5.3 claims score equality).
         self.verify_mode = verify_mode
         self._searchers: Dict[int, GraphSearcher] = {}
+        self._result_cache: Optional[LRUCache] = (
+            LRUCache(cache_size, kind="result") if cache_size else None
+        )
+        #: index epoch the caches were filled under; ``None`` = never synced.
+        self._epoch: Optional[Tuple[int, int]] = None
+
+    # ------------------------------------------------------------------
+    # Maintenance-aware caching
+    # ------------------------------------------------------------------
+    def _sync_caches(self) -> None:
+        """Drop searchers and cached results if the index has moved.
+
+        Per-layer searchers hold algorithm indexes over the summary
+        graphs; maintenance replaces those graphs wholesale, so a stale
+        searcher would silently answer against the pre-update index.
+        Checking the epoch on every entry point keeps long-lived
+        evaluators correct across :meth:`BiGIndex.insert_edge` & co.
+        """
+        epoch = self.index.epoch
+        if self._epoch != epoch:
+            if self._epoch is not None and OBS.enabled:
+                OBS.metrics.inc("cache.invalidations")
+            self._epoch = epoch
+            self._searchers.clear()
+            if self._result_cache is not None:
+                self._result_cache.clear()
+
+    def _cache_key(
+        self,
+        query: KeywordQuery,
+        layer: Optional[int],
+        k: Optional[int],
+        max_generalized: Optional[int],
+        bclass: str,
+    ) -> Tuple:
+        # Keywords are canonicalized sorted: answer sets are keyword-order
+        # independent (a set semantics the exactness tests pin down).
+        return (
+            tuple(sorted(query.keywords)),
+            layer,
+            k,
+            max_generalized,
+            self.generation,
+            bclass,
+        )
+
+    @staticmethod
+    def _copy_result(result: EvalResult) -> EvalResult:
+        """A caller-mutable copy of a cached result (answers are frozen)."""
+        return EvalResult(
+            answers=list(result.answers),
+            layer=result.layer,
+            breakdown=TimeBreakdown(),
+            num_generalized=result.num_generalized,
+            num_candidates=result.num_candidates,
+            num_verified=result.num_verified,
+        )
 
     # ------------------------------------------------------------------
     def _layer_cost_attrs(self, query: KeywordQuery) -> Dict[str, object]:
@@ -269,7 +344,8 @@ class HierarchicalEvaluator:
         return attrs
 
     def searcher_for_layer(self, m: int) -> GraphSearcher:
-        """The algorithm bound to ``G^m`` (cached)."""
+        """The algorithm bound to ``G^m`` (cached across queries)."""
+        self._sync_caches()
         searcher = self._searchers.get(m)
         if searcher is None:
             searcher = self.algorithm.bind(self.index.layer_graph(m))
@@ -277,6 +353,49 @@ class HierarchicalEvaluator:
         return searcher
 
     def evaluate(
+        self,
+        query: KeywordQuery,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> EvalResult:
+        """Run ``eval_Ont(G, Q, f)``, serving repeats from the result cache.
+
+        Unbudgeted evaluations are memoized per canonical (query, layer,
+        k, max_generalized, generation) key; a hit replays the stored
+        ranking byte-for-byte (the ``verify`` cache drill enforces the
+        identity).  Budgeted runs always execute — see
+        :func:`repro.core.querycache.budget_class` for why they are
+        uncacheable.  See :meth:`_evaluate_uncached` for parameters.
+        """
+        self._sync_caches()
+        if k is None:
+            k = getattr(self.algorithm, "k", None)
+        bclass = budget_class(budget)
+        key: Optional[Tuple] = None
+        if self._result_cache is not None and bclass is not None:
+            key = self._cache_key(query, layer, k, max_generalized, bclass)
+            hit = self._result_cache.get(key)
+            if hit is not None:
+                if OBS.enabled:
+                    with OBS.tracer.span("result-cache") as span:
+                        span.annotate(
+                            **{"query.warm": True, "answers": len(hit.answers)}
+                        )
+                return self._copy_result(hit)
+        result = self._evaluate_uncached(
+            query,
+            layer=layer,
+            k=k,
+            max_generalized=max_generalized,
+            budget=budget,
+        )
+        if key is not None:
+            self._result_cache.put(key, self._copy_result(result))
+        return result
+
+    def _evaluate_uncached(
         self,
         query: KeywordQuery,
         layer: Optional[int] = None,
@@ -556,6 +675,7 @@ class HierarchicalEvaluator:
         longest prefix.  The last planned attempt runs on the whole
         remainder rather than half, so budget is never left unspent.
         """
+        self._sync_caches()
         if budget is None:
             return self.evaluate(
                 query, layer=layer, k=k, max_generalized=max_generalized
@@ -661,6 +781,90 @@ class HierarchicalEvaluator:
             ),
         )
 
+    # ------------------------------------------------------------------
+    # Batched serving
+    # ------------------------------------------------------------------
+    def evaluate_many(
+        self,
+        queries: Sequence[KeywordQuery],
+        *,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        budget_factory: Optional[Callable[[], Optional[Budget]]] = None,
+        workers: Optional[int] = None,
+        resilient: bool = True,
+        return_exceptions: bool = False,
+    ) -> List[object]:
+        """Evaluate a workload, amortizing warm-up across its queries.
+
+        Per-layer searchers, CSR views, keyword postings and the index's
+        ``Gen``/``Spec`` memos are built once up front; each query then
+        runs against warm state (and repeated queries hit the result
+        cache).  Results come back in input order.
+
+        Parameters
+        ----------
+        queries:
+            The workload, evaluated in order (results align by index).
+        layer / k / max_generalized:
+            Forwarded to every evaluation.
+        budget_factory:
+            Called once per query for a fresh budget (budgets are
+            stateful ledgers and must never be shared across queries);
+            ``None`` runs unbudgeted.
+        workers:
+            Run queries on a thread pool of this size; ``None``/``1`` is
+            serial.  Only sound with tracing disabled — the OBS tracer
+            assumes one span stack (the CLI enforces this for
+            ``--batch --workers``).
+        resilient:
+            Use :meth:`evaluate_resilient` (budget exhaustion degrades
+            instead of raising); otherwise :meth:`evaluate`.
+        return_exceptions:
+            When set, a query raising :class:`QueryError` contributes the
+            exception object instead of aborting the whole batch.
+        """
+        self._sync_caches()
+        if layer is not None:
+            warm_layers = [layer]
+        else:
+            start = 0 if self.cost_model.allow_layer_zero else 1
+            warm_layers = list(range(start, self.index.num_layers + 1))
+        for m in warm_layers:
+            self.searcher_for_layer(m)
+            self.index.layer_graph(m).csr()
+        # Root verification always lands on the data graph.
+        self.index.base_graph.csr()
+
+        def run(query: KeywordQuery) -> object:
+            budget = budget_factory() if budget_factory is not None else None
+            try:
+                if resilient:
+                    return self.evaluate_resilient(
+                        query,
+                        budget=budget,
+                        layer=layer,
+                        k=k,
+                        max_generalized=max_generalized,
+                    )
+                return self.evaluate(
+                    query,
+                    layer=layer,
+                    k=k,
+                    max_generalized=max_generalized,
+                    budget=budget,
+                )
+            except QueryError as exc:
+                if return_exceptions:
+                    return exc
+                raise
+
+        if workers is None or workers <= 1:
+            return [run(query) for query in queries]
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run, queries))
+
     @staticmethod
     def _record_budget_gauges(budget: Budget) -> None:
         OBS.metrics.gauge("budget.expansions_consumed", budget.expansions)
@@ -696,7 +900,6 @@ class HierarchicalEvaluator:
         specialization (Sec. 4.3.1) kills the answer (some keyword node
         has no label-qualified specialization).
         """
-        configs = self.index.configs_up_to(layer)
         # supernode -> keyword for the isKey vertices of this answer.
         keyword_of: Dict[int, str] = {}
         for generalized_kw, supernode in summary_answer.keyword_nodes:
@@ -732,7 +935,7 @@ class HierarchicalEvaluator:
                 if keyword is not None:
                     # Prop. 4.1: keep v only if its label at layer level-1
                     # equals the keyword's generalization to that layer.
-                    expected = generalize_label(keyword, configs[: level - 1])
+                    expected = self.index.generalize_keyword(keyword, level - 1)
                     level_graph = self.index.layer_graph(level - 1)
                     members = [
                         v for v in members if level_graph.label(v) == expected

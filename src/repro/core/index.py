@@ -40,6 +40,7 @@ from repro.core.generalize import (
     generalize_query,
 )
 from repro.core.heuristic import greedy_configuration
+from repro.core.querycache import LRUCache
 from repro.graph.digraph import Graph
 from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
@@ -104,6 +105,12 @@ class BiGIndex:
         self.report = ConstructionReport()
         #: updates applied since the last full (re)build.
         self.drift = 0
+        #: bumped whenever maintenance replaces layers (see ``epoch``).
+        self._maintenance_epoch = 0
+        # Gen^m / Spec memos, valid only for the epoch they were filled at.
+        self._memo_epoch: Optional[Tuple[int, int]] = None
+        self._gen_memo: Dict[Tuple[Tuple[str, ...], int], Tuple[str, ...]] = {}
+        self._spec_memo = LRUCache(4096, kind="spec")
 
     # ------------------------------------------------------------------
     # Construction
@@ -202,6 +209,37 @@ class BiGIndex:
         return index
 
     # ------------------------------------------------------------------
+    # Cache invalidation
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> Tuple[int, int]:
+        """A value that changes whenever cached query artifacts go stale.
+
+        Combines the index's own maintenance counter (layers replaced by
+        :meth:`insert_edge`/:meth:`delete_edge`/:meth:`rebuild`/
+        :meth:`remove_ontology_edge`) with the base graph's
+        ``mutation_epoch``, so direct mutation of ``base_graph`` also
+        invalidates.  Anything derived from layers, configurations, or
+        the data graph — ``Gen^m`` translations, ``Spec`` fan-outs,
+        whole query results — must be keyed by (or guarded on) this.
+        """
+        return (self._maintenance_epoch, self.base_graph.mutation_epoch)
+
+    def _sync_memos(self) -> None:
+        """Clear the Gen/Spec memos if the index moved since they filled."""
+        epoch = self.epoch
+        if self._memo_epoch != epoch:
+            self._memo_epoch = epoch
+            self._gen_memo.clear()
+            self._spec_memo.clear()
+
+    def drop_caches(self) -> None:
+        """Release the Gen/Spec memos (e.g. for cold-start benchmarks)."""
+        self._memo_epoch = None
+        self._gen_memo.clear()
+        self._spec_memo.clear()
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
     @property
@@ -253,23 +291,52 @@ class BiGIndex:
         return list(self.layers[m - 1].extent[supernode])
 
     def spec_to_base(self, supernode: int, m: int) -> List[int]:
-        """Fully specialize a layer-``m`` supernode to base (layer-0) vertices."""
+        """Fully specialize a layer-``m`` supernode to base (layer-0) vertices.
+
+        Memoized per (layer, supernode) under the current :attr:`epoch`:
+        answer recovery specializes the same supernodes over and over
+        across a query workload, and the fan-out is a pure function of
+        the extent tables.
+        """
+        self._sync_memos()
+        key = (m, supernode)
+        cached = self._spec_memo.get(key)
+        if cached is not None:
+            return list(cached)
         frontier = [supernode]
         for level in range(m, 0, -1):
             extent = self.layers[level - 1].extent
             frontier = [child for s in frontier for child in extent[s]]
+        self._spec_memo.put(key, tuple(frontier))
         return frontier
 
     # ------------------------------------------------------------------
     # Query generalization
     # ------------------------------------------------------------------
     def generalize_keyword(self, keyword: str, m: int) -> str:
-        """``Gen^m`` of one keyword through ``C^1 ... C^m``."""
-        return generalize_label(keyword, self.configs_up_to(m))
+        """``Gen^m`` of one keyword through ``C^1 ... C^m`` (memoized)."""
+        self._sync_memos()
+        key = ((keyword,), m)
+        cached = self._gen_memo.get(key)
+        if cached is None:
+            cached = (generalize_label(keyword, self.configs_up_to(m)),)
+            self._gen_memo[key] = cached
+        return cached[0]
 
     def generalize_query(self, query: KeywordQuery, m: int) -> List[str]:
-        """``Gen^m(Q)`` as a list (may contain collisions; see Def. 4.1)."""
-        return generalize_query(query, self.configs_up_to(m))
+        """``Gen^m(Q)`` as a list (may contain collisions; see Def. 4.1).
+
+        Memoized under the current :attr:`epoch` — layer selection probes
+        ``Gen^m(Q)`` for every candidate layer of every query, and the
+        translation only changes when a configuration does.
+        """
+        self._sync_memos()
+        key = (query.keywords, m)
+        cached = self._gen_memo.get(key)
+        if cached is None:
+            cached = tuple(generalize_query(query, self.configs_up_to(m)))
+            self._gen_memo[key] = cached
+        return list(cached)
 
     def query_distinct_at(self, query: KeywordQuery, m: int) -> bool:
         """Def. 4.1 condition 1: ``|Gen^m(Q)| = |Q)|``."""
@@ -311,6 +378,7 @@ class BiGIndex:
             current = summary.graph
         self.layers = rebuilt
         self.drift = 0
+        self._maintenance_epoch += 1
 
     def note_ontology_addition(self) -> None:
         """Record an ontology extension: no action required.
@@ -362,6 +430,7 @@ class BiGIndex:
             )
             current = summary.graph
         self.layers = rebuilt
+        self._maintenance_epoch += 1
 
     # ------------------------------------------------------------------
     # Internals
@@ -376,6 +445,7 @@ class BiGIndex:
         exactly because of that refinement invariant.
         """
         self.drift += 1
+        self._maintenance_epoch += 1
         current = self.base_graph
         # new layer-(i-1) vertex -> old layer-(i-1) vertex; identity at base.
         old_of_new: List[int] = list(range(current.num_vertices))

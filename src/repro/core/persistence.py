@@ -9,14 +9,20 @@ TSV/JSON files, so construction cost is paid once per dataset.
 
 Layout (one directory per index)::
 
-    meta.json                 {"num_layers": h, "direction": ..., "version": 2}
+    meta.json                 {"num_layers": h, "direction": ..., "version": 3}
     manifest.json             {"algorithm": "sha256", "files": {...}}
     base.nodes / base.edges   the data graph (repro.graph.io format)
+    base.postings.json        keyword postings: label -> sorted vertex ids
     layer<i>.nodes / .edges   summary graph of layer i
     layer<i>.config.json      the configuration C^i
     layer<i>.parents.txt      parent_of: one supernode id per line
+    layer<i>.postings.json    keyword postings of layer i
 
-The extents are reconstructed from ``parent_of`` on load.
+The extents are reconstructed from ``parent_of`` on load.  Postings are
+new in format version 3: they pre-warm each graph's per-label seed-hit
+index so a restarted server answers its first query without a postings
+build.  Version-2 directories (no postings files) still load — the
+postings are simply rebuilt lazily on first use.
 
 Crash safety and integrity
 --------------------------
@@ -54,16 +60,23 @@ from typing import Dict, List
 
 from repro.core.config import Configuration
 from repro.core.index import BiGIndex, Layer
+from repro.graph.digraph import Graph
 from repro.graph.io import load_graph_tsv, save_graph_tsv
 from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
 from repro.utils.errors import (
     BigIndexError,
+    GraphError,
     IndexCorruptedError,
     IndexVersionError,
 )
 
-FORMAT_VERSION = 2
+FORMAT_VERSION = 3
+
+#: Format versions this build can read; only the current one is written.
+#: Version 2 predates the persisted keyword postings (label -> sorted
+#: vertex ids per graph) and loads with lazily rebuilt postings instead.
+SUPPORTED_VERSIONS = (2, 3)
 
 #: Name of the checksum manifest inside an index directory.
 MANIFEST_NAME = "manifest.json"
@@ -212,9 +225,11 @@ def _write_index_files(index: BiGIndex, directory: str) -> None:
         f.flush()
         os.fsync(f.fileno())
     save_graph_tsv(index.base_graph, os.path.join(directory, "base"))
+    _write_postings(index.base_graph, os.path.join(directory, "base"))
     for i, layer in enumerate(index.layers, start=1):
         prefix = os.path.join(directory, f"layer{i}")
         save_graph_tsv(layer.graph, prefix)
+        _write_postings(layer.graph, prefix)
         with open(prefix + ".config.json", "w", encoding="utf-8") as f:
             json.dump(layer.config.mappings, f, indent=2, sort_keys=True)
             f.flush()
@@ -224,6 +239,44 @@ def _write_index_files(index: BiGIndex, directory: str) -> None:
                 f.write(f"{supernode}\n")
             f.flush()
             os.fsync(f.fileno())
+
+
+def _write_postings(graph: Graph, prefix: str) -> None:
+    """Write ``<prefix>.postings.json``: label -> sorted vertex ids."""
+    with open(prefix + ".postings.json", "w", encoding="utf-8") as f:
+        json.dump(graph.postings_snapshot(), f, sort_keys=True)
+        f.flush()
+        os.fsync(f.fileno())
+
+
+def _load_postings(graph: Graph, prefix: str) -> None:
+    """Pre-warm ``graph`` from ``<prefix>.postings.json`` (format >= 3).
+
+    The lists are fully validated against the loaded graph's own label
+    index before being trusted, so a tampered postings file surfaces as
+    :class:`IndexCorruptedError` rather than as silently wrong seed hits.
+    """
+    path = prefix + ".postings.json"
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            postings = json.load(f)
+    except FileNotFoundError as exc:
+        raise IndexCorruptedError(f"index file missing: {path}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise IndexCorruptedError(
+            f"unreadable postings file {path}: {exc}"
+        ) from exc
+    if not isinstance(postings, dict) or not all(
+        isinstance(ids, list) and all(isinstance(v, int) for v in ids)
+        for ids in postings.values()
+    ):
+        raise IndexCorruptedError(
+            f"postings file {path} is not a label -> id-list object"
+        )
+    try:
+        graph.preload_postings(postings)
+    except GraphError as exc:
+        raise IndexCorruptedError(f"invalid postings in {path}: {exc}") from exc
 
 
 # ----------------------------------------------------------------------
@@ -271,10 +324,11 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
         )
     # Version before checksums: an index written by a different format
     # version fails its own way instead of as a checksum mismatch.
-    if meta.get("version") != FORMAT_VERSION:
+    version = meta.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise IndexVersionError(
-            f"unsupported index format version: {meta.get('version')!r} "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"unsupported index format version: {version!r} "
+            f"(this build reads versions {SUPPORTED_VERSIONS})"
         )
     _verify_manifest(directory)
 
@@ -288,8 +342,11 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
             f"invalid index metadata in {meta_path}: {exc}"
         ) from exc
 
-    base_graph, base_map = load_graph_tsv(os.path.join(directory, "base"))
+    base_prefix = os.path.join(directory, "base")
+    base_graph, base_map = load_graph_tsv(base_prefix)
     _require_dense(base_map, "base")
+    if version >= 3:
+        _load_postings(base_graph, base_prefix)
     index = BiGIndex(base_graph, ontology, direction=direction)
 
     label_table = base_graph.label_table
@@ -297,6 +354,8 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
         prefix = os.path.join(directory, f"layer{i}")
         graph, id_map = load_graph_tsv(prefix, label_table=label_table)
         _require_dense(id_map, f"layer{i}")
+        if version >= 3:
+            _load_postings(graph, prefix)
         config_path = prefix + ".config.json"
         try:
             with open(config_path, "r", encoding="utf-8") as f:

@@ -11,7 +11,7 @@ through ``eval_Ont``.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.evaluator import EvalResult, HierarchicalEvaluator
 from repro.core.index import BiGIndex
@@ -41,6 +41,7 @@ class BoostedSearch:
         use_spec_order: bool = True,
         verify_mode: str = "exact",
         allow_layer_zero: bool = False,
+        cache_size: int = 128,
     ) -> None:
         if generation is None:
             # Rooted-tree semantics benefit from exact root verification;
@@ -60,6 +61,7 @@ class BoostedSearch:
             use_spec_order=use_spec_order,
             verify_mode=verify_mode,
             allow_layer_zero=allow_layer_zero,
+            cache_size=cache_size,
         )
 
     @property
@@ -125,19 +127,45 @@ class BoostedSearch:
             retry_coarser=retry_coarser,
         )
 
+    def evaluate_many(
+        self,
+        queries: Sequence[KeywordQuery],
+        *,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        budget_factory: Optional[Callable[[], Optional[Budget]]] = None,
+        workers: Optional[int] = None,
+        resilient: bool = True,
+        return_exceptions: bool = False,
+    ) -> List[object]:
+        """Batched serving; see :meth:`HierarchicalEvaluator.evaluate_many`."""
+        return self.evaluator.evaluate_many(
+            queries,
+            layer=layer,
+            k=k,
+            max_generalized=max_generalized,
+            budget_factory=budget_factory,
+            workers=workers,
+            resilient=resilient,
+            return_exceptions=return_exceptions,
+        )
+
     def warm(self, layer: Optional[int] = None) -> None:
         """Pre-build the algorithm's per-layer index (offline step).
 
         The paper builds the plugged algorithm's index (e.g. r-clique's
         neighbor list) "on the m-th layer" before measuring queries; call
         this to keep that cost out of timed runs.  Warms every layer when
-        ``layer`` is ``None``.
+        ``layer`` is ``None``, and pre-builds each layer graph's CSR view
+        so the first query pays no adjacency-packing cost either.
         """
         layers = (
             range(self.index.num_layers + 1) if layer is None else [layer]
         )
         for m in layers:
             self.evaluator.searcher_for_layer(m)
+            self.index.layer_graph(m).csr()
 
 
 def boost(

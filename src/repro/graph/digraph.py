@@ -20,7 +20,17 @@ Design notes
 from __future__ import annotations
 
 from array import array
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.obs.runtime import OBS
 from repro.utils.errors import GraphError
@@ -173,6 +183,11 @@ class Graph:
         self.label_table = label_table if label_table is not None else LabelTable()
         #: Optional human-readable vertex names (entity names in examples).
         self.names: Dict[int, str] = {}
+        #: Monotone counter bumped by every effective mutation (vertex or
+        #: edge insertion, edge removal, relabel).  Derived-data caches
+        #: outside the graph (evaluator result caches, BiG-index memos)
+        #: key their validity on it; see ``repro.core.querycache``.
+        self.mutation_epoch: int = 0
         # Lazily built caches, dropped on mutation (see csr()).
         self._csr: Optional[CSRView] = None
         self._posting_cache: Dict[int, Tuple[int, ...]] = {}
@@ -188,6 +203,7 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
+        self.mutation_epoch += 1
         self._drop_csr()
         self._posting_cache.pop(label_id, None)
         if name is not None:
@@ -203,6 +219,7 @@ class Graph:
         self._out.append([])
         self._in.append([])
         self._label_index.setdefault(label_id, set()).add(vid)
+        self.mutation_epoch += 1
         self._drop_csr()
         self._posting_cache.pop(label_id, None)
         return vid
@@ -221,6 +238,7 @@ class Graph:
         self._out[u].append(v)
         self._in[v].append(u)
         self._num_edges += 1
+        self.mutation_epoch += 1
         self._drop_csr()
         return True
 
@@ -232,6 +250,7 @@ class Graph:
         self._out[u].remove(v)
         self._in[v].remove(u)
         self._num_edges -= 1
+        self.mutation_epoch += 1
         self._drop_csr()
 
     def _drop_csr(self) -> None:
@@ -261,6 +280,7 @@ class Graph:
             del self._label_index[old_id]
         self.labels[v] = new_label_id
         self._label_index.setdefault(new_label_id, set()).add(v)
+        self.mutation_epoch += 1
         self._posting_cache.pop(old_id, None)
         self._posting_cache.pop(new_label_id, None)
 
@@ -362,6 +382,8 @@ class Graph:
         if cached is None:
             cached = tuple(sorted(self._label_index.get(label_id, ())))
             self._posting_cache[label_id] = cached
+            if OBS.enabled:
+                OBS.metrics.inc("postings.build")
         return cached
 
     def sorted_vertices_with_label(self, label: str) -> Tuple[int, ...]:
@@ -370,6 +392,54 @@ class Graph:
         if label_id is None:
             return ()
         return self.sorted_vertices_with_label_id(label_id)
+
+    def postings_snapshot(self) -> Dict[str, List[int]]:
+        """Every label's sorted posting list, as plain JSON-able data.
+
+        Builds the complete inverted keyword index (label → sorted vertex
+        ids) regardless of what is cached; persistence ships this with a
+        saved index so a freshly loaded graph answers its first keyword
+        lookup warm.
+        """
+        return {
+            self.label_table.label_of(label_id): sorted(vertex_set)
+            for label_id, vertex_set in self._label_index.items()
+        }
+
+    def preload_postings(self, postings: Mapping[str, Sequence[int]]) -> None:
+        """Install precomputed posting lists (e.g. from a saved index).
+
+        Every list is validated against the live label index — a posting
+        that disagrees with the graph would make keyword seeding silently
+        wrong, so a mismatch raises :class:`GraphError` instead of being
+        trusted.  Unknown labels are rejected the same way.
+        """
+        staged: Dict[int, Tuple[int, ...]] = {}
+        for label, ids in postings.items():
+            label_id = self.label_table.get_id(label)
+            if label_id is None:
+                raise GraphError(
+                    f"posting list for unknown label {label!r}"
+                )
+            posting = tuple(ids)
+            if list(posting) != sorted(self._label_index.get(label_id, ())):
+                raise GraphError(
+                    f"posting list for label {label!r} does not match the "
+                    "graph's label index"
+                )
+            staged[label_id] = posting
+        self._posting_cache.update(staged)
+        if OBS.enabled:
+            OBS.metrics.inc("postings.preload", len(staged))
+
+    def drop_caches(self) -> None:
+        """Discard the lazily built CSR view and label postings.
+
+        Used by the cold-query benchmark and tests to return the graph to
+        its just-constructed state; the structures rebuild on demand.
+        """
+        self._csr = None
+        self._posting_cache.clear()
 
     def vertices_with_label(self, label: str) -> Set[int]:
         """All vertices labeled ``label`` (empty set for unknown labels)."""

@@ -1,0 +1,139 @@
+"""Cache-identity drill: cached and uncached evaluation never diverge.
+
+PR 5's query-path caches (the evaluator's LRU result cache, the index's
+``Gen``/``Spec`` memos, per-graph keyword postings) are only admissible
+if they are *invisible*: a cached evaluation must return byte-identical
+rankings — every answer's score, signature, vertices and edges — to a
+fresh evaluator with caching disabled, before and after incremental
+maintenance.  This drill enforces that contract directly:
+
+1. **Served-from-cache identity** — each probe query runs twice on a
+   long-lived caching evaluator; the second run is required to be an
+   actual result-cache hit (checked via the ``cache.hit.result``
+   counter, so a silently dead cache fails the drill too) and both
+   outcomes must equal the uncached evaluator's.
+2. **Invalidation under maintenance** — an edge is deleted through
+   :meth:`~repro.core.index.BiGIndex.delete_edge` and later re-inserted;
+   after each mutation the same comparisons rerun against a fresh
+   uncached evaluator on the *current* index state, so a stale epoch
+   (cache serving pre-mutation answers) is caught immediately.
+
+The maintenance fuzzer runs the same cached==uncached assertion
+interleaved with *random* op sequences; this drill is the deterministic,
+always-on leg wired into every ``repro-bigindex verify`` case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Sequence
+
+from repro.core.evaluator import HierarchicalEvaluator
+from repro.core.index import BiGIndex
+from repro.obs.runtime import instrumented
+from repro.search.base import KeywordQuery, KeywordSearchAlgorithm
+from repro.verify.fuzzer import _eval_outcome
+
+#: Builds a fresh, deterministic index the drill may mutate freely.
+IndexFactory = Callable[[], BiGIndex]
+
+
+@dataclass
+class CacheReport:
+    """Outcome of one :func:`run_cache_drill`."""
+
+    checks: int = 0
+    #: Result-cache hits that were served and verified identical.
+    hits: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.problems
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"cache: OK ({self.checks} cached==uncached comparisons, "
+                f"{self.hits} cache hit(s) served identically)"
+            )
+        lines = [
+            f"cache: {len(self.problems)} problem(s) in "
+            f"{self.checks} comparisons"
+        ]
+        lines.extend(f"  {p}" for p in self.problems)
+        return "\n".join(lines)
+
+
+def _compare_queries(
+    report: CacheReport,
+    cached: HierarchicalEvaluator,
+    uncached: HierarchicalEvaluator,
+    queries: Sequence[KeywordQuery],
+    algorithm_name: str,
+    context: str,
+) -> None:
+    """Run every query cold + warm on ``cached`` and diff vs ``uncached``."""
+    for query in queries:
+        expected = _eval_outcome(uncached, query)
+        with instrumented(trace=False) as inst:
+            outcomes = (
+                ("cold", _eval_outcome(cached, query)),
+                ("warm", _eval_outcome(cached, query)),
+            )
+        report.checks += len(outcomes)
+        for label, actual in outcomes:
+            if actual != expected:
+                report.problems.append(
+                    f"{algorithm_name} Q={list(query.keywords)} "
+                    f"({context}, {label}): cached outcome {actual!r} "
+                    f"!= uncached {expected!r}"
+                )
+        hits = inst.metrics.counters().get("cache.hit.result", 0)
+        if expected[0] == "ok":
+            if hits < 1:
+                report.problems.append(
+                    f"{algorithm_name} Q={list(query.keywords)} "
+                    f"({context}): result cache never hit — the warm run "
+                    "recomputed instead of serving the cached ranking"
+                )
+            else:
+                report.hits += hits
+
+
+def run_cache_drill(
+    index_factory: IndexFactory,
+    algorithms: Sequence[KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+) -> CacheReport:
+    """Prove cached and uncached evaluation are byte-identical.
+
+    Builds a fresh index (the drill mutates it, so it must not share one
+    with other harness legs), then for each algorithm compares a caching
+    evaluator against an uncached one on every query — on the fresh
+    index, after an incremental edge deletion, and after re-inserting
+    the edge (exercising two epoch bumps end to end).
+    """
+    report = CacheReport()
+    index = index_factory()
+    for algorithm in algorithms:
+        cached = HierarchicalEvaluator(index, algorithm, cache_size=64)
+        uncached = HierarchicalEvaluator(index, algorithm, cache_size=0)
+        _compare_queries(
+            report, cached, uncached, queries, algorithm.name, "fresh"
+        )
+        edges = sorted(index.base_graph.edges())
+        if not edges:
+            continue
+        u, v = edges[0]
+        index.delete_edge(u, v)
+        _compare_queries(
+            report, cached, uncached, queries, algorithm.name,
+            f"after delete_edge({u}, {v})",
+        )
+        index.insert_edge(u, v)
+        _compare_queries(
+            report, cached, uncached, queries, algorithm.name,
+            f"after insert_edge({u}, {v})",
+        )
+    return report

@@ -17,7 +17,12 @@ them through the incremental maintenance entry points, and checks:
    *refined* by the incremental partitions (incremental may be finer,
    never incompatible), and itself passes the audit with minimality;
 3. the :mod:`~repro.verify.oracle` still sees exact query agreement on a
-   set of probe queries.
+   set of probe queries;
+4. *interleaved with the ops*, long-lived caching evaluators (result
+   cache + per-layer searchers, invalidated by the index epoch) answer
+   every probe query exactly like a fresh uncached evaluator after every
+   single mutation — the stale-epoch trap a post-sequence check would
+   miss (:class:`_CachedQueryProbe`).
 
 A failing sequence is shrunk ddmin-style to a minimal reproducer: each op
 is tentatively dropped and the remainder replayed from a fresh index, so
@@ -31,8 +36,10 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.config import Configuration
+from repro.core.evaluator import HierarchicalEvaluator
 from repro.core.index import BiGIndex, Layer
 from repro.search.base import KeywordQuery, KeywordSearchAlgorithm
+from repro.utils.errors import BigIndexError, QueryError
 from repro.verify.auditor import audit_index
 from repro.verify.oracle import DifferentialOracle
 
@@ -155,6 +162,76 @@ def _refinement_problems(index: BiGIndex, reference: BiGIndex) -> List[str]:
     return problems
 
 
+def _eval_outcome(
+    evaluator: HierarchicalEvaluator, query: KeywordQuery
+) -> Tuple:
+    """A comparable snapshot of one evaluation — answers or error.
+
+    Cached and uncached evaluation must agree *outcome-for-outcome*:
+    identical rankings down to every answer's vertices and edges, and
+    identical errors (e.g. keyword collisions) when a query is rejected.
+    """
+    try:
+        result = evaluator.evaluate(query)
+    except (QueryError, BigIndexError) as exc:
+        return ("error", type(exc).__name__, str(exc))
+    return (
+        "ok",
+        result.layer,
+        tuple(
+            (a.score, a.signature(), a.vertices, a.edges)
+            for a in result.answers
+        ),
+    )
+
+
+class _CachedQueryProbe:
+    """Cached==uncached assertion interleaved with maintenance ops.
+
+    Holds one *long-lived* caching evaluator per algorithm — result cache
+    populated, searchers bound — across an entire fuzz sequence, the way
+    a query server would.  After every mutation, each probe query is run
+    once (exercising epoch invalidation) and then again (a guaranteed
+    result-cache hit) and both outcomes are compared against a fresh
+    evaluator with caching disabled.
+    """
+
+    def __init__(
+        self,
+        index: BiGIndex,
+        algorithms: Sequence[KeywordSearchAlgorithm],
+        queries: Sequence[KeywordQuery],
+    ) -> None:
+        self.index = index
+        self.algorithms = list(algorithms)
+        self.queries = list(queries)
+        self._cached = [
+            HierarchicalEvaluator(index, algorithm, cache_size=32)
+            for algorithm in self.algorithms
+        ]
+
+    def check(self, context: str) -> List[str]:
+        problems: List[str] = []
+        for algorithm, cached in zip(self.algorithms, self._cached):
+            fresh = HierarchicalEvaluator(
+                self.index, algorithm, cache_size=0
+            )
+            for query in self.queries:
+                expected = _eval_outcome(fresh, query)
+                outcomes = (
+                    ("cold", _eval_outcome(cached, query)),
+                    ("warm", _eval_outcome(cached, query)),
+                )
+                for label, actual in outcomes:
+                    if actual != expected:
+                        problems.append(
+                            f"cached-query ({context}, {algorithm.name}, "
+                            f"Q={list(query.keywords)}, {label}): cached "
+                            f"outcome {actual!r} != uncached {expected!r}"
+                        )
+        return problems
+
+
 @dataclass(frozen=True)
 class FuzzFailure:
     """One failing sequence with its minimal reproducer."""
@@ -241,11 +318,25 @@ def _replay_problems(
     ops: Sequence[Op],
     algorithms: Sequence[KeywordSearchAlgorithm],
     queries: Sequence[KeywordQuery],
+    cache_probe: bool = True,
 ) -> List[str]:
+    """Replay ``ops`` on a fresh index, mirroring the campaign's checks
+    (including the interleaved cache probe, so cache failures shrink)."""
     index = index_factory()
-    for op in ops:
+    probe = (
+        _CachedQueryProbe(index, algorithms, queries)
+        if cache_probe and algorithms and queries
+        else None
+    )
+    problems: List[str] = []
+    if probe is not None:
+        problems.extend(probe.check("pre"))
+    for position, op in enumerate(ops, start=1):
         apply_op(index, op)
-    return check_equivalence(index, algorithms, queries)
+        if probe is not None:
+            problems.extend(probe.check(f"after op {position}"))
+    problems.extend(check_equivalence(index, algorithms, queries))
+    return problems
 
 
 def shrink_ops(
@@ -253,6 +344,7 @@ def shrink_ops(
     ops: Sequence[Op],
     algorithms: Sequence[KeywordSearchAlgorithm] = (),
     queries: Sequence[KeywordQuery] = (),
+    cache_probe: bool = True,
 ) -> List[Op]:
     """Greedy ddmin: drop ops one at a time while the failure persists."""
     current = list(ops)
@@ -261,7 +353,9 @@ def shrink_ops(
         changed = False
         for i in range(len(current)):
             candidate = current[:i] + current[i + 1 :]
-            if _replay_problems(index_factory, candidate, algorithms, queries):
+            if _replay_problems(
+                index_factory, candidate, algorithms, queries, cache_probe
+            ):
                 current = candidate
                 changed = True
                 break
@@ -276,6 +370,7 @@ def fuzz_index(
     ops_per_sequence: int = 6,
     seed: int = 0,
     shrink: bool = True,
+    cache_probe: bool = True,
 ) -> FuzzReport:
     """Run a fuzzing campaign against incremental maintenance.
 
@@ -295,11 +390,23 @@ def fuzz_index(
         so any failure reproduces from (seed, sequence index) alone.
     shrink:
         Minimize failing sequences before reporting.
+    cache_probe:
+        Interleave the :class:`_CachedQueryProbe` cached==uncached check
+        with the ops (needs ``algorithms`` and ``queries``).
     """
     report = FuzzReport(seed=seed)
     for sequence in range(sequences):
         rng = random.Random(f"{seed}:{sequence}")
         index = index_factory()
+        probe = (
+            _CachedQueryProbe(index, algorithms, queries)
+            if cache_probe and algorithms and queries
+            else None
+        )
+        problems: List[str] = []
+        if probe is not None:
+            # Populate the long-lived caches before any mutation.
+            problems.extend(probe.check("pre"))
         ops: List[Op] = []
         for _ in range(ops_per_sequence):
             op = _random_op(rng, index)
@@ -307,12 +414,16 @@ def fuzz_index(
                 break
             apply_op(index, op)
             ops.append(op)
+            if probe is not None:
+                problems.extend(probe.check(f"after op {len(ops)}"))
         report.sequences_run += 1
         report.ops_applied += len(ops)
-        problems = check_equivalence(index, algorithms, queries)
+        problems.extend(check_equivalence(index, algorithms, queries))
         if problems:
             shrunk = (
-                shrink_ops(index_factory, ops, algorithms, queries)
+                shrink_ops(
+                    index_factory, ops, algorithms, queries, cache_probe
+                )
                 if shrink
                 else list(ops)
             )

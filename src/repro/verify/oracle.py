@@ -219,6 +219,24 @@ class DifferentialOracle:
         self.index = index
         self.evaluator_factory = evaluator_factory
         self._direct_cache: Dict[Tuple[str, Tuple[str, ...]], List[Answer]] = {}
+        # Evaluators are reused across queries (searchers and their
+        # per-layer algorithm indexes are expensive to rebuild, and the
+        # evaluator's own epoch sync keeps reuse safe across maintenance).
+        self._evaluators: Dict[Tuple[int, str], HierarchicalEvaluator] = {}
+
+    # ------------------------------------------------------------------
+    def _evaluator_for(
+        self, algorithm: KeywordSearchAlgorithm, generation: str
+    ) -> HierarchicalEvaluator:
+        """One evaluator per (algorithm, generation), built lazily."""
+        key = (id(algorithm), generation)
+        evaluator = self._evaluators.get(key)
+        if evaluator is None:
+            evaluator = self.evaluator_factory(
+                self.index, algorithm, generation
+            )
+            self._evaluators[key] = evaluator
+        return evaluator
 
     # ------------------------------------------------------------------
     def direct_answers(
@@ -265,9 +283,7 @@ class DifferentialOracle:
                     continue
                 report.checks += 1
                 try:
-                    evaluator = self.evaluator_factory(
-                        self.index, algorithm, generation
-                    )
+                    evaluator = self._evaluator_for(algorithm, generation)
                     result = evaluator.evaluate(query, layer=layer, k=k)
                 except (QueryError, BigIndexError) as exc:
                     report.divergences.append(

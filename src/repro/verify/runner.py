@@ -5,8 +5,11 @@ Ties the three legs of the harness together over a deterministic corpus
 builds a fresh index, audits the hierarchy invariants (with minimality,
 since the build is from scratch), cross-checks every plugged algorithm
 against direct evaluation with the differential oracle — both exhaustively
-and under a top-k cutoff — and fuzzes incremental maintenance against
-rebuilds.  ``--quick`` keeps the corpus and fuzz budget CI-sized.
+and under a top-k cutoff — fuzzes incremental maintenance against
+rebuilds, and runs the cache-identity drill (cached == uncached
+evaluation, including across incremental maintenance; see
+:mod:`repro.verify.cachecheck`).  ``--quick`` keeps the corpus and fuzz
+budget CI-sized.
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ from repro.search.bidirectional import BidirectionalSearch
 from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
 from repro.verify.auditor import AuditReport, audit_index
+from repro.verify.cachecheck import CacheReport, run_cache_drill
 from repro.verify.faults import FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzReport, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
@@ -44,6 +48,8 @@ class CaseResult:
     audit: AuditReport
     oracle: OracleReport
     fuzz: Optional[FuzzReport] = None
+    #: Cached==uncached identity drill (see repro.verify.cachecheck).
+    cache: Optional[CacheReport] = None
     #: Telemetry counters captured while the oracle leg ran (search and
     #: evaluator activity for this case; empty when instrumentation was
     #: unavailable).
@@ -55,12 +61,13 @@ class CaseResult:
             self.audit.ok
             and self.oracle.ok
             and (self.fuzz is None or self.fuzz.ok)
+            and (self.cache is None or self.cache.ok)
         )
 
     def format(self) -> str:
         status = "OK" if self.ok else "FAIL"
         lines = [f"[{status}] {self.name}"]
-        for part in (self.audit, self.oracle, self.fuzz):
+        for part in (self.audit, self.oracle, self.fuzz, self.cache):
             if part is not None:
                 lines.append("  " + part.format().replace("\n", "\n  "))
         shown = {
@@ -194,12 +201,20 @@ def run_verification(
                 ops_per_sequence=ops_per_sequence,
                 seed=seed,
             )
+        cache_report: Optional[CacheReport] = None
+        if quick or case_index == 0:
+            # Own index build: the drill mutates its index, and running
+            # it last keeps the audit/oracle legs unperturbed.
+            cache_report = run_cache_drill(
+                build, algorithms[:2], queries
+            )
         report.cases.append(
             CaseResult(
                 name=name,
                 audit=audit,
                 oracle=oracle_report,
                 fuzz=fuzz_report,
+                cache=cache_report,
                 counters=inst.metrics.counters(),
             )
         )

@@ -33,6 +33,25 @@ class TestRunSuite:
     def test_quick_mode_skips_build(self, quick_metrics):
         assert not any(k.startswith("build.") for k in quick_metrics)
 
+    def test_query_suite_shape(self, quick_metrics):
+        assert quick_metrics["query.cold.seconds"] >= 0
+        assert quick_metrics["query.warm.seconds"] >= 0
+        assert quick_metrics["query.batch.seconds"] >= 0
+        # Cold, warm, and batch runs must agree on the ranking size; the
+        # suite itself asserts equality, so these are exact-gated too.
+        assert quick_metrics["query.warm.answers"] == (
+            quick_metrics["query.cold.answers"]
+        )
+        assert quick_metrics["query.batch.answers"] == (
+            4 * quick_metrics["query.cold.answers"]
+        )
+
+    def test_warm_queries_beat_cold(self, quick_metrics):
+        # The result cache turns the warm run into pure lookups; even on
+        # the quick corpus this is a large margin (the committed full
+        # baseline shows the acceptance-criteria 2x).
+        assert quick_metrics["query.warm_speedup_vs_cold"] >= 2.0
+
     def test_expansions_deterministic(self, quick_metrics):
         again = run_suite(quick=True, seed=0, repeats=1)
         for key, value in quick_metrics.items():

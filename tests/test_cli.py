@@ -172,6 +172,118 @@ class TestBuildStatsQuery:
         assert "checksum mismatch" in capsys.readouterr().err
 
 
+class TestBatchQuery:
+    def _setup(self, workspace, queries):
+        graph_prefix, index_dir = workspace
+        assert main(
+            ["dataset", "yago-like", "--out", graph_prefix, "--scale", "0.05"]
+        ) == 0
+        assert main(
+            [
+                "build", graph_prefix,
+                "--index-dir", index_dir,
+                "--layers", "2",
+                "--samples", "10",
+                "--ontology-from", "yago-like",
+                "--scale", "0.05",
+            ]
+        ) == 0
+        from repro.graph.io import load_graph_tsv
+
+        graph, _ = load_graph_tsv(graph_prefix)
+        histogram = sorted(
+            graph.label_histogram().items(), key=lambda kv: -kv[1]
+        )
+        kw1, kw2 = histogram[0][0], histogram[1][0]
+        batch_file = os.path.join(os.path.dirname(graph_prefix), "batch.txt")
+        with open(batch_file, "w") as f:
+            f.write("# a comment line\n\n")
+            for _ in range(queries):
+                f.write(f"{kw1} {kw2}\n")
+        return index_dir, batch_file
+
+    def _batch_args(self, index_dir, batch_file, *extra):
+        return [
+            "query", index_dir,
+            "--batch", batch_file,
+            "--ontology-from", "yago-like",
+            "--scale", "0.05",
+            *extra,
+        ]
+
+    def test_batch_happy_path(self, workspace, capsys):
+        index_dir, batch_file = self._setup(workspace, queries=3)
+        assert main(self._batch_args(index_dir, batch_file)) == 0
+        out = capsys.readouterr().out
+        assert "batch: 3 queries in" in out
+        assert "q/s); 0 error(s), 0 degraded" in out
+        assert out.count("answer(s) (layer") == 3
+
+    def test_batch_with_workers_and_json_out(self, workspace, capsys):
+        index_dir, batch_file = self._setup(workspace, queries=4)
+        out_file = os.path.join(os.path.dirname(batch_file), "results.json")
+        assert main(
+            self._batch_args(
+                index_dir, batch_file,
+                "--workers", "2", "--batch-out", out_file,
+            )
+        ) == 0
+        assert f"wrote {out_file}" in capsys.readouterr().out
+        import json
+
+        with open(out_file) as f:
+            document = json.load(f)
+        assert document["queries"] == 4
+        assert document["errors"] == 0
+        assert document["workers"] == 2
+        assert document["qps"] > 0
+        assert len(document["results"]) == 4
+        assert all(r["status"] == "ok" for r in document["results"])
+
+    def test_batch_rejects_explain(self, workspace, capsys):
+        index_dir, batch_file = self._setup(workspace, queries=1)
+        code = main(
+            self._batch_args(index_dir, batch_file, "--explain")
+        )
+        assert code == 2
+        assert "--batch" in capsys.readouterr().err
+
+    def test_keywords_and_batch_are_exclusive(self, workspace, capsys):
+        index_dir, batch_file = self._setup(workspace, queries=1)
+        code = main(
+            self._batch_args(index_dir, batch_file, "--keywords", "x")
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_keywords_nor_batch(self, workspace, capsys):
+        _, index_dir = workspace
+        code = main(
+            ["query", index_dir, "--ontology-from", "yago-like",
+             "--scale", "0.05"]
+        )
+        assert code == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_empty_batch_file(self, workspace, capsys):
+        index_dir, batch_file = self._setup(workspace, queries=0)
+        assert main(self._batch_args(index_dir, batch_file)) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_batch_with_tight_budget_reports_degraded(
+        self, workspace, capsys
+    ):
+        index_dir, batch_file = self._setup(workspace, queries=2)
+        code = main(
+            self._batch_args(
+                index_dir, batch_file, "--max-expansions", "1"
+            )
+        )
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "2 degraded" in out
+
+
 class TestVerifyCommand:
     def test_quick_harness_passes(self, capsys):
         assert main(["verify", "--quick"]) == 0
@@ -180,6 +292,7 @@ class TestVerifyCommand:
         assert "audit: OK" in out
         assert "oracle: OK" in out
         assert "fuzz: OK" in out
+        assert "cache: OK" in out
 
     def test_seed_is_reported(self, capsys):
         assert main(["verify", "--quick", "--seed", "3",

@@ -1,0 +1,224 @@
+"""Maintenance-aware result caching in the hierarchical evaluator."""
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.evaluator import HierarchicalEvaluator
+from repro.core.plugins import BoostedSearch, boost
+from repro.obs.runtime import instrumented
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.utils.budget import Budget
+
+EXACT = CostParams(exact=True)
+QUERY = KeywordQuery(["Ivy League", "Massachusetts"])
+
+
+@pytest.fixture
+def index(fig1_graph, fig2_ontology):
+    return BiGIndex.build(
+        fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
+    )
+
+
+def _evaluator(index, cache_size=128):
+    return HierarchicalEvaluator(
+        index, BackwardKeywordSearch(d_max=3, k=10), cache_size=cache_size
+    )
+
+
+def _snapshot(result):
+    return (
+        result.layer,
+        tuple(
+            (a.score, a.signature(), a.vertices, a.edges)
+            for a in result.answers
+        ),
+    )
+
+
+class TestResultCache:
+    def test_cached_equals_uncached(self, index):
+        cached = _evaluator(index)
+        uncached = _evaluator(index, cache_size=0)
+        expected = _snapshot(uncached.evaluate(QUERY))
+        assert _snapshot(cached.evaluate(QUERY)) == expected  # cold
+        assert _snapshot(cached.evaluate(QUERY)) == expected  # warm
+
+    def test_second_evaluate_hits_cache(self, index):
+        evaluator = _evaluator(index)
+        with instrumented(trace=False) as inst:
+            evaluator.evaluate(QUERY)
+            evaluator.evaluate(QUERY)
+        counters = inst.metrics.counters()
+        assert counters["cache.miss.result"] == 1
+        assert counters["cache.hit.result"] == 1
+
+    def test_cache_size_zero_disables(self, index):
+        evaluator = _evaluator(index, cache_size=0)
+        with instrumented(trace=False) as inst:
+            evaluator.evaluate(QUERY)
+            evaluator.evaluate(QUERY)
+        counters = inst.metrics.counters()
+        assert counters.get("cache.hit.result", 0) == 0
+        assert counters.get("cache.miss.result", 0) == 0
+
+    def test_budgeted_runs_are_never_cached(self, index):
+        evaluator = _evaluator(index)
+        with instrumented(trace=False) as inst:
+            evaluator.evaluate(QUERY, budget=Budget(max_expansions=10**6))
+            evaluator.evaluate(QUERY, budget=Budget(max_expansions=10**6))
+        counters = inst.metrics.counters()
+        assert counters.get("cache.hit.result", 0) == 0
+
+    def test_keyword_order_does_not_change_answers(self, index):
+        # The cache key canonicalizes keywords sorted; this pins down the
+        # assumption that makes that sound.
+        evaluator = _evaluator(index, cache_size=0)
+        forward = evaluator.evaluate(KeywordQuery(["Ivy League", "Massachusetts"]))
+        reversed_ = evaluator.evaluate(KeywordQuery(["Massachusetts", "Ivy League"]))
+        assert _snapshot(forward) == _snapshot(reversed_)
+
+    def test_permuted_query_is_a_cache_hit(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(KeywordQuery(["Ivy League", "Massachusetts"]))
+        with instrumented(trace=False) as inst:
+            evaluator.evaluate(KeywordQuery(["Massachusetts", "Ivy League"]))
+        assert inst.metrics.counters()["cache.hit.result"] == 1
+
+    def test_cached_result_is_a_fresh_copy(self, index):
+        evaluator = _evaluator(index)
+        first = evaluator.evaluate(QUERY)
+        first.answers.clear()  # caller mutates their copy
+        second = evaluator.evaluate(QUERY)
+        assert second.answers  # the cache entry was not aliased
+
+
+class TestInvalidation:
+    def _edge(self, index):
+        return sorted(index.base_graph.edges())[0]
+
+    def _assert_invalidated_and_correct(self, index, evaluator):
+        fresh = _evaluator(index, cache_size=0)
+        assert _snapshot(evaluator.evaluate(QUERY)) == _snapshot(
+            fresh.evaluate(QUERY)
+        )
+
+    def test_insert_edge(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(QUERY)
+        ivy = next(
+            v for v in index.base_graph.vertices()
+            if index.base_graph.label(v) == "Ivy League"
+        )
+        mass = next(
+            v for v in index.base_graph.vertices()
+            if index.base_graph.label(v) == "Massachusetts"
+        )
+        index.insert_edge(ivy, mass)
+        self._assert_invalidated_and_correct(index, evaluator)
+
+    def test_delete_edge(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(QUERY)
+        u, v = self._edge(index)
+        index.delete_edge(u, v)
+        self._assert_invalidated_and_correct(index, evaluator)
+
+    def test_rebuild(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(QUERY)
+        before = index.epoch
+        index.rebuild()
+        assert index.epoch != before
+        self._assert_invalidated_and_correct(index, evaluator)
+
+    def test_remove_ontology_edge(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(QUERY)
+        before = index.epoch
+        index.remove_ontology_edge("Student", "Person")
+        assert index.epoch != before
+        self._assert_invalidated_and_correct(index, evaluator)
+
+    def test_invalidation_counter(self, index):
+        evaluator = _evaluator(index)
+        evaluator.evaluate(QUERY)
+        u, v = self._edge(index)
+        index.delete_edge(u, v)
+        with instrumented(trace=False) as inst:
+            evaluator.evaluate(QUERY)
+        assert inst.metrics.counters()["cache.invalidations"] == 1
+
+
+class TestSearcherReuse:
+    def test_searcher_cached_across_evaluations(self, index):
+        evaluator = _evaluator(index)
+        result = evaluator.evaluate(QUERY)
+        searcher = evaluator.searcher_for_layer(result.layer)
+        evaluator.evaluate(KeywordQuery(["Ivy League", "New York"]))
+        assert evaluator.searcher_for_layer(result.layer) is searcher
+
+    def test_searchers_dropped_after_maintenance(self, index):
+        evaluator = _evaluator(index)
+        result = evaluator.evaluate(QUERY)
+        searcher = evaluator.searcher_for_layer(result.layer)
+        u, v = sorted(index.base_graph.edges())[0]
+        index.delete_edge(u, v)
+        assert evaluator.searcher_for_layer(result.layer) is not searcher
+
+
+class TestEvaluateMany:
+    QUERIES = [
+        KeywordQuery(["Ivy League", "Massachusetts"]),
+        KeywordQuery(["Ivy League", "New York"]),
+        KeywordQuery(["Student", "California"]),
+        KeywordQuery(["Ivy League", "Massachusetts"]),
+    ]
+
+    def test_serial_matches_single_evaluations(self, index):
+        evaluator = _evaluator(index)
+        batch = evaluator.evaluate_many(self.QUERIES, resilient=False)
+        single = _evaluator(index, cache_size=0)
+        for query, result in zip(self.QUERIES, batch):
+            assert _snapshot(result) == _snapshot(single.evaluate(query))
+
+    def test_workers_preserve_order_and_results(self, index):
+        serial = [
+            _snapshot(r)
+            for r in _evaluator(index).evaluate_many(
+                self.QUERIES, resilient=False
+            )
+        ]
+        threaded = [
+            _snapshot(r)
+            for r in _evaluator(index).evaluate_many(
+                self.QUERIES, resilient=False, workers=4
+            )
+        ]
+        assert threaded == serial
+
+    def test_boosted_search_passthrough(self, index):
+        boosted = boost(
+            BackwardKeywordSearch(d_max=3, k=10), index, allow_layer_zero=True
+        )
+        assert isinstance(boosted, BoostedSearch)
+        results = boosted.evaluate_many(self.QUERIES)
+        assert len(results) == len(self.QUERIES)
+        assert all(r.answers is not None for r in results)
+
+    def test_budget_factory_gives_each_query_its_own_budget(self, index):
+        evaluator = _evaluator(index)
+        budgets = []
+
+        def factory():
+            budget = Budget(max_expansions=10**6)
+            budgets.append(budget)
+            return budget
+
+        evaluator.evaluate_many(
+            self.QUERIES, resilient=False, budget_factory=factory
+        )
+        assert len(budgets) == len(self.QUERIES)
+        assert len(set(map(id, budgets))) == len(self.QUERIES)

@@ -1,0 +1,190 @@
+"""Per-graph keyword postings: lazy build, invalidation, persistence."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.persistence import load_index, save_index, write_manifest
+from repro.graph.digraph import Graph
+from repro.obs.runtime import instrumented
+from repro.utils.errors import GraphError, IndexCorruptedError
+
+EXACT = CostParams(exact=True)
+
+
+def _tiny_graph() -> Graph:
+    g = Graph()
+    a = g.add_vertex("A")
+    b = g.add_vertex("B")
+    a2 = g.add_vertex("A")
+    g.add_edge(a, b)
+    g.add_edge(b, a2)
+    return g
+
+
+class TestLazyBuild:
+    def test_first_lookup_builds_and_caches(self):
+        g = _tiny_graph()
+        with instrumented(trace=False) as inst:
+            first = g.sorted_vertices_with_label("A")
+            second = g.sorted_vertices_with_label("A")
+        assert first == (0, 2)
+        assert second is first  # served from the posting cache
+        assert inst.metrics.counters()["postings.build"] == 1
+
+    def test_unknown_label_is_empty_without_build(self):
+        g = _tiny_graph()
+        with instrumented(trace=False) as inst:
+            assert g.sorted_vertices_with_label("nope") == ()
+        assert "postings.build" not in inst.metrics.counters()
+
+    def test_drop_caches_forces_rebuild(self):
+        g = _tiny_graph()
+        g.sorted_vertices_with_label("A")
+        g.drop_caches()
+        with instrumented(trace=False) as inst:
+            assert g.sorted_vertices_with_label("A") == (0, 2)
+        assert inst.metrics.counters()["postings.build"] == 1
+
+
+class TestMutationInvalidation:
+    """Every mutator bumps the epoch and keeps postings correct."""
+
+    def test_add_vertex(self):
+        g = _tiny_graph()
+        g.sorted_vertices_with_label("A")
+        before = g.mutation_epoch
+        v = g.add_vertex("A")
+        assert g.mutation_epoch == before + 1
+        assert g.sorted_vertices_with_label("A") == (0, 2, v)
+
+    def test_add_vertex_with_label_id(self):
+        g = _tiny_graph()
+        label_id = g.label_table.id_of("B")
+        g.sorted_vertices_with_label("B")
+        before = g.mutation_epoch
+        v = g.add_vertex_with_label_id(label_id)
+        assert g.mutation_epoch == before + 1
+        assert g.sorted_vertices_with_label("B") == (1, v)
+
+    def test_add_edge(self):
+        g = _tiny_graph()
+        before = g.mutation_epoch
+        assert g.add_edge(0, 2)
+        assert g.mutation_epoch == before + 1
+
+    def test_add_existing_edge_is_not_a_mutation(self):
+        g = _tiny_graph()
+        before = g.mutation_epoch
+        assert not g.add_edge(0, 1)
+        assert g.mutation_epoch == before
+
+    def test_remove_edge(self):
+        g = _tiny_graph()
+        before = g.mutation_epoch
+        g.remove_edge(0, 1)
+        assert g.mutation_epoch == before + 1
+
+    def test_relabel_vertex_by_id(self):
+        g = _tiny_graph()
+        g.sorted_vertices_with_label("A")
+        g.sorted_vertices_with_label("B")
+        b_id = g.label_table.id_of("B")
+        before = g.mutation_epoch
+        g.relabel_vertex_by_id(0, b_id)
+        assert g.mutation_epoch == before + 1
+        assert g.sorted_vertices_with_label("A") == (2,)
+        assert g.sorted_vertices_with_label("B") == (0, 1)
+
+    def test_relabel_to_same_label_is_not_a_mutation(self):
+        g = _tiny_graph()
+        a_id = g.label_table.id_of("A")
+        before = g.mutation_epoch
+        g.relabel_vertex_by_id(0, a_id)
+        assert g.mutation_epoch == before
+
+
+class TestSnapshotPreload:
+    def test_snapshot_roundtrip(self):
+        g = _tiny_graph()
+        snapshot = g.postings_snapshot()
+        assert snapshot == {"A": [0, 2], "B": [1]}
+        fresh = _tiny_graph()
+        with instrumented(trace=False) as inst:
+            fresh.preload_postings(snapshot)
+            assert fresh.sorted_vertices_with_label("A") == (0, 2)
+            assert fresh.sorted_vertices_with_label("B") == (1,)
+        counters = inst.metrics.counters()
+        assert counters["postings.preload"] == 2
+        assert "postings.build" not in counters  # served warm
+
+    def test_preload_rejects_unknown_label(self):
+        g = _tiny_graph()
+        with pytest.raises(GraphError):
+            g.preload_postings({"Z": [0]})
+
+    def test_preload_rejects_mismatched_posting(self):
+        g = _tiny_graph()
+        with pytest.raises(GraphError):
+            g.preload_postings({"A": [0]})  # missing vertex 2
+        with pytest.raises(GraphError):
+            g.preload_postings({"A": [2, 0]})  # unsorted
+
+
+@pytest.fixture
+def saved(fig1_graph, fig2_ontology, tmp_path):
+    index = BiGIndex.build(
+        fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
+    )
+    directory = str(tmp_path / "idx")
+    save_index(index, directory)
+    return directory
+
+
+class TestPersistedPostings:
+    def test_save_writes_postings_files(self, saved):
+        names = set(os.listdir(saved))
+        assert "base.postings.json" in names
+        assert "layer1.postings.json" in names
+        assert "layer2.postings.json" in names
+
+    def test_load_is_warm(self, saved, fig2_ontology):
+        loaded = load_index(saved, fig2_ontology)
+        label = loaded.base_graph.label(0)
+        with instrumented(trace=False) as inst:
+            posting = loaded.base_graph.sorted_vertices_with_label(label)
+        assert 0 in posting
+        assert "postings.build" not in inst.metrics.counters()
+
+    def test_tampered_postings_rejected(self, saved, fig2_ontology):
+        path = os.path.join(saved, "base.postings.json")
+        with open(path, encoding="utf-8") as f:
+            postings = json.load(f)
+        label = next(iter(postings))
+        postings[label] = postings[label] + [9999]
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(postings, f)
+        write_manifest(saved)  # re-bless so corruption isn't caught earlier
+        with pytest.raises(IndexCorruptedError):
+            load_index(saved, fig2_ontology)
+
+    def test_v2_directory_loads_lazily(self, saved, fig2_ontology):
+        meta_path = os.path.join(saved, "meta.json")
+        with open(meta_path, encoding="utf-8") as f:
+            meta = json.load(f)
+        meta["version"] = 2
+        with open(meta_path, "w", encoding="utf-8") as f:
+            json.dump(meta, f)
+        for name in list(os.listdir(saved)):
+            if name.endswith(".postings.json"):
+                os.remove(os.path.join(saved, name))
+        write_manifest(saved)
+        loaded = load_index(saved, fig2_ontology)
+        label = loaded.base_graph.label(0)
+        with instrumented(trace=False) as inst:
+            posting = loaded.base_graph.sorted_vertices_with_label(label)
+        assert 0 in posting
+        assert inst.metrics.counters()["postings.build"] == 1
