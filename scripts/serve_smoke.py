@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""Mixed-workload smoke for a running ``repro-bigindex serve`` instance.
+
+CI's ``serve-smoke`` job boots the server against a persisted index and
+pushes a mixed workload through it with this script: single queries,
+batches, deliberately budget-starved queries (exercising the 429
+degraded path), and introspection reads, over persistent keep-alive
+connections.  The run **fails on any 5xx** and writes a throughput
+summary JSON for the artifact upload.
+
+Usage:
+    PYTHONPATH=src python scripts/serve_smoke.py \
+        --url http://127.0.0.1:8180 --requests 200 --out serve-qps.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import itertools
+import json
+import random
+import sys
+import time
+
+from repro.serve.client import ServeClient
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--url", required=True)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument(
+        "--keywords",
+        nargs="+",
+        required=True,
+        help="label pool; queries are 2-keyword combinations of these",
+    )
+    parser.add_argument("--out", default="serve-qps.json")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    queries = list(itertools.combinations(args.keywords, 2))
+    if not queries:
+        print("need at least two keywords", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    statuses = collections.Counter()
+    answers = 0
+    degraded = 0
+    started = time.perf_counter()
+    with ServeClient.for_url(args.url) as client:
+        health = client.healthz()
+        statuses[health.status] += 1
+        if not health.ok:
+            print(f"healthz answered {health.status}", file=sys.stderr)
+            return 1
+        for i in range(args.requests):
+            keywords = list(queries[rng.randrange(len(queries))])
+            roll = rng.random()
+            if roll < 0.55:
+                response = client.query(keywords)
+            elif roll < 0.75:
+                batch = [
+                    list(queries[rng.randrange(len(queries))])
+                    for _ in range(3)
+                ]
+                response = client.batch(batch)
+            elif roll < 0.9:
+                # Budget-starved: exercises the degraded/429 contract.
+                response = client.query(keywords, expansion_budget=1)
+            elif roll < 0.95:
+                response = client.healthz()
+            else:
+                response = client.metrics()
+            statuses[response.status] += 1
+            if response.degraded:
+                degraded += 1
+            payload = response.payload
+            if isinstance(payload, dict):
+                answers += len(payload.get("answers") or ())
+                for entry in payload.get("results") or ():
+                    answers += len(entry.get("answers") or ())
+    elapsed = time.perf_counter() - started
+
+    total = sum(statuses.values())
+    faults = sum(count for code, count in statuses.items() if code >= 500)
+    summary = {
+        "url": args.url,
+        "requests": total,
+        "seconds": round(elapsed, 4),
+        "qps": round(total / elapsed, 1) if elapsed else None,
+        "statuses": {str(code): count for code, count in sorted(statuses.items())},
+        "answers": answers,
+        "degraded": degraded,
+        "faults": faults,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if faults:
+        print(f"FAIL: {faults} 5xx response(s)", file=sys.stderr)
+        return 1
+    if statuses.get(200, 0) == 0:
+        print("FAIL: no successful responses", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

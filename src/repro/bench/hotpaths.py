@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import platform
 import random
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bisim.refinement import BisimDirection, maximal_bisimulation
@@ -63,6 +64,10 @@ from repro.search.base import KeywordSearchAlgorithm
 from repro.search.bidirectional import BidirectionalSearch
 from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
+from repro.serve.client import ServeClient
+from repro.serve.lifecycle import EngineRuntime
+from repro.serve.server import serve_in_thread
+from repro.serve.service import QueryService
 from repro.utils.budget import Budget
 from repro.utils.timers import monotonic_now
 from repro.verify.runner import probe_queries
@@ -340,6 +345,62 @@ def run_suite(
     metrics["query.batch.seconds"] = elapsed
     metrics["query.batch.queries"] = len(workload)
     metrics["query.batch.answers"] = batch_answers
+
+    # --- sustained serving throughput over HTTP -------------------------
+    # The full `repro-bigindex serve` path: real sockets, one handler
+    # thread per persistent connection, admission, JSON encode/decode.
+    # An untimed pass warms the snapshot evaluator (searchers, CSR,
+    # result cache); the timed rounds then measure steady-state serving,
+    # the number the ROADMAP's traffic story rides on.  The answer total
+    # is exact-gated: concurrency must never change what a query returns.
+    serve_threads = 4
+    serve_rounds = 2 if quick else 6
+
+    def serve_evaluator(idx: BiGIndex):
+        return boost(
+            BackwardKeywordSearch(d_max=3, k=10), idx, allow_layer_zero=True
+        ).evaluator
+
+    service = QueryService(EngineRuntime(qindex, serve_evaluator))
+    with serve_in_thread(service) as server:
+        port = server.port
+
+        def client_pass(rounds: int) -> int:
+            def worker(_worker_id: int) -> int:
+                answers = 0
+                with ServeClient("127.0.0.1", port) as client:
+                    for _ in range(rounds):
+                        for query in queries:
+                            response = client.query(list(query.keywords))
+                            if response.status != 200:
+                                raise AssertionError(
+                                    f"serve bench got HTTP "
+                                    f"{response.status}: {response.payload}"
+                                )
+                            answers += len(response.payload["answers"])
+                return answers
+
+            with ThreadPoolExecutor(max_workers=serve_threads) as pool:
+                return sum(pool.map(worker, range(serve_threads)))
+
+        client_pass(1)  # warm the snapshot evaluator, untimed
+        elapsed, served_answers = _best_of(
+            lambda: client_pass(serve_rounds), min(2, repeats)
+        )
+    expected_answers = serve_threads * serve_rounds * cold_answers
+    if served_answers != expected_answers:
+        raise AssertionError(
+            f"concurrent serving changed the answers: {served_answers} != "
+            f"{serve_threads} threads x {serve_rounds} rounds x "
+            f"{cold_answers}"
+        )
+    serve_requests = serve_threads * serve_rounds * len(queries)
+    metrics["serve.qps.warm.seconds"] = elapsed
+    metrics["serve.qps.warm.requests"] = serve_requests
+    metrics["serve.qps.warm.threads"] = serve_threads
+    metrics["serve.qps.warm.answers"] = served_answers
+    if elapsed > 0:
+        metrics["serve.qps.warm.qps"] = round(serve_requests / elapsed, 1)
 
     rss = peak_rss_kib()
     if rss is not None:

@@ -48,6 +48,7 @@ cheaper layer).  See ``docs/ROBUSTNESS.md`` for the exact guarantees.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import (
@@ -273,6 +274,13 @@ class HierarchicalEvaluator:
         )
         #: index epoch the caches were filled under; ``None`` = never synced.
         self._epoch: Optional[Tuple[int, int]] = None
+        # Orders epoch sync against searcher binds and result-cache fills
+        # under concurrent readers (the serve handlers share one evaluator
+        # per snapshot): without it a reader could re-install a searcher
+        # or cached result computed under an epoch another thread just
+        # invalidated.  Reentrant: searcher_for_layer is reached from
+        # locked sections of evaluate.
+        self._cache_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Maintenance-aware caching
@@ -286,14 +294,15 @@ class HierarchicalEvaluator:
         Checking the epoch on every entry point keeps long-lived
         evaluators correct across :meth:`BiGIndex.insert_edge` & co.
         """
-        epoch = self.index.epoch
-        if self._epoch != epoch:
-            if self._epoch is not None and OBS.enabled:
-                OBS.metrics.inc("cache.invalidations")
-            self._epoch = epoch
-            self._searchers.clear()
-            if self._result_cache is not None:
-                self._result_cache.clear()
+        with self._cache_lock:
+            epoch = self.index.epoch
+            if self._epoch != epoch:
+                if self._epoch is not None and OBS.enabled:
+                    OBS.metrics.inc("cache.invalidations")
+                self._epoch = epoch
+                self._searchers.clear()
+                if self._result_cache is not None:
+                    self._result_cache.clear()
 
     def _cache_key(
         self,
@@ -344,13 +353,20 @@ class HierarchicalEvaluator:
         return attrs
 
     def searcher_for_layer(self, m: int) -> GraphSearcher:
-        """The algorithm bound to ``G^m`` (cached across queries)."""
-        self._sync_caches()
-        searcher = self._searchers.get(m)
-        if searcher is None:
-            searcher = self.algorithm.bind(self.index.layer_graph(m))
-            self._searchers[m] = searcher
-        return searcher
+        """The algorithm bound to ``G^m`` (cached across queries).
+
+        The lock is held across bind-and-install so a concurrent epoch
+        invalidation cannot interleave between them — a searcher present
+        in the dict is always one bound under the current ``_epoch``.
+        Binds serialize, but each (layer, epoch) binds at most once.
+        """
+        with self._cache_lock:
+            self._sync_caches()
+            searcher = self._searchers.get(m)
+            if searcher is None:
+                searcher = self.algorithm.bind(self.index.layer_graph(m))
+                self._searchers[m] = searcher
+            return searcher
 
     def evaluate(
         self,
@@ -369,21 +385,26 @@ class HierarchicalEvaluator:
         :func:`repro.core.querycache.budget_class` for why they are
         uncacheable.  See :meth:`_evaluate_uncached` for parameters.
         """
-        self._sync_caches()
         if k is None:
             k = getattr(self.algorithm, "k", None)
         bclass = budget_class(budget)
         key: Optional[Tuple] = None
-        if self._result_cache is not None and bclass is not None:
-            key = self._cache_key(query, layer, k, max_generalized, bclass)
-            hit = self._result_cache.get(key)
-            if hit is not None:
-                if OBS.enabled:
-                    with OBS.tracer.span("result-cache") as span:
-                        span.annotate(
-                            **{"query.warm": True, "answers": len(hit.answers)}
-                        )
-                return self._copy_result(hit)
+        with self._cache_lock:
+            self._sync_caches()
+            epoch = self._epoch
+            if self._result_cache is not None and bclass is not None:
+                key = self._cache_key(query, layer, k, max_generalized, bclass)
+                hit = self._result_cache.get(key)
+                if hit is not None:
+                    if OBS.enabled:
+                        with OBS.tracer.span("result-cache") as span:
+                            span.annotate(
+                                **{
+                                    "query.warm": True,
+                                    "answers": len(hit.answers),
+                                }
+                            )
+                    return self._copy_result(hit)
         result = self._evaluate_uncached(
             query,
             layer=layer,
@@ -392,7 +413,14 @@ class HierarchicalEvaluator:
             budget=budget,
         )
         if key is not None:
-            self._result_cache.put(key, self._copy_result(result))
+            with self._cache_lock:
+                # Guarded fill: a result computed under a superseded
+                # epoch must not land in the fresh cache (epoch
+                # components are monotone, so equality proves no
+                # movement since the lookup).
+                self._sync_caches()
+                if self._epoch == epoch:
+                    self._result_cache.put(key, self._copy_result(result))
         return result
 
     def _evaluate_uncached(

@@ -27,6 +27,7 @@ Maintenance (Sec. 3.2):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -111,6 +112,13 @@ class BiGIndex:
         self._memo_epoch: Optional[Tuple[int, int]] = None
         self._gen_memo: Dict[Tuple[Tuple[str, ...], int], Tuple[str, ...]] = {}
         self._spec_memo = LRUCache(4096, kind="spec")
+        # Orders memo sync/fill against concurrent readers: without it, a
+        # reader could publish a value computed under epoch e into a memo
+        # another thread just cleared for epoch e' (stale-fill poisoning).
+        # Reentrant because generalize_query may be reached from a locked
+        # section.  Mutation itself still needs external exclusion (the
+        # serve runtime's write lock); this lock protects the memos.
+        self._memo_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Construction
@@ -226,18 +234,26 @@ class BiGIndex:
         return (self._maintenance_epoch, self.base_graph.mutation_epoch)
 
     def _sync_memos(self) -> None:
-        """Clear the Gen/Spec memos if the index moved since they filled."""
-        epoch = self.epoch
-        if self._memo_epoch != epoch:
-            self._memo_epoch = epoch
-            self._gen_memo.clear()
-            self._spec_memo.clear()
+        """Clear the Gen/Spec memos if the index moved since they filled.
+
+        Callers that go on to read or fill a memo must do so while still
+        holding ``_memo_lock`` (the memoized entry points below) so a
+        concurrent clear cannot interleave between the epoch check and
+        the memo access.
+        """
+        with self._memo_lock:
+            epoch = self.epoch
+            if self._memo_epoch != epoch:
+                self._memo_epoch = epoch
+                self._gen_memo.clear()
+                self._spec_memo.clear()
 
     def drop_caches(self) -> None:
         """Release the Gen/Spec memos (e.g. for cold-start benchmarks)."""
-        self._memo_epoch = None
-        self._gen_memo.clear()
-        self._spec_memo.clear()
+        with self._memo_lock:
+            self._memo_epoch = None
+            self._gen_memo.clear()
+            self._spec_memo.clear()
 
     # ------------------------------------------------------------------
     # Inspection
@@ -298,16 +314,25 @@ class BiGIndex:
         across a query workload, and the fan-out is a pure function of
         the extent tables.
         """
-        self._sync_memos()
         key = (m, supernode)
-        cached = self._spec_memo.get(key)
+        with self._memo_lock:
+            self._sync_memos()
+            epoch = self._memo_epoch
+            cached = self._spec_memo.get(key)
         if cached is not None:
             return list(cached)
         frontier = [supernode]
         for level in range(m, 0, -1):
             extent = self.layers[level - 1].extent
             frontier = [child for s in frontier for child in extent[s]]
-        self._spec_memo.put(key, tuple(frontier))
+        with self._memo_lock:
+            # Guarded fill: if the epoch moved while we walked the extent
+            # tables, this value belongs to a dead generation — skip the
+            # put instead of poisoning the fresh memo.  Epoch components
+            # are monotone, so equality proves nothing moved.
+            self._sync_memos()
+            if self._memo_epoch == epoch:
+                self._spec_memo.put(key, tuple(frontier))
         return frontier
 
     # ------------------------------------------------------------------
@@ -315,12 +340,13 @@ class BiGIndex:
     # ------------------------------------------------------------------
     def generalize_keyword(self, keyword: str, m: int) -> str:
         """``Gen^m`` of one keyword through ``C^1 ... C^m`` (memoized)."""
-        self._sync_memos()
         key = ((keyword,), m)
-        cached = self._gen_memo.get(key)
-        if cached is None:
-            cached = (generalize_label(keyword, self.configs_up_to(m)),)
-            self._gen_memo[key] = cached
+        with self._memo_lock:
+            self._sync_memos()
+            cached = self._gen_memo.get(key)
+            if cached is None:
+                cached = (generalize_label(keyword, self.configs_up_to(m)),)
+                self._gen_memo[key] = cached
         return cached[0]
 
     def generalize_query(self, query: KeywordQuery, m: int) -> List[str]:
@@ -330,12 +356,13 @@ class BiGIndex:
         ``Gen^m(Q)`` for every candidate layer of every query, and the
         translation only changes when a configuration does.
         """
-        self._sync_memos()
         key = (query.keywords, m)
-        cached = self._gen_memo.get(key)
-        if cached is None:
-            cached = tuple(generalize_query(query, self.configs_up_to(m)))
-            self._gen_memo[key] = cached
+        with self._memo_lock:
+            self._sync_memos()
+            cached = self._gen_memo.get(key)
+            if cached is None:
+                cached = tuple(generalize_query(query, self.configs_up_to(m)))
+                self._gen_memo[key] = cached
         return list(cached)
 
     def query_distinct_at(self, query: KeywordQuery, m: int) -> bool:

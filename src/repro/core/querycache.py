@@ -92,10 +92,16 @@ class LRUCache:
             self._data.clear()
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        # Taking the lock (rather than relying on a single dict op) keeps
+        # the answer ordered against concurrent clear/evict — a caller
+        # must never see ``key in cache`` succeed after a clear it
+        # happened-before.
+        with self._lock:
+            return key in self._data
 
 
 def budget_class(budget: Optional[Budget]) -> Optional[str]:

@@ -15,6 +15,7 @@ values, histograms accumulate (count, sum, min, max) of observations.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Mapping, Optional
 
 
@@ -63,50 +64,64 @@ class _Histogram:
 
 
 class MetricsRegistry:
-    """Counters, gauges, and histograms keyed by dotted metric names."""
+    """Counters, gauges, and histograms keyed by dotted metric names.
 
-    __slots__ = ("_counters", "_gauges", "_histograms")
+    Thread-safe: the serve handlers record from every request thread and
+    ``/metrics`` snapshots concurrently, so each operation holds a lock.
+    The naive ``get-then-set`` increment would drop counts under
+    concurrency (the cache-threading battery pins the fixed behavior).
+    """
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "_lock")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, _Histogram] = {}
+        self._lock = threading.Lock()
 
     # -- recording ------------------------------------------------------
     def inc(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at 0)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def gauge(self, name: str, value: float) -> None:
         """Record the last-seen value of gauge ``name``."""
-        self._gauges[name] = value
+        with self._lock:
+            self._gauges[name] = value
 
     def observe(self, name: str, value: float) -> None:
         """Feed one observation into histogram ``name``."""
-        hist = self._histograms.get(name)
-        if hist is None:
-            hist = self._histograms[name] = _Histogram()
-        hist.observe(value)
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = _Histogram()
+            hist.observe(value)
 
     # -- reading --------------------------------------------------------
     def counter(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def counters(self) -> Dict[str, int]:
         """All counters, sorted by name (a copy; safe to serialize)."""
-        return dict(sorted(self._counters.items()))
+        with self._lock:
+            return dict(sorted(self._counters.items()))
 
     def gauges(self) -> Dict[str, float]:
         """All gauges, sorted by name (a copy)."""
-        return dict(sorted(self._gauges.items()))
+        with self._lock:
+            return dict(sorted(self._gauges.items()))
 
     def histograms(self) -> Dict[str, Dict[str, float]]:
         """All histograms as {name: {count, sum, min, max, mean}}."""
-        return {
-            name: hist.as_dict()
-            for name, hist in sorted(self._histograms.items())
-        }
+        with self._lock:
+            return {
+                name: hist.as_dict()
+                for name, hist in sorted(self._histograms.items())
+            }
 
     def snapshot(self) -> Dict[str, object]:
         """One JSON-serializable dict of everything recorded."""
@@ -119,14 +134,22 @@ class MetricsRegistry:
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters add, gauges take
         the other's last value, histograms combine)."""
-        for name, value in other._counters.items():
-            self._counters[name] = self._counters.get(name, 0) + value
-        self._gauges.update(other._gauges)
-        for name, hist in other._histograms.items():
-            mine = self._histograms.get(name)
-            if mine is None:
-                mine = self._histograms[name] = _Histogram()
-            mine.merge(hist)
+        # Lock ordering: other first, to copy its state atomically, then
+        # self; merge is only ever called parent <- worker so the two
+        # registries are distinct and no cycle is possible.
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+            hists = {name: hist for name, hist in other._histograms.items()}
+        with self._lock:
+            for name, value in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(gauges)
+            for name, hist in hists.items():
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = self._histograms[name] = _Histogram()
+                mine.merge(hist)
 
     def format(self, prefixes: Optional[Mapping[str, None]] = None) -> str:
         """Human-readable multi-line dump, optionally filtered by prefix.
@@ -139,18 +162,21 @@ class MetricsRegistry:
         def keep(name: str) -> bool:
             return wanted is None or name.startswith(wanted)
 
+        counters = self.counters()
+        gauges = self.gauges()
+        histograms = self.histograms()
         lines: List[str] = []
-        for name, value in sorted(self._counters.items()):
+        for name, value in counters.items():
             if keep(name):
                 lines.append(f"  {name} = {value}")
-        for name, value in sorted(self._gauges.items()):
+        for name, value in gauges.items():
             if keep(name):
                 lines.append(f"  {name} = {value:g} (gauge)")
-        for name, hist in sorted(self._histograms.items()):
+        for name, hist in histograms.items():
             if keep(name):
                 lines.append(
-                    f"  {name} = count={hist.count} mean={hist.mean:.3g}"
-                    f" min={hist.min:g} max={hist.max:g} (histogram)"
+                    f"  {name} = count={hist['count']} mean={hist['mean']:.3g}"
+                    f" min={hist['min']:g} max={hist['max']:g} (histogram)"
                 )
         return "\n".join(lines)
 

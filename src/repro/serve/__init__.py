@@ -1,0 +1,46 @@
+"""`repro-bigindex serve`: a concurrent query server over the warm evaluator.
+
+The package splits the server into the layers a production keyword-search
+service grows (the app/runtime/engine shape):
+
+* :mod:`repro.serve.lifecycle` — the **runtime**: snapshot pinning over
+  the epoch-keyed evaluator caches, a writer-preferring RW lock so
+  in-place index mutations drain in-flight readers, and zero-downtime
+  index reload (readers finish on the old snapshot, new requests pin the
+  new one).
+* :mod:`repro.serve.admission` — admission control: a global in-flight
+  request cap and an in-flight *expansion reservation* ledger; requests
+  the server cannot afford are shed before any work happens.
+* :mod:`repro.serve.service` — the transport-independent **app**: JSON
+  request/response contract for ``/query``, ``/batch``, ``/metrics``,
+  ``/healthz`` and the admin endpoints, per-request
+  :class:`~repro.utils.budget.Budget` from headers, and the
+  ``DegradedResult``/exit-3 contract mapped onto HTTP 429/503.
+* :mod:`repro.serve.server` — the stdlib HTTP transport
+  (``ThreadingHTTPServer``) plus helpers to run it on a background
+  thread for tests, benchmarks and the verify drill.
+* :mod:`repro.serve.client` — a tiny stdlib client used by the tests,
+  the ``serve.qps`` bench entry, the fuzzer's ``--serve`` leg and CI.
+
+See ``docs/SERVING.md`` for the wire contract.
+"""
+
+from repro.serve.admission import AdmissionController, ShedError
+from repro.serve.client import ServeClient
+from repro.serve.lifecycle import EngineRuntime, RWLock, Snapshot
+from repro.serve.server import QueryServer, serve_in_thread, start_server
+from repro.serve.service import QueryService, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "EngineRuntime",
+    "QueryServer",
+    "QueryService",
+    "RWLock",
+    "ServeClient",
+    "ServerConfig",
+    "ShedError",
+    "Snapshot",
+    "serve_in_thread",
+    "start_server",
+]

@@ -1,0 +1,184 @@
+"""A tiny stdlib client for the serve wire contract.
+
+Used by the contract tests, the ``serve.qps`` bench entry, the fuzzer's
+``--serve`` leg and the CI smoke — one persistent ``http.client``
+connection per instance (HTTP/1.1 keep-alive), automatic reconnect on a
+dropped socket, and JSON in/out.  Not a public SDK; just enough client
+to exercise the server the way a real caller would.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class ServeResponse:
+    """One decoded HTTP exchange."""
+
+    status: int
+    payload: Dict[str, object]
+    headers: Dict[str, str]
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 200
+
+    @property
+    def degraded(self) -> bool:
+        return self.status == 429
+
+    @property
+    def shed(self) -> bool:
+        return self.status == 503
+
+
+class ServeClient:
+    """A persistent-connection JSON client for one server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    @classmethod
+    def for_url(cls, url: str, timeout: float = 30.0) -> "ServeClient":
+        """Build a client from a ``http://host:port`` string."""
+        stripped = url.split("//", 1)[-1].rstrip("/")
+        host, _, port = stripped.partition(":")
+        return cls(host, int(port or 80), timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            # Mirror the server's TCP_NODELAY: without it the small
+            # request writes sit behind Nagle waiting on delayed ACKs.
+            self._conn.connect()
+            self._conn.sock.setsockopt(
+                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[object] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ServeResponse:
+        """One JSON exchange, retrying once on a dropped keep-alive."""
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=data, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        payload = json.loads(raw.decode("utf-8")) if raw else {}
+        return ServeResponse(
+            status=response.status,
+            payload=payload,
+            headers=dict(response.getheaders()),
+        )
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        keywords: Sequence[str],
+        k: Optional[int] = None,
+        layer: Optional[int] = None,
+        timeout_budget: Optional[float] = None,
+        expansion_budget: Optional[int] = None,
+    ) -> ServeResponse:
+        body: Dict[str, object] = {"keywords": list(keywords)}
+        if k is not None:
+            body["k"] = k
+        if layer is not None:
+            body["layer"] = layer
+        return self.request(
+            "POST", "/query", body, self._budget_headers(
+                timeout_budget, expansion_budget
+            )
+        )
+
+    def batch(
+        self,
+        queries: Sequence[Sequence[str]],
+        k: Optional[int] = None,
+        layer: Optional[int] = None,
+        timeout_budget: Optional[float] = None,
+        expansion_budget: Optional[int] = None,
+    ) -> ServeResponse:
+        body: Dict[str, object] = {
+            "queries": [list(q) for q in queries]
+        }
+        if k is not None:
+            body["k"] = k
+        if layer is not None:
+            body["layer"] = layer
+        return self.request(
+            "POST", "/batch", body, self._budget_headers(
+                timeout_budget, expansion_budget
+            )
+        )
+
+    def healthz(self) -> ServeResponse:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> ServeResponse:
+        return self.request("GET", "/metrics")
+
+    def mutate(self, op: str, u: int, v: int) -> ServeResponse:
+        return self.request(
+            "POST", "/admin/mutate", {"op": op, "u": u, "v": v}
+        )
+
+    def reload(self) -> ServeResponse:
+        return self.request("POST", "/admin/reload", {})
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _budget_headers(
+        timeout_budget: Optional[float], expansion_budget: Optional[int]
+    ) -> Dict[str, str]:
+        headers: Dict[str, str] = {}
+        if timeout_budget is not None:
+            headers["X-Budget-Timeout"] = repr(float(timeout_budget))
+        if expansion_budget is not None:
+            headers["X-Budget-Expansions"] = str(int(expansion_budget))
+        return headers

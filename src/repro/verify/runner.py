@@ -15,8 +15,9 @@ budget CI-sized.
 from __future__ import annotations
 
 import itertools
+import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.cost import CostParams
 from repro.core.index import BiGIndex
@@ -31,8 +32,9 @@ from repro.search.rclique import RClique
 from repro.verify.auditor import AuditReport, audit_index
 from repro.verify.cachecheck import CacheReport, run_cache_drill
 from repro.verify.faults import FaultReport, run_fault_injection
-from repro.verify.fuzzer import FuzzReport, fuzz_index
+from repro.verify.fuzzer import FuzzReport, Op, _random_op, apply_op, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
+from repro.verify.servecheck import ServeReport, fuzz_serve, run_serve_drill
 
 #: Distance bound shared by the rooted probe algorithms.
 _D_MAX = 3
@@ -90,11 +92,16 @@ class VerifyReport:
     cases: List[CaseResult] = field(default_factory=list)
     #: Fault-injection leg (``--faults``); ``None`` when not requested.
     faults: Optional[FaultReport] = None
+    #: Serve drill (2s smoke under ``--quick``, full under ``--serve``);
+    #: ``None`` when neither ran.
+    serve: Optional[ServeReport] = None
 
     @property
     def ok(self) -> bool:
-        return all(case.ok for case in self.cases) and (
-            self.faults is None or self.faults.ok
+        return (
+            all(case.ok for case in self.cases)
+            and (self.faults is None or self.faults.ok)
+            and (self.serve is None or self.serve.ok)
         )
 
     def format(self) -> str:
@@ -106,6 +113,8 @@ class VerifyReport:
         lines.extend(case.format() for case in self.cases)
         if self.faults is not None:
             lines.append(self.faults.format())
+        if self.serve is not None:
+            lines.append(self.serve.format())
         return "\n".join(lines)
 
 
@@ -134,6 +143,7 @@ def run_verification(
     fuzz_sequences: Optional[int] = None,
     ops_per_sequence: Optional[int] = None,
     faults: bool = False,
+    serve: bool = False,
 ) -> VerifyReport:
     """Run the full harness over the deterministic corpus.
 
@@ -151,12 +161,18 @@ def run_verification(
     faults:
         Also run the fault-injection leg
         (:func:`repro.verify.faults.run_fault_injection`).
+    serve:
+        Also run the full serve drill (live HTTP server hammered across
+        mutation epochs + the serve fuzz leg); ``quick`` always includes
+        a smoke-sized pass of both.
     """
     if fuzz_sequences is None:
         fuzz_sequences = 2 if quick else 5
     if ops_per_sequence is None:
         ops_per_sequence = 5 if quick else 10
     report = VerifyReport(quick=quick, seed=seed)
+    serve_factory: Optional[Callable[[], BiGIndex]] = None
+    serve_queries: List[KeywordQuery] = []
     for case_index, (name, graph, ontology) in enumerate(
         verification_corpus(quick=quick, seed=seed)
     ):
@@ -169,10 +185,15 @@ def run_verification(
                 cost_params=CostParams(exact=True),
             )
 
+        if serve_factory is None:
+            # Smallest corpus case: the serve drill reuses its factory.
+            serve_factory = build
         index = build()
         audit = audit_index(index, expect_minimal=True)
 
         queries = probe_queries(graph)
+        if not serve_queries:
+            serve_queries = queries[:2]
         algorithms = [
             BackwardKeywordSearch(d_max=_D_MAX),
             BidirectionalSearch(d_max=_D_MAX),
@@ -222,4 +243,55 @@ def run_verification(
         report.faults = run_fault_injection(
             quick=quick, seed=seed, num_layers=num_layers
         )
+    if (quick or serve) and serve_factory is not None and serve_queries:
+        # ``--quick`` gets a ~2s smoke; ``--serve`` the full battery.
+        report.serve = _run_serve_leg(
+            serve_factory,
+            serve_queries,
+            seed=seed,
+            smoke=not serve,
+        )
+    return report
+
+
+def _run_serve_leg(
+    index_factory: Callable[[], BiGIndex],
+    queries: List[KeywordQuery],
+    seed: int,
+    smoke: bool,
+) -> ServeReport:
+    """Concurrent drill + serve fuzz leg, sized by ``smoke``."""
+    algorithm_factory = lambda: BackwardKeywordSearch(d_max=_D_MAX)  # noqa: E731
+
+    # Deterministic mutation schedule shared by the drill's live run and
+    # its per-epoch oracle replay.
+    schedule_index = index_factory()
+    rng = random.Random(f"serve-drill:{seed}")
+    ops: List[Op] = []
+    for _ in range(2 if smoke else 6):
+        op = _random_op(rng, schedule_index)
+        if op is None or op[0] == "drop-ontology":
+            continue
+        apply_op(schedule_index, op)
+        ops.append(op)
+
+    report = run_serve_drill(
+        index_factory,
+        algorithm_factory,
+        queries,
+        threads=2 if smoke else 4,
+        rounds=2 if smoke else 4,
+        ops=ops,
+        seed=seed,
+    )
+    report.merge(
+        fuzz_serve(
+            index_factory,
+            algorithm_factory,
+            queries,
+            ops_per_sequence=2 if smoke else 6,
+            sequences=1 if smoke else 2,
+            seed=seed,
+        )
+    )
     return report

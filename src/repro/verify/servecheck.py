@@ -1,0 +1,292 @@
+"""Serve drill: concurrent HTTP responses == single-threaded evaluation.
+
+Two legs, both asserting the serving stack adds *nothing* to the
+evaluation semantics:
+
+* :func:`run_serve_drill` — boot a live server (real sockets, one
+  handler thread per connection), hammer it from N client threads while
+  the main thread applies maintenance mutations through the runtime, and
+  require every response to be **byte-identical** to the single-threaded
+  in-process evaluation *for the epoch the response pinned*.  The
+  expectations are precomputed per epoch by replaying the same mutation
+  schedule on a replica index built from the same deterministic factory.
+* :func:`fuzz_serve` — the maintenance fuzzer's serving face: drive a
+  live server through seed-reproducible mutation/query interleavings via
+  ``/admin/mutate`` and diff every response against an in-process oracle
+  service stepped through the same ops.
+
+Both legs compare *canonical bytes*: the JSON payload minus the volatile
+fields (timings, budget remainders) serialized with sorted keys — the
+strongest equality the wire format supports.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.core.index import BiGIndex
+from repro.core.plugins import boost
+from repro.search.base import KeywordQuery, KeywordSearchAlgorithm
+from repro.serve.client import ServeClient
+from repro.serve.lifecycle import EngineRuntime
+from repro.serve.server import serve_in_thread
+from repro.serve.service import QueryService, ServerConfig, canonical_payload
+from repro.verify.fuzzer import Op, _random_op, apply_op
+
+IndexFactory = Callable[[], BiGIndex]
+
+
+def _canonical_bytes(payload: Dict[str, object]) -> bytes:
+    return json.dumps(canonical_payload(payload), sort_keys=True).encode()
+
+
+def _make_service(
+    index: BiGIndex,
+    algorithm_factory: Callable[[], KeywordSearchAlgorithm],
+    enable_admin: bool = True,
+) -> QueryService:
+    def evaluator_factory(idx: BiGIndex):
+        return boost(algorithm_factory(), idx, allow_layer_zero=True).evaluator
+
+    runtime = EngineRuntime(index, evaluator_factory)
+    return QueryService(
+        runtime, config=ServerConfig(enable_admin=enable_admin)
+    )
+
+
+def _query_body(query: KeywordQuery) -> bytes:
+    return json.dumps({"keywords": list(query.keywords)}).encode()
+
+
+@dataclass
+class ServeReport:
+    """Outcome of the serve drill (and/or its fuzz leg)."""
+
+    threads: int = 0
+    requests: int = 0
+    epochs_seen: int = 0
+    fuzz_ops: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        if self.ok:
+            return (
+                f"serve: OK ({self.requests} response(s) across "
+                f"{self.threads} thread(s), {self.epochs_seen} epoch(s), "
+                f"{self.fuzz_ops} fuzz op(s) — all byte-identical to "
+                f"single-threaded evaluation)"
+            )
+        lines = [f"serve: {len(self.failures)} failure(s)"]
+        lines.extend(f"  {f}" for f in self.failures[:10])
+        return "\n".join(lines)
+
+    def merge(self, other: "ServeReport") -> None:
+        self.threads = max(self.threads, other.threads)
+        self.requests += other.requests
+        self.epochs_seen += other.epochs_seen
+        self.fuzz_ops += other.fuzz_ops
+        self.failures.extend(other.failures)
+
+
+def _epoch_expectations(
+    index_factory: IndexFactory,
+    algorithm_factory: Callable[[], KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+    ops: Sequence[Op],
+) -> Dict[Tuple[int, ...], Dict[Tuple[str, ...], bytes]]:
+    """Single-threaded oracle: canonical response bytes per (epoch, query).
+
+    Replays ``ops`` on a replica index from the same deterministic
+    factory, snapshotting every query's in-process service response after
+    each step.  The live server's epochs must land exactly on these.
+    """
+    replica = index_factory()
+    oracle = _make_service(replica, algorithm_factory, enable_admin=False)
+    expectations: Dict[Tuple[int, ...], Dict[Tuple[str, ...], bytes]] = {}
+
+    def snap() -> None:
+        per_query: Dict[Tuple[str, ...], bytes] = {}
+        for query in queries:
+            status, payload, _ = oracle.handle(
+                "POST", "/query", _query_body(query), {}
+            )
+            assert status == 200, f"oracle returned {status}: {payload}"
+            per_query[query.keywords] = _canonical_bytes(payload)
+        expectations[tuple(oracle.runtime.epoch)] = per_query
+
+    snap()
+    for op in ops:
+        oracle.runtime.mutate(lambda idx, op=op: apply_op(idx, op))
+        snap()
+    return expectations
+
+
+def run_serve_drill(
+    index_factory: IndexFactory,
+    algorithm_factory: Callable[[], KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+    threads: int = 4,
+    rounds: int = 3,
+    ops: Sequence[Op] = (),
+    seed: int = 0,
+) -> ServeReport:
+    """Hammer a live server and byte-compare every response per epoch.
+
+    ``threads`` client threads each run ``rounds`` passes over the query
+    list against a real HTTP server while the main thread applies ``ops``
+    through the runtime (write lock, epoch bumps).  Every response is
+    matched against the precomputed single-threaded expectation for the
+    epoch it pinned — proving both no torn reads (unknown epoch ⇒
+    mutation observed mid-flight) and no stale-epoch cache hits (byte
+    mismatch within a known epoch).
+    """
+    report = ServeReport(threads=threads)
+    expectations = _epoch_expectations(
+        index_factory, algorithm_factory, queries, ops
+    )
+    report.epochs_seen = len(expectations)
+
+    index = index_factory()
+    service = _make_service(index, algorithm_factory, enable_admin=False)
+    rng = random.Random(seed)
+
+    def worker(worker_id: int, port: int) -> List[str]:
+        problems: List[str] = []
+        order = list(queries)
+        wrng = random.Random(f"{seed}:{worker_id}")
+        with ServeClient("127.0.0.1", port) as client:
+            for _ in range(rounds):
+                wrng.shuffle(order)
+                for query in order:
+                    response = client.query(list(query.keywords))
+                    if response.status != 200:
+                        problems.append(
+                            f"worker {worker_id} Q={list(query.keywords)}: "
+                            f"HTTP {response.status}: {response.payload}"
+                        )
+                        continue
+                    epoch = tuple(response.payload.get("epoch", ()))
+                    per_query = expectations.get(epoch)
+                    if per_query is None:
+                        problems.append(
+                            f"worker {worker_id} Q={list(query.keywords)}: "
+                            f"pinned unknown epoch {epoch} (torn read?)"
+                        )
+                        continue
+                    actual = _canonical_bytes(response.payload)
+                    if actual != per_query[query.keywords]:
+                        problems.append(
+                            f"worker {worker_id} Q={list(query.keywords)} "
+                            f"epoch {epoch}: response differs from "
+                            f"single-threaded evaluation:\n    served: "
+                            f"{actual.decode()}\n    oracle: "
+                            f"{per_query[query.keywords].decode()}"
+                        )
+        return problems
+
+    with serve_in_thread(service) as server:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [
+                pool.submit(worker, i, server.port) for i in range(threads)
+            ]
+            # Interleave mutations with the in-flight reader traffic; the
+            # jittered pauses vary writer arrival times across runs while
+            # the epoch schedule itself stays deterministic.
+            for op in ops:
+                time.sleep(0.002 * rng.random())
+                service.runtime.mutate(lambda idx, op=op: apply_op(idx, op))
+            for future in futures:
+                report.failures.extend(future.result())
+    report.requests = threads * rounds * len(queries)
+    return report
+
+
+def fuzz_serve(
+    index_factory: IndexFactory,
+    algorithm_factory: Callable[[], KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+    ops_per_sequence: int = 6,
+    sequences: int = 1,
+    seed: int = 0,
+) -> ServeReport:
+    """Drive a live server through mutation/query interleavings.
+
+    Mutations flow through ``POST /admin/mutate`` (the full HTTP path);
+    after every op the same operation is applied to an in-process oracle
+    service and each probe query is diffed live-vs-oracle — canonical
+    bytes, including the epoch, so the server's maintenance path must
+    track the oracle's exactly.
+    """
+    report = ServeReport(threads=1)
+    for sequence in range(sequences):
+        rng = random.Random(f"serve:{seed}:{sequence}")
+        live_index = index_factory()
+        oracle = _make_service(
+            index_factory(), algorithm_factory, enable_admin=False
+        )
+        service = _make_service(
+            live_index, algorithm_factory, enable_admin=True
+        )
+
+        def diff(client: ServeClient, context: str) -> None:
+            for query in queries:
+                response = client.query(list(query.keywords))
+                status, payload, _ = oracle.handle(
+                    "POST", "/query", _query_body(query), {}
+                )
+                report.requests += 1
+                if response.status != status:
+                    report.failures.append(
+                        f"seq {sequence} {context} Q={list(query.keywords)}:"
+                        f" live HTTP {response.status} != oracle {status}"
+                    )
+                    continue
+                live = _canonical_bytes(response.payload)
+                expected = _canonical_bytes(payload)
+                if live != expected:
+                    report.failures.append(
+                        f"seq {sequence} {context} Q={list(query.keywords)}:"
+                        f"\n    served: {live.decode()}"
+                        f"\n    oracle: {expected.decode()}"
+                    )
+
+        with serve_in_thread(service) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                diff(client, "pre")
+                for position in range(1, ops_per_sequence + 1):
+                    op = _random_op(rng, live_index)
+                    if op is None or op[0] == "drop-ontology":
+                        # /admin/mutate speaks edge ops; ontology edits
+                        # stay the in-process fuzzer's concern.
+                        continue
+                    kind, u, v = op
+                    response = client.mutate(kind, u, v)
+                    if response.status != 200:
+                        report.failures.append(
+                            f"seq {sequence} op {position} {op!r}: "
+                            f"HTTP {response.status}: {response.payload}"
+                        )
+                        break
+                    oracle.runtime.mutate(
+                        lambda idx, op=op: apply_op(idx, op)
+                    )
+                    report.fuzz_ops += 1
+                    live_epoch = tuple(response.payload["epoch"])
+                    oracle_epoch = tuple(oracle.runtime.epoch)
+                    if live_epoch != oracle_epoch:
+                        report.failures.append(
+                            f"seq {sequence} op {position} {op!r}: live "
+                            f"epoch {live_epoch} != oracle {oracle_epoch}"
+                        )
+                        break
+                    diff(client, f"after op {position}")
+    return report

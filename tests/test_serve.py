@@ -1,0 +1,693 @@
+"""Serve stack tests: HTTP contract, admission, lifecycle, concurrency.
+
+Three tiers:
+
+* **Contract** — golden request/response shapes for every endpoint,
+  including the degraded (429) partial-result JSON, shed (503) with
+  ``Retry-After``, malformed-body 400s, and the budget-header edge cases
+  (zero / negative / overflow / NaN / inf).
+* **Lifecycle** — mutation and reload through the runtime: epoch bumps,
+  serial monotonicity, zero-downtime reload semantics, RW-lock behavior.
+* **Concurrency** — N client threads over a real HTTP server interleaved
+  with mutations; every response must byte-match the single-threaded
+  oracle for the epoch it pinned.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.index import BiGIndex
+from repro.core.plugins import boost
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.serve.admission import AdmissionController, ShedError
+from repro.serve.client import ServeClient
+from repro.serve.lifecycle import EngineRuntime, RWLock
+from repro.serve.server import serve_in_thread
+from repro.serve.service import (
+    QueryService,
+    ServerConfig,
+    canonical_payload,
+    parse_budget_headers,
+)
+from repro.serve.service import BadRequest
+
+
+# ----------------------------------------------------------------------
+# Shared builders
+# ----------------------------------------------------------------------
+def build_index(random_graph_factory, small_ontology, seed: int = 0) -> BiGIndex:
+    graph = random_graph_factory(seed=seed)
+    return BiGIndex.build(graph, small_ontology, num_layers=2)
+
+
+def make_service(index: BiGIndex, config: ServerConfig = None, loader=None):
+    def evaluator_factory(idx: BiGIndex):
+        return boost(
+            BackwardKeywordSearch(d_max=4, k=10), idx, allow_layer_zero=True
+        ).evaluator
+
+    runtime = EngineRuntime(index, evaluator_factory)
+    return QueryService(runtime, config=config, loader=loader)
+
+
+@pytest.fixture
+def service(random_graph_factory, small_ontology):
+    return make_service(
+        build_index(random_graph_factory, small_ontology),
+        ServerConfig(enable_admin=True),
+    )
+
+
+def post(service, path, body, headers=None):
+    data = json.dumps(body).encode() if not isinstance(body, bytes) else body
+    return service.handle("POST", path, data, headers or {})
+
+
+# ----------------------------------------------------------------------
+# Contract: /query
+# ----------------------------------------------------------------------
+class TestQueryContract:
+    def test_ok_response_shape(self, service):
+        status, payload, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert isinstance(payload["layer"], int)
+        assert isinstance(payload["answers"], list) and payload["answers"]
+        answer = payload["answers"][0]
+        assert set(answer) == {
+            "score", "root", "keyword_nodes", "vertices", "edges",
+        }
+        assert answer["keyword_nodes"].keys() == {"A", "B"}
+        assert payload["epoch"] == list(service.runtime.epoch)
+        assert payload["serial"] == 0
+        assert payload["seconds"] >= 0
+
+    def test_results_ranked_by_score(self, service):
+        _, payload, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        scores = [a["score"] for a in payload["answers"]]
+        assert scores == sorted(scores)
+
+    def test_k_limits_answers(self, service):
+        _, payload, _ = post(
+            service, "/query", {"keywords": ["A", "B"], "k": 2}
+        )
+        assert len(payload["answers"]) <= 2
+
+    def test_forced_layer_is_respected(self, service):
+        _, payload, _ = post(
+            service, "/query", {"keywords": ["A", "B"], "layer": 0}
+        )
+        assert payload["layer"] == 0
+
+    def test_matches_direct_evaluation(self, service):
+        """The HTTP payload is exactly the in-process evaluation, encoded."""
+        _, payload, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        evaluator = service.runtime.current.evaluator
+        result = evaluator.evaluate_resilient(KeywordQuery(["A", "B"]), k=10)
+        assert len(payload["answers"]) == len(result.answers)
+        for encoded, answer in zip(payload["answers"], result.answers):
+            assert encoded["score"] == answer.score
+            assert encoded["root"] == answer.root
+            assert encoded["vertices"] == list(answer.vertices)
+
+    def test_degraded_maps_to_429_with_partial_json(self, service):
+        status, payload, _ = post(
+            service,
+            "/query",
+            {"keywords": ["A", "B"]},
+            {"X-Budget-Expansions": "1"},
+        )
+        assert status == 429
+        assert payload["status"] == "degraded"
+        assert "lower_bound" in payload
+        assert "reason" in payload
+        assert isinstance(payload["answers"], list)
+        assert isinstance(payload["unranked"], list)
+        assert payload["attempts"], "attempt instrumentation missing"
+        assert payload["stats"]["expansions_consumed"] >= 0
+
+    def test_zero_expansion_budget_degrades_immediately(self, service):
+        status, payload, _ = post(
+            service,
+            "/query",
+            {"keywords": ["A", "B"]},
+            {"X-Budget-Expansions": "0"},
+        )
+        assert status == 429
+        assert payload["status"] == "degraded"
+
+    def test_generous_budget_is_a_complete_200(self, service):
+        status, payload, _ = post(
+            service,
+            "/query",
+            {"keywords": ["A", "B"]},
+            {"X-Budget-Expansions": "1000000", "X-Budget-Timeout": "60"},
+        )
+        assert status == 200
+        assert payload["status"] == "ok"
+
+
+class TestQueryValidation:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"",                               # empty
+            b"not json",                       # unparseable
+            b"[1, 2]",                         # not an object
+            b'{"keywords": []}',               # empty keywords
+            b'{"keywords": "AB"}',             # wrong type
+            b'{"keywords": [1, 2]}',           # non-string keywords
+            b'{"keywords": ["A", "A"]}',       # duplicates (QueryError)
+            b'{"keywords": ["A", "B"], "k": "many"}',   # bad k
+            b'{"keywords": ["A", "B"], "layer": true}',  # bool layer
+        ],
+    )
+    def test_malformed_bodies_are_400(self, service, body):
+        status, payload, _ = post(service, "/query", body)
+        assert status == 400
+        assert payload["status"] == "error"
+        assert payload["error"]
+
+    def test_unknown_path_404(self, service):
+        status, _, _ = service.handle("POST", "/nope", b"{}", {})
+        assert status == 404
+
+    def test_wrong_method_405(self, service):
+        status, _, _ = service.handle("GET", "/query", b"", {})
+        assert status == 405
+        status, _, _ = service.handle("POST", "/healthz", b"", {})
+        assert status == 405
+
+
+class TestBudgetHeaders:
+    """Edge cases pinned: zero / negative / overflow / NaN / inf."""
+
+    CONFIG = ServerConfig(max_request_expansions=5000)
+
+    def parse(self, headers):
+        return parse_budget_headers(headers, self.CONFIG)
+
+    def test_absent_headers_use_defaults(self):
+        config = ServerConfig(default_timeout=2.5, default_max_expansions=10)
+        assert parse_budget_headers({}, config) == (2.5, 10)
+
+    def test_zero_values_are_legal(self):
+        timeout, cap = self.parse(
+            {"X-Budget-Timeout": "0", "X-Budget-Expansions": "0"}
+        )
+        assert timeout == 0.0
+        assert cap == 0
+
+    @pytest.mark.parametrize(
+        "headers",
+        [
+            {"X-Budget-Timeout": "-1"},
+            {"X-Budget-Timeout": "-0.001"},
+            {"X-Budget-Timeout": "nan"},
+            {"X-Budget-Timeout": "abc"},
+            {"X-Budget-Timeout": ""},
+            {"X-Budget-Expansions": "-1"},
+            {"X-Budget-Expansions": "1.5"},
+            {"X-Budget-Expansions": "lots"},
+            {"X-Budget-Expansions": ""},
+        ],
+    )
+    def test_malformed_values_raise(self, headers):
+        with pytest.raises(BadRequest):
+            self.parse(headers)
+
+    def test_infinite_timeout_means_no_deadline(self):
+        timeout, _ = self.parse({"X-Budget-Timeout": "inf"})
+        assert timeout is None
+
+    def test_overflow_expansions_clamped_to_server_ceiling(self):
+        _, cap = self.parse({"X-Budget-Expansions": str(10 ** 30)})
+        assert cap == 5000
+
+    def test_header_names_case_insensitive(self):
+        timeout, cap = self.parse(
+            {"x-budget-timeout": "1.5", "X-BUDGET-EXPANSIONS": "7"}
+        )
+        assert timeout == 1.5
+        assert cap == 7
+
+    def test_malformed_header_is_http_400(self, service):
+        status, payload, _ = post(
+            service,
+            "/query",
+            {"keywords": ["A", "B"]},
+            {"X-Budget-Timeout": "-3"},
+        )
+        assert status == 400
+        assert "X-Budget-Timeout" in payload["error"]
+
+
+# ----------------------------------------------------------------------
+# Contract: /batch, /healthz, /metrics
+# ----------------------------------------------------------------------
+class TestBatchContract:
+    def test_batch_envelope(self, service):
+        status, payload, _ = post(
+            service, "/batch", {"queries": [["A", "B"], ["C", "D"]]}
+        )
+        assert status == 200
+        assert payload["count"] == 2
+        assert payload["ok"] == 2
+        assert payload["degraded"] == 0
+        assert payload["errors"] == 0
+        assert [r["keywords"] for r in payload["results"]] == [
+            ["A", "B"], ["C", "D"],
+        ]
+        assert all(r["status"] == "ok" for r in payload["results"])
+
+    def test_batch_matches_single_queries(self, service):
+        _, batch, _ = post(
+            service, "/batch", {"queries": [["A", "B"], ["C", "D"]]}
+        )
+        for entry in batch["results"]:
+            _, single, _ = post(
+                service, "/query", {"keywords": entry["keywords"]}
+            )
+            assert entry["answers"] == single["answers"]
+
+    def test_batch_duplicate_keywords_rejected_at_parse(self, service):
+        status, payload, _ = post(
+            service, "/batch", {"queries": [["A", "B"], ["A", "A"]]}
+        )
+        assert status == 400
+        assert "queries[1]" in payload["error"]
+
+    def test_batch_with_invalid_query_is_400(self, service):
+        status, payload, _ = post(
+            service, "/batch", {"queries": [["A", "B"], []]}
+        )
+        assert status == 400
+        assert "queries[1]" in payload["error"]
+
+    def test_batch_cap_enforced(self, service):
+        service.config.max_batch_queries = 2
+        status, payload, _ = post(
+            service,
+            "/batch",
+            {"queries": [["A", "B"]] * 3},
+        )
+        assert status == 400
+        assert "cap" in payload["error"]
+
+    def test_batch_budget_degrades_per_query(self, service):
+        status, payload, _ = post(
+            service,
+            "/batch",
+            {"queries": [["A", "B"], ["C", "D"]]},
+            {"X-Budget-Expansions": "1"},
+        )
+        assert status == 200  # envelope is 200; statuses ride inside
+        assert payload["degraded"] == 2
+        assert all(
+            r["status"] == "degraded" and "lower_bound" in r
+            for r in payload["results"]
+        )
+
+
+class TestIntrospectionEndpoints:
+    def test_healthz(self, service):
+        status, payload, _ = service.handle("GET", "/healthz", b"", {})
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["epoch"] == list(service.runtime.epoch)
+        assert payload["layers"] == 2
+        assert len(payload["layer_sizes"]) == 3
+        assert payload["inflight"] == 0
+        assert payload["uptime_seconds"] >= 0
+
+    def test_metrics_counts_requests(self, service):
+        post(service, "/query", {"keywords": ["A", "B"]})
+        post(service, "/query", b"broken")
+        status, payload, _ = service.handle("GET", "/metrics", b"", {})
+        assert status == 200
+        counters = payload["counters"]
+        assert counters["serve.requests.query"] == 2
+        assert counters["serve.responses.200"] == 1
+        assert counters["serve.responses.400"] == 1
+        assert payload["histograms"]["serve.latency_seconds"]["count"] >= 2
+
+
+# ----------------------------------------------------------------------
+# Admission control and shedding
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_inflight_cap_sheds(self):
+        controller = AdmissionController(max_inflight_requests=2)
+        t1 = controller.try_admit()
+        controller.try_admit()
+        with pytest.raises(ShedError) as excinfo:
+            controller.try_admit()
+        assert excinfo.value.reason == "inflight"
+        controller.release(t1)
+        controller.try_admit()  # slot freed
+
+    def test_expansion_ledger_sheds(self):
+        controller = AdmissionController(max_inflight_expansions=100)
+        ticket = controller.try_admit(reserve=80)
+        with pytest.raises(ShedError) as excinfo:
+            controller.try_admit(reserve=30)
+        assert excinfo.value.reason == "expansions"
+        controller.release(ticket)
+        controller.try_admit(reserve=30)
+
+    def test_oversized_single_request_always_sheds(self):
+        controller = AdmissionController(max_inflight_expansions=100)
+        with pytest.raises(ShedError):
+            controller.try_admit(reserve=101)
+
+    def test_shed_maps_to_503_with_retry_after(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(max_inflight_requests=0),
+        )
+        status, payload, headers = post(
+            service, "/query", {"keywords": ["A", "B"]}
+        )
+        assert status == 503
+        assert payload["status"] == "shed"
+        assert payload["reason"] == "inflight"
+        assert "Retry-After" in headers
+        assert service.metrics.counter("serve.shed") == 1
+        assert service.metrics.counter("serve.shed.inflight") == 1
+
+    def test_expansion_cap_shed_is_503_before_any_work(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(max_inflight_expansions=10),
+        )
+        status, payload, _ = post(
+            service,
+            "/query",
+            {"keywords": ["A", "B"]},
+            {"X-Budget-Expansions": "50"},
+        )
+        assert status == 503
+        assert payload["reason"] == "expansions"
+        # Shed strictly before execution: nothing was evaluated.
+        assert service.metrics.counter("serve.degraded") == 0
+
+    def test_ledger_drains_after_requests(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(max_inflight_expansions=1000),
+        )
+        for _ in range(3):
+            status, _, _ = post(
+                service,
+                "/query",
+                {"keywords": ["A", "B"]},
+                {"X-Budget-Expansions": "900"},
+            )
+            assert status in (200, 429)
+        assert service.admission.inflight == 0
+        assert service.admission.reserved_expansions == 0
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: mutation, reload, RW lock
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_mutate_bumps_epoch_and_serial(self, service):
+        before = service.runtime.current
+        graph = before.index.base_graph
+        u, v = next(
+            (u, v)
+            for u in graph.vertices()
+            for v in graph.vertices()
+            if u != v and not graph.has_edge(u, v)
+        )
+        status, payload, _ = post(
+            service, "/admin/mutate", {"op": "insert", "u": u, "v": v}
+        )
+        assert status == 200
+        assert payload["applied"] is True
+        after = service.runtime.current
+        assert after.serial == before.serial + 1
+        assert after.epoch != before.epoch
+        assert payload["epoch"] == list(after.epoch)
+
+    def test_inapplicable_mutation_is_applied_false(self, service):
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        status, payload, _ = post(
+            service, "/admin/mutate", {"op": "insert", "u": u, "v": v}
+        )
+        assert status == 200
+        assert payload["applied"] is False
+
+    def test_admin_disabled_is_403(self, random_graph_factory, small_ontology):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(enable_admin=False),
+        )
+        status, _, _ = post(
+            service, "/admin/mutate", {"op": "insert", "u": 0, "v": 1}
+        )
+        assert status == 403
+        status, _, _ = post(service, "/admin/reload", {})
+        assert status == 403
+
+    def test_reload_publishes_new_snapshot_without_drain(
+        self, random_graph_factory, small_ontology
+    ):
+        index = build_index(random_graph_factory, small_ontology)
+        loader = lambda: build_index(  # noqa: E731
+            random_graph_factory, small_ontology
+        )
+        service = make_service(
+            index, ServerConfig(enable_admin=True), loader=loader
+        )
+        old = service.runtime.current
+        status, payload, _ = post(service, "/admin/reload", {})
+        assert status == 200
+        new = service.runtime.current
+        assert new.serial == old.serial + 1
+        assert new.index is not old.index
+        # Zero-downtime contract: the old snapshot keeps working — a
+        # reader pinned on it would still evaluate the old index.
+        result = old.evaluator.evaluate(KeywordQuery(["A", "B"]))
+        assert result.answers
+
+    def test_reload_without_loader_is_400(self, service):
+        status, payload, _ = post(service, "/admin/reload", {})
+        assert status == 400
+
+    def test_query_after_mutation_sees_new_epoch(self, service):
+        _, before, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        post(service, "/admin/mutate", {"op": "delete", "u": u, "v": v})
+        _, after, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        assert after["epoch"] != before["epoch"]
+        assert after["serial"] == before["serial"] + 1
+
+
+class TestRWLock:
+    def test_readers_share_writers_exclude(self):
+        lock = RWLock()
+        state = {"readers": 0, "max_readers": 0, "writer_during_read": False}
+        barrier = threading.Barrier(3)
+
+        def reader():
+            with lock.read():
+                barrier.wait(timeout=5)  # all three readers inside at once
+                state["readers"] += 1
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=5)
+        assert state["readers"] == 3
+
+    def test_writer_waits_for_readers_and_blocks_new_ones(self):
+        lock = RWLock()
+        order = []
+        reader_in = threading.Event()
+        release_reader = threading.Event()
+
+        def long_reader():
+            with lock.read():
+                reader_in.set()
+                release_reader.wait(timeout=5)
+                order.append("reader-done")
+
+        def writer():
+            with lock.write():
+                order.append("writer")
+
+        def late_reader():
+            with lock.read():
+                order.append("late-reader")
+
+        r = threading.Thread(target=long_reader)
+        r.start()
+        reader_in.wait(timeout=5)
+        w = threading.Thread(target=writer)
+        w.start()
+        # Give the writer time to queue; a reader arriving now must wait
+        # behind it (writer preference).
+        import time as _time
+
+        _time.sleep(0.05)
+        late = threading.Thread(target=late_reader)
+        late.start()
+        _time.sleep(0.05)
+        release_reader.set()
+        for t in (r, w, late):
+            t.join(timeout=5)
+        assert order == ["reader-done", "writer", "late-reader"]
+
+
+# ----------------------------------------------------------------------
+# Concurrency: live server vs single-threaded oracle, across epochs
+# ----------------------------------------------------------------------
+class TestConcurrentServing:
+    QUERIES = (("A", "B"), ("C", "D"), ("A", "C"), ("B", "D"))
+
+    def _oracle_bytes(self, factory, ops):
+        """Canonical response bytes per (epoch, query), single-threaded."""
+        service = make_service(factory(), ServerConfig())
+        expectations = {}
+
+        def snap():
+            per_query = {}
+            for keywords in self.QUERIES:
+                status, payload, _ = post(
+                    service, "/query", {"keywords": list(keywords)}
+                )
+                assert status == 200
+                per_query[keywords] = json.dumps(
+                    canonical_payload(payload), sort_keys=True
+                )
+            expectations[tuple(service.runtime.epoch)] = per_query
+
+        snap()
+        for op, u, v in ops:
+            def apply(idx, op=op, u=u, v=v):
+                if op == "insert":
+                    idx.insert_edge(u, v)
+                else:
+                    idx.delete_edge(u, v)
+
+            service.runtime.mutate(apply)
+            snap()
+        return expectations
+
+    def test_hammer_with_mutations_matches_oracle_per_epoch(
+        self, random_graph_factory, small_ontology
+    ):
+        factory = lambda: build_index(  # noqa: E731
+            random_graph_factory, small_ontology, seed=3
+        )
+        # A deterministic mutation schedule over the seeded graph.
+        probe = factory()
+        rng = random.Random(42)
+        ops = []
+        for _ in range(3):
+            edges = sorted(probe.base_graph.edges())
+            u, v = edges[rng.randrange(len(edges))]
+            probe.delete_edge(u, v)
+            ops.append(("delete", u, v))
+        expectations = self._oracle_bytes(factory, ops)
+        assert len(expectations) == len(ops) + 1
+
+        service = make_service(factory(), ServerConfig())
+        failures = []
+
+        def worker(worker_id, port):
+            wrng = random.Random(worker_id)
+            with ServeClient("127.0.0.1", port) as client:
+                for _ in range(6):
+                    keywords = self.QUERIES[wrng.randrange(len(self.QUERIES))]
+                    response = client.query(list(keywords))
+                    if response.status != 200:
+                        failures.append(f"HTTP {response.status}")
+                        continue
+                    epoch = tuple(response.payload["epoch"])
+                    expected = expectations.get(epoch, {}).get(keywords)
+                    actual = json.dumps(
+                        canonical_payload(response.payload), sort_keys=True
+                    )
+                    if expected is None:
+                        failures.append(f"unknown epoch {epoch}")
+                    elif actual != expected:
+                        failures.append(
+                            f"epoch {epoch} Q={keywords}: {actual} != "
+                            f"{expected}"
+                        )
+
+        with serve_in_thread(service) as server:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                futures = [
+                    pool.submit(worker, i, server.port) for i in range(4)
+                ]
+                for op, u, v in ops:
+                    def apply(idx, op=op, u=u, v=v):
+                        if op == "insert":
+                            idx.insert_edge(u, v)
+                        else:
+                            idx.delete_edge(u, v)
+
+                    service.runtime.mutate(apply)
+                for future in futures:
+                    future.result()
+        assert not failures, failures[:5]
+
+    def test_concurrent_batches_identical_to_serial(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(),
+        )
+        _, serial, _ = post(
+            service, "/batch", {"queries": [list(q) for q in self.QUERIES]}
+        )
+        serial_bytes = json.dumps(
+            canonical_payload(serial), sort_keys=True
+        )
+
+        def one_batch(_):
+            _, payload, _ = post(
+                service,
+                "/batch",
+                {"queries": [list(q) for q in self.QUERIES]},
+            )
+            return json.dumps(canonical_payload(payload), sort_keys=True)
+
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            outcomes = list(pool.map(one_batch, range(8)))
+        assert all(outcome == serial_bytes for outcome in outcomes)
+
+    def test_http_keepalive_across_requests(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology), ServerConfig()
+        )
+        with serve_in_thread(service) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                first = client.query(["A", "B"])
+                sock = client._conn.sock
+                second = client.query(["C", "D"])
+                assert client._conn.sock is sock, "connection was not reused"
+        assert first.status == 200 and second.status == 200
