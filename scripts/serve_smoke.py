@@ -48,6 +48,7 @@ def main() -> int:
     statuses = collections.Counter()
     answers = 0
     degraded = 0
+    retries = 0
     started = time.perf_counter()
     with ServeClient.for_url(args.url) as client:
         health = client.healthz()
@@ -74,6 +75,7 @@ def main() -> int:
             else:
                 response = client.metrics()
             statuses[response.status] += 1
+            retries += response.attempts - 1
             if response.degraded:
                 degraded += 1
             payload = response.payload
@@ -93,13 +95,21 @@ def main() -> int:
         "statuses": {str(code): count for code, count in sorted(statuses.items())},
         "answers": answers,
         "degraded": degraded,
+        "retries": retries,
         "faults": faults,
     }
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(json.dumps(summary, indent=2, sort_keys=True))
     if faults:
-        print(f"FAIL: {faults} 5xx response(s)", file=sys.stderr)
+        breakdown = ", ".join(
+            f"{code}: {count}" for code, count in sorted(statuses.items())
+        )
+        print(
+            f"FAIL: {faults} 5xx response(s); per-status breakdown: "
+            f"{breakdown}",
+            file=sys.stderr,
+        )
         return 1
     if statuses.get(200, 0) == 0:
         print("FAIL: no successful responses", file=sys.stderr)

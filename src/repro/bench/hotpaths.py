@@ -46,6 +46,7 @@ from __future__ import annotations
 import json
 import platform
 import random
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -401,6 +402,89 @@ def run_suite(
     metrics["serve.qps.warm.answers"] = served_answers
     if elapsed > 0:
         metrics["serve.qps.warm.qps"] = round(serve_requests / elapsed, 1)
+
+    # --- non-blocking mutation stream -----------------------------------
+    # Writer throughput through the copy-on-write runtime (clone, apply,
+    # publish — no reader drain), plus reader p99 idle vs under the
+    # stream.  Answer totals are deliberately *not* exact-gated here:
+    # readers pin whichever snapshot is current when they arrive, so the
+    # per-request answers legitimately vary with scheduling.
+    mutate_runtime = EngineRuntime(qindex.cow_clone(), serve_evaluator)
+    mutate_service = QueryService(mutate_runtime)
+    stream_edges = sorted(qindex.base_graph.edges())[: 8 if quick else 24]
+    stream_ops: List[Tuple[str, int, int]] = []
+    for u, v in stream_edges:
+        # Delete-then-reinsert pairs: real maintenance work on every op,
+        # and the final snapshot returns to the baseline state.
+        stream_ops.append(("delete", u, v))
+        stream_ops.append(("insert", u, v))
+    reader_rounds = 2 if quick else 4
+
+    def _p99(samples: List[float]) -> float:
+        ordered = sorted(samples)
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+    def reader_pass(port: int) -> List[float]:
+        def worker(_worker_id: int) -> List[float]:
+            samples: List[float] = []
+            with ServeClient("127.0.0.1", port, max_retries=0) as client:
+                for _ in range(reader_rounds):
+                    for query in queries:
+                        start = monotonic_now()
+                        response = client.query(list(query.keywords))
+                        samples.append(monotonic_now() - start)
+                        if response.status != 200:
+                            raise AssertionError(
+                                f"mutation-stream bench got HTTP "
+                                f"{response.status}: {response.payload}"
+                            )
+            return samples
+
+        with ThreadPoolExecutor(max_workers=serve_threads) as pool:
+            return [
+                sample
+                for worker_samples in pool.map(
+                    worker, range(serve_threads)
+                )
+                for sample in worker_samples
+            ]
+
+    def apply_stream_op(index: BiGIndex, op: Tuple[str, int, int]) -> None:
+        kind, u, v = op
+        if kind == "delete":
+            index.delete_edge(u, v)
+        else:
+            index.insert_edge(u, v)
+
+    mutate_elapsed = [0.0]
+
+    def writer() -> None:
+        start = monotonic_now()
+        for op in stream_ops:
+            mutate_runtime.mutate(
+                lambda idx, op=op: apply_stream_op(idx, op)
+            )
+        mutate_elapsed[0] = monotonic_now() - start
+
+    with serve_in_thread(mutate_service) as server:
+        reader_pass(server.port)  # warm the snapshot evaluator, untimed
+        idle_samples = reader_pass(server.port)
+        writer_thread = threading.Thread(
+            target=writer, name="bench-mutator"
+        )
+        writer_thread.start()
+        under_samples = reader_pass(server.port)
+        writer_thread.join()
+    metrics["serve.mutate.ops"] = len(stream_ops)
+    metrics["serve.mutate.seconds"] = mutate_elapsed[0]
+    if mutate_elapsed[0] > 0:
+        metrics["serve.mutate.qps"] = round(
+            len(stream_ops) / mutate_elapsed[0], 1
+        )
+    metrics["serve.read.idle_p99.seconds"] = _p99(idle_samples)
+    metrics["serve.read.mutate_p99.seconds"] = _p99(under_samples)
 
     rss = peak_rss_kib()
     if rss is not None:

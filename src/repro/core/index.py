@@ -27,6 +27,7 @@ Maintenance (Sec. 3.2):
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -430,7 +431,10 @@ class BiGIndex:
         first_affected: Optional[int] = None
         new_configs: List[Configuration] = []
         for i, layer in enumerate(self.layers):
-            mappings = layer.config.mappings
+            # Copy before dropping the mapping: Layer objects may be shared
+            # with published copy-on-write snapshots (cow_clone), so the
+            # old configuration must stay intact for pinned readers.
+            mappings = dict(layer.config.mappings)
             if mappings.get(subtype) == supertype:
                 del mappings[subtype]
                 if first_affected is None:
@@ -458,6 +462,82 @@ class BiGIndex:
             current = summary.graph
         self.layers = rebuilt
         self._maintenance_epoch += 1
+
+    # ------------------------------------------------------------------
+    # Copy-on-write snapshots
+    # ------------------------------------------------------------------
+    def cow_clone(self) -> "BiGIndex":
+        """Copy-on-write clone for mutate-while-query snapshot isolation.
+
+        The clone shares every immutable or wholesale-replaced structure
+        with this index: the ontology, the ``Layer`` objects (maintenance
+        replaces ``self.layers`` with a fresh list, and
+        :meth:`remove_ontology_edge` copies a configuration before
+        shrinking it, so published layers are never edited in place), and
+        the base graph's unmutated adjacency rows / posting sets (via
+        :meth:`Graph.cow_clone`).  Mutating the clone leaves this index —
+        and any reader still pinning it — byte-identical to before.
+
+        Memos start empty on the clone (they are epoch-guarded caches, not
+        state), and the construction report is shared read-only.
+        """
+        clone = BiGIndex.__new__(BiGIndex)
+        clone.base_graph = self.base_graph.cow_clone()
+        clone.ontology = self.ontology
+        clone.direction = self.direction
+        clone.layers = list(self.layers)
+        clone.report = self.report
+        clone.drift = self.drift
+        clone._maintenance_epoch = self._maintenance_epoch
+        clone._memo_epoch = None
+        clone._gen_memo = {}
+        clone._spec_memo = LRUCache(4096, kind="spec")
+        clone._memo_lock = threading.RLock()
+        if OBS.enabled:
+            OBS.metrics.inc("cow.index.clones")
+        return clone
+
+    def state_digest(self) -> str:
+        """Deterministic sha256 over the index's logical state.
+
+        Covers everything query-relevant — base-graph topology, vertex
+        labels (as strings, so the digest is stable across label-table
+        interning orders), vertex names, every layer's configuration and
+        ``chi`` map, and each summary graph's labeled topology.  Two
+        indexes answering every query identically produce equal digests;
+        the chaos drill compares a crash-recovered server against an
+        in-process oracle through this.
+        """
+        hasher = hashlib.sha256()
+
+        def feed(tag: str, payload: str) -> None:
+            hasher.update(tag.encode("utf-8"))
+            hasher.update(b"\x1f")
+            hasher.update(payload.encode("utf-8"))
+            hasher.update(b"\x1e")
+
+        def feed_graph(tag: str, graph: Graph) -> None:
+            feed(tag + ".labels", "\x1f".join(
+                graph.label_table.label_of(label_id) for label_id in graph.labels
+            ))
+            feed(tag + ".edges", "\x1f".join(
+                f"{u},{v}" for u, v in sorted(graph.edges())
+            ))
+
+        feed_graph("base", self.base_graph)
+        feed("base.names", "\x1f".join(
+            f"{v}={self.base_graph.names[v]}"
+            for v in sorted(self.base_graph.names)
+        ))
+        feed("h", str(len(self.layers)))
+        for i, layer in enumerate(self.layers):
+            feed(f"layer{i}.config", "\x1f".join(
+                f"{sub}->{sup}"
+                for sub, sup in sorted(layer.config.mappings.items())
+            ))
+            feed(f"layer{i}.parent_of", ",".join(map(str, layer.parent_of)))
+            feed_graph(f"layer{i}", layer.graph)
+        return hasher.hexdigest()
 
     # ------------------------------------------------------------------
     # Internals

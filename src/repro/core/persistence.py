@@ -60,6 +60,7 @@ from typing import Dict, List
 
 from repro.core.config import Configuration
 from repro.core.index import BiGIndex, Layer
+from repro.core.wal import WAL_NAME, recover_wal, replay_wal
 from repro.graph.digraph import Graph
 from repro.graph.io import load_graph_tsv, save_graph_tsv
 from repro.obs.runtime import OBS
@@ -101,7 +102,10 @@ def compute_manifest(directory: str) -> Dict[str, str]:
     """
     checksums: Dict[str, str] = {}
     for name in sorted(os.listdir(directory)):
-        if name == MANIFEST_NAME:
+        if name == MANIFEST_NAME or name == WAL_NAME:
+            # The mutation WAL changes after every acked mutation and is
+            # self-checksummed per record; blessing it in the manifest
+            # would fail verification after the first append.
             continue
         path = os.path.join(directory, name)
         if os.path.isfile(path):
@@ -282,7 +286,11 @@ def _load_postings(graph: Graph, prefix: str) -> None:
 # ----------------------------------------------------------------------
 # Load
 # ----------------------------------------------------------------------
-def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
+def load_index(
+    directory: str,
+    ontology: OntologyGraph,
+    replay_wal_tail: bool = True,
+) -> BiGIndex:
     """Load an index saved by :func:`save_index`, verifying integrity.
 
     The ontology is not persisted (it is an input shared across indexes);
@@ -291,15 +299,31 @@ def load_index(directory: str, ontology: OntologyGraph) -> BiGIndex:
     the maintenance semantics of Sec. 3.2 (ontology additions never
     invalidate an index).
 
+    When ``replay_wal_tail`` is true (the default) and the directory
+    holds a ``mutations.wal``, its valid record prefix is replayed on
+    top of the persisted files — recovering every mutation acked after
+    the last :func:`save_index` — and a torn tail (a crash mid-append)
+    is truncated in place.  Pass ``False`` to inspect the index exactly
+    as the manifest blessed it.
+
     Raises :class:`~repro.utils.errors.IndexVersionError` for a foreign
     format version and :class:`~repro.utils.errors.IndexCorruptedError`
-    for missing/tampered/structurally-invalid files.
+    for missing/tampered/structurally-invalid files (a WAL whose magic is
+    wrong raises :class:`~repro.utils.errors.WALCorruptedError`, a
+    subclass of the same persistence-error root).
     """
     with OBS.tracer.span("index-load") as load_span:
         index = _load_index_impl(directory, ontology)
+        replayed = 0
+        if replay_wal_tail:
+            wal_path = os.path.join(directory, WAL_NAME)
+            if os.path.exists(wal_path):
+                records, _tail = recover_wal(wal_path)
+                replayed = len(records)
+                replay_wal(index, records)
         if OBS.enabled:
             OBS.metrics.inc("persist.loads")
-            load_span.annotate(layers=index.num_layers)
+            load_span.annotate(layers=index.num_layers, wal_replayed=replayed)
         return index
 
 

@@ -191,6 +191,13 @@ class Graph:
         # Lazily built caches, dropped on mutation (see csr()).
         self._csr: Optional[CSRView] = None
         self._posting_cache: Dict[int, Tuple[int, ...]] = {}
+        # Copy-on-write bookkeeping (see cow_clone()).  ``None`` means the
+        # graph owns every row/set outright and mutators work in place;
+        # on a clone these hold the ids whose row/set the clone has
+        # privately copied, so shared structure is never written through.
+        self._cow_out: Optional[Set[int]] = None
+        self._cow_in: Optional[Set[int]] = None
+        self._cow_labels: Optional[Set[int]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -202,7 +209,7 @@ class Graph:
         self.labels.append(label_id)
         self._out.append([])
         self._in.append([])
-        self._label_index.setdefault(label_id, set()).add(vid)
+        self._own_label_set(label_id).add(vid)
         self.mutation_epoch += 1
         self._drop_csr()
         self._posting_cache.pop(label_id, None)
@@ -218,7 +225,7 @@ class Graph:
         self.labels.append(label_id)
         self._out.append([])
         self._in.append([])
-        self._label_index.setdefault(label_id, set()).add(vid)
+        self._own_label_set(label_id).add(vid)
         self.mutation_epoch += 1
         self._drop_csr()
         self._posting_cache.pop(label_id, None)
@@ -235,8 +242,8 @@ class Graph:
         if (u, v) in self._edge_set:
             return False
         self._edge_set.add((u, v))
-        self._out[u].append(v)
-        self._in[v].append(u)
+        self._own_out_row(u).append(v)
+        self._own_in_row(v).append(u)
         self._num_edges += 1
         self.mutation_epoch += 1
         self._drop_csr()
@@ -247,11 +254,45 @@ class Graph:
         if (u, v) not in self._edge_set:
             raise GraphError(f"edge ({u}, {v}) not in graph")
         self._edge_set.remove((u, v))
-        self._out[u].remove(v)
-        self._in[v].remove(u)
+        self._own_out_row(u).remove(v)
+        self._own_in_row(v).remove(u)
         self._num_edges -= 1
         self.mutation_epoch += 1
         self._drop_csr()
+
+    def _own_out_row(self, v: int) -> List[int]:
+        """Out-adjacency row of ``v``, privately owned before mutation.
+
+        On a :meth:`cow_clone` the outer ``_out`` list is private but the
+        rows are shared with the parent; the first write to a row copies
+        it.  A graph that owns everything (``_cow_out is None``) returns
+        the row directly, so the non-COW mutation path is unchanged.
+        """
+        if self._cow_out is not None and v not in self._cow_out:
+            self._out[v] = list(self._out[v])
+            self._cow_out.add(v)
+        return self._out[v]
+
+    def _own_in_row(self, v: int) -> List[int]:
+        """In-adjacency row of ``v``, privately owned before mutation."""
+        if self._cow_in is not None and v not in self._cow_in:
+            self._in[v] = list(self._in[v])
+            self._cow_in.add(v)
+        return self._in[v]
+
+    def _own_label_set(self, label_id: int) -> Set[int]:
+        """Posting set of ``label_id``, privately owned before mutation."""
+        vertex_set = self._label_index.get(label_id)
+        if vertex_set is None:
+            vertex_set = set()
+            self._label_index[label_id] = vertex_set
+            if self._cow_labels is not None:
+                self._cow_labels.add(label_id)
+        elif self._cow_labels is not None and label_id not in self._cow_labels:
+            vertex_set = set(vertex_set)
+            self._label_index[label_id] = vertex_set
+            self._cow_labels.add(label_id)
+        return vertex_set
 
     def _drop_csr(self) -> None:
         """Invalidate the CSR snapshot after a topology mutation.
@@ -275,11 +316,12 @@ class Graph:
         old_id = self.labels[v]
         if old_id == new_label_id:
             return
-        self._label_index[old_id].discard(v)
-        if not self._label_index[old_id]:
+        old_set = self._own_label_set(old_id)
+        old_set.discard(v)
+        if not old_set:
             del self._label_index[old_id]
         self.labels[v] = new_label_id
-        self._label_index.setdefault(new_label_id, set()).add(v)
+        self._own_label_set(new_label_id).add(v)
         self.mutation_epoch += 1
         self._posting_cache.pop(old_id, None)
         self._posting_cache.pop(new_label_id, None)
@@ -499,6 +541,41 @@ class Graph:
         }
         clone._num_edges = self._num_edges
         clone.names = dict(self.names)
+        return clone
+
+    def cow_clone(self) -> "Graph":
+        """Copy-on-write clone sharing all unmutated structure.
+
+        The clone gets private *outer* containers (adjacency lists, edge
+        set, label-index dict, labels, names) whose *contents* — the
+        per-vertex rows and per-label posting sets — stay shared with this
+        graph until the clone's first write to each (see
+        :meth:`_own_out_row` and friends).  The CSR view and posting-tuple
+        cache are immutable snapshots, so they are shared outright and the
+        clone's own mutators invalidate only the clone's references.
+
+        The parent must be treated as frozen for the clone's lifetime (the
+        serve runtime guarantees this: a published snapshot is never
+        mutated in place).  O(|V| + |labels|) instead of copy()'s
+        O(|V| + |E|).
+        """
+        clone = Graph.__new__(Graph)
+        clone.labels = list(self.labels)
+        clone._out = list(self._out)
+        clone._in = list(self._in)
+        clone._edge_set = set(self._edge_set)
+        clone._label_index = dict(self._label_index)
+        clone._num_edges = self._num_edges
+        clone.label_table = self.label_table
+        clone.names = dict(self.names)
+        clone.mutation_epoch = self.mutation_epoch
+        clone._csr = self._csr
+        clone._posting_cache = dict(self._posting_cache)
+        clone._cow_out = set()
+        clone._cow_in = set()
+        clone._cow_labels = set()
+        if OBS.enabled:
+            OBS.metrics.inc("cow.graph.clones")
         return clone
 
     def induced_subgraph(

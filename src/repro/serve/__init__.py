@@ -3,32 +3,42 @@
 The package splits the server into the layers a production keyword-search
 service grows (the app/runtime/engine shape):
 
-* :mod:`repro.serve.lifecycle` — the **runtime**: snapshot pinning over
-  the epoch-keyed evaluator caches, a writer-preferring RW lock so
-  in-place index mutations drain in-flight readers, and zero-downtime
-  index reload (readers finish on the old snapshot, new requests pin the
-  new one).
+* :mod:`repro.serve.lifecycle` — the **runtime**: copy-on-write snapshot
+  isolation.  Queries pin immutable snapshots by refcount; mutations
+  clone only the touched structures, optionally append to the durable
+  mutation WAL (:mod:`repro.core.wal`), and publish with a pointer swap
+  — readers never block on a mutation, and superseded snapshots retire
+  when their last pin releases.
 * :mod:`repro.serve.admission` — admission control: a global in-flight
   request cap and an in-flight *expansion reservation* ledger; requests
   the server cannot afford are shed before any work happens.
 * :mod:`repro.serve.service` — the transport-independent **app**: JSON
   request/response contract for ``/query``, ``/batch``, ``/metrics``,
   ``/healthz`` and the admin endpoints, per-request
-  :class:`~repro.utils.budget.Budget` from headers, and the
-  ``DegradedResult``/exit-3 contract mapped onto HTTP 429/503.
+  :class:`~repro.utils.budget.Budget` from headers, the
+  ``DegradedResult``/exit-3 contract mapped onto HTTP 429/503, and the
+  drain discipline behind graceful shutdown.
 * :mod:`repro.serve.server` — the stdlib HTTP transport
-  (``ThreadingHTTPServer``) plus helpers to run it on a background
-  thread for tests, benchmarks and the verify drill.
-* :mod:`repro.serve.client` — a tiny stdlib client used by the tests,
-  the ``serve.qps`` bench entry, the fuzzer's ``--serve`` leg and CI.
+  (``ThreadingHTTPServer``), helpers to run it on a background thread,
+  and :func:`~repro.serve.server.shutdown_gracefully` (drain, stop,
+  fsync the WAL) backing the CLI's SIGTERM/SIGINT path.
+* :mod:`repro.serve.client` — a tiny stdlib client with capped
+  exponential-backoff retry on sheds, used by the tests, the
+  ``serve.qps`` bench entry, the fuzzer's ``--serve`` leg and CI.
 
-See ``docs/SERVING.md`` for the wire contract.
+See ``docs/SERVING.md`` for the wire contract and the snapshot
+lifecycle; ``docs/ROBUSTNESS.md`` for durability and crash recovery.
 """
 
 from repro.serve.admission import AdmissionController, ShedError
-from repro.serve.client import ServeClient
+from repro.serve.client import ServeClient, ServeResponse
 from repro.serve.lifecycle import EngineRuntime, RWLock, Snapshot
-from repro.serve.server import QueryServer, serve_in_thread, start_server
+from repro.serve.server import (
+    QueryServer,
+    serve_in_thread,
+    shutdown_gracefully,
+    start_server,
+)
 from repro.serve.service import QueryService, ServerConfig
 
 __all__ = [
@@ -38,9 +48,11 @@ __all__ = [
     "QueryService",
     "RWLock",
     "ServeClient",
+    "ServeResponse",
     "ServerConfig",
     "ShedError",
     "Snapshot",
     "serve_in_thread",
+    "shutdown_gracefully",
     "start_server",
 ]

@@ -5,13 +5,22 @@ Used by the contract tests, the ``serve.qps`` bench entry, the fuzzer's
 connection per instance (HTTP/1.1 keep-alive), automatic reconnect on a
 dropped socket, and JSON in/out.  Not a public SDK; just enough client
 to exercise the server the way a real caller would.
+
+Resilience: a shed (503) is retried with capped exponential backoff plus
+jitter, honoring the server's ``Retry-After`` hint; a dropped keep-alive
+socket reconnects and retries on the same schedule; a degraded (429)
+response is optionally retried once (``retry_degraded=True`` — off by
+default, since a degraded answer is still an answer).  Every response
+reports how many attempts it took in :attr:`ServeResponse.attempts`.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -23,6 +32,9 @@ class ServeResponse:
     status: int
     payload: Dict[str, object]
     headers: Dict[str, str]
+    #: HTTP exchanges spent on this response, retries included (1 = no
+    #: retry was needed).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -38,20 +50,54 @@ class ServeResponse:
 
 
 class ServeClient:
-    """A persistent-connection JSON client for one server."""
+    """A persistent-connection JSON client for one server.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+    Parameters
+    ----------
+    max_retries:
+        Extra attempts allowed after the first, spent on sheds (503) and
+        dropped sockets.  ``0`` disables retrying entirely (the drills
+        that must *observe* back-pressure use this).
+    backoff_base / backoff_cap:
+        The n-th retry waits ``min(cap, base * 2**n)`` seconds, scaled
+        by a uniform jitter in ``[0.5, 1.0]`` so synchronized clients
+        do not stampede the server they just overloaded.  A parseable
+        ``Retry-After`` header raises the wait to at least the server's
+        hint (still capped).
+    retry_degraded:
+        Retry a 429 exactly once (budget-degraded work is complete but
+        partial; a second try only helps when contention caused it).
+    rng:
+        Jitter source, injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        max_retries: int = 2,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        retry_degraded: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.max_retries = max(0, int(max_retries))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.retry_degraded = retry_degraded
+        self._rng = rng if rng is not None else random.Random()
         self._conn: Optional[http.client.HTTPConnection] = None
 
     @classmethod
-    def for_url(cls, url: str, timeout: float = 30.0) -> "ServeClient":
+    def for_url(cls, url: str, timeout: float = 30.0, **kwargs) -> "ServeClient":
         """Build a client from a ``http://host:port`` string."""
         stripped = url.split("//", 1)[-1].rstrip("/")
         host, _, port = stripped.partition(":")
-        return cls(host, int(port or 80), timeout=timeout)
+        return cls(host, int(port or 80), timeout=timeout, **kwargs)
 
     # ------------------------------------------------------------------
     def _connection(self) -> http.client.HTTPConnection:
@@ -85,34 +131,62 @@ class ServeClient:
         body: Optional[object] = None,
         headers: Optional[Dict[str, str]] = None,
     ) -> ServeResponse:
-        """One JSON exchange, retrying once on a dropped keep-alive."""
+        """One JSON exchange with retry (see the class docstring).
+
+        Transport faults on the last permitted attempt re-raise; an HTTP
+        status — shed or not — is always returned, never raised.
+        """
         data = (
             json.dumps(body).encode("utf-8") if body is not None else None
         )
         send_headers = {"Content-Type": "application/json"}
         if headers:
             send_headers.update(headers)
-        for attempt in (0, 1):
+        attempts = 0
+        degraded_retried = False
+        while True:
+            attempts += 1
+            last_attempt = attempts > self.max_retries
             conn = self._connection()
             try:
                 conn.request(method, path, body=data, headers=send_headers)
                 response = conn.getresponse()
                 raw = response.read()
-                break
-            except (
-                http.client.HTTPException,
-                ConnectionError,
-                BrokenPipeError,
-            ):
+            except (http.client.HTTPException, OSError):
                 self.close()
-                if attempt:
+                if last_attempt:
                     raise
-        payload = json.loads(raw.decode("utf-8")) if raw else {}
-        return ServeResponse(
-            status=response.status,
-            payload=payload,
-            headers=dict(response.getheaders()),
-        )
+                self._backoff(attempts, None)
+                continue
+            result = ServeResponse(
+                status=response.status,
+                payload=json.loads(raw.decode("utf-8")) if raw else {},
+                headers=dict(response.getheaders()),
+                attempts=attempts,
+            )
+            if result.shed and not last_attempt:
+                self._backoff(attempts, result.headers.get("Retry-After"))
+                continue
+            if (
+                result.degraded
+                and self.retry_degraded
+                and not degraded_retried
+            ):
+                degraded_retried = True
+                self._backoff(1, result.headers.get("Retry-After"))
+                continue
+            return result
+
+    def _backoff(self, attempt: int, retry_after: Optional[str]) -> None:
+        """Sleep before retry ``attempt`` (1-based), honoring the hint."""
+        delay = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+        delay *= 0.5 + 0.5 * self._rng.random()
+        if retry_after is not None:
+            try:
+                delay = max(delay, min(float(retry_after), self.backoff_cap))
+            except ValueError:
+                pass  # unparsable hint; keep the computed backoff
+        time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Endpoint helpers

@@ -1,23 +1,32 @@
-"""Server runtime: snapshot pinning and zero-downtime index swaps.
+"""Server runtime: copy-on-write snapshots, pinning, and retirement.
 
 The shared :class:`~repro.core.evaluator.HierarchicalEvaluator` caches
 are epoch-keyed, but epochs alone cannot make *in-place* index mutation
 safe under concurrency: a reader halfway through a query holds searchers
 and CSR views over the live graph, and a concurrent
 :meth:`~repro.core.index.BiGIndex.insert_edge` would mutate them under
-its feet.  The runtime provides the two disciplines the server needs:
+its feet.  The runtime therefore never mutates a published index:
 
-* **Pin/mutate** — every query pins the current :class:`Snapshot` under
-  a read lock; a mutation takes the write lock, which *drains* in-flight
-  readers first ("readers finish on the old snapshot"), applies the
-  change, and publishes a fresh snapshot for the new epoch ("new
-  requests pin the new one").  The lock is writer-preferring so a
-  steady query stream cannot starve mutations.
-* **Reload** — swapping in a *different* index object (e.g. re-loaded
-  from disk) needs no drain at all: the new snapshot is built off-line,
-  published atomically, and readers still holding the old snapshot keep
-  evaluating the old index, which nobody mutates.  Old snapshots retire
-  by ordinary refcount once their last reader releases them.
+* **Pin** — every query pins the current :class:`Snapshot` (a refcount
+  bump under a short state lock, never a blocking read lock).  The
+  pinned index is immutable for the pin's lifetime, so the reader needs
+  no further coordination with writers.
+* **Mutate without drain** — a mutation takes a *writer-only* lock,
+  builds a copy-on-write clone of the current index
+  (:meth:`~repro.core.index.BiGIndex.cow_clone` — shared structure is
+  copied lazily on first write), applies the change to the clone
+  off-lock while readers keep serving the old snapshot, optionally
+  appends the op to a durable WAL (see :mod:`repro.core.wal`), and
+  publishes the clone with a pointer swap.  Readers never block on a
+  mutation and a mutation never waits for readers.
+* **Retire by refcount** — a superseded snapshot is retired (counted in
+  ``RuntimeStats.retired`` and the ``snapshot.retired`` metric) when its
+  last pin releases; with no pins it retires at publish time.  Python's
+  GC then reclaims it; the explicit count is what the serve drill and
+  ``/healthz`` observe.
+* **Reload** — swapping in a different index object (e.g. re-loaded
+  from disk) is the same publish path; readers still holding the old
+  snapshot keep evaluating the old index, which nobody mutates.
 
 Each snapshot owns a fresh evaluator: after a mutation the epoch-keyed
 caches would be invalid anyway, and a per-snapshot evaluator means a
@@ -29,15 +38,21 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Callable, Iterator, Tuple, TypeVar
+from typing import Callable, Dict, Iterator, Optional, Tuple, TypeVar
 
 from repro.core.evaluator import HierarchicalEvaluator
 from repro.core.index import BiGIndex
+from repro.core.wal import MutationWAL
+from repro.obs.runtime import OBS
 
 T = TypeVar("T")
 
 #: Builds the per-snapshot evaluator for an index.
 EvaluatorFactory = Callable[[BiGIndex], HierarchicalEvaluator]
+
+#: Derives the durable WAL record for a mutation from its result;
+#: returning ``None`` skips logging (e.g. a no-op mutation).
+WalEntryFactory = Callable[[T], Optional[Dict[str, object]]]
 
 
 class RWLock:
@@ -45,8 +60,12 @@ class RWLock:
 
     Any number of readers may hold the lock together; a writer is
     exclusive.  Once a writer is *waiting*, new readers queue behind it,
-    so a continuous stream of queries cannot starve mutations — the
-    property the serve concurrency battery pins down.
+    so a continuous stream of queries cannot starve mutations.
+
+    The serve runtime itself no longer drains readers through this
+    (mutations go through copy-on-write snapshots), but the lock remains
+    the building block for callers that do need drain semantics, and the
+    concurrency battery pins its fairness properties.
     """
 
     def __init__(self) -> None:
@@ -105,7 +124,8 @@ class Snapshot:
 
     ``serial`` increases with every publish, so two snapshots at the
     same epoch value (e.g. after a reload from the same files) are still
-    distinguishable in traces and tests.
+    distinguishable in traces and tests.  Pin counts live in the
+    runtime, keyed by serial — the snapshot itself stays frozen.
     """
 
     index: BiGIndex
@@ -116,37 +136,49 @@ class Snapshot:
 
 @dataclass
 class RuntimeStats:
-    """Mutation/reload accounting surfaced by ``/healthz``.
-
-    Superseded snapshots are not counted here — they retire by ordinary
-    refcount (garbage collection) once their last pinned reader returns.
-    """
+    """Mutation/reload/retirement accounting surfaced by ``/healthz``."""
 
     mutations: int = 0
     reloads: int = 0
     publishes: int = 0
+    #: Superseded snapshots whose last pin has released (or that had no
+    #: pins when superseded).  ``publishes - retired - 1`` snapshots are
+    #: still reachable: the current one plus any still pinned.
+    retired: int = 0
 
 
 class EngineRuntime:
-    """The engine layer: pinned snapshots over one live index.
+    """The engine layer: pinned copy-on-write snapshots over one index.
 
     Parameters
     ----------
     index:
-        The initial index to serve.
+        The initial index to serve.  Treated as frozen from here on —
+        all mutations go through :meth:`mutate`, which clones.
     evaluator_factory:
-        Builds a fresh evaluator per published snapshot; defaults to a
-        plain :class:`HierarchicalEvaluator` with the result cache on.
+        Builds a fresh evaluator per published snapshot.
+    wal:
+        Optional open :class:`~repro.core.wal.MutationWAL`.  When set,
+        :meth:`mutate` appends the record produced by its ``wal_entry``
+        callback — and fsyncs it — *before* publishing, so nothing is
+        acked that a crash could lose.
     """
 
     def __init__(
         self,
         index: BiGIndex,
         evaluator_factory: EvaluatorFactory,
+        wal: Optional[MutationWAL] = None,
     ) -> None:
         self._factory = evaluator_factory
-        self._rw = RWLock()
-        self._publish_lock = threading.Lock()
+        self.wal = wal
+        # Serializes writers (mutate/reload) against each other only;
+        # readers never touch it.
+        self._mutate_lock = threading.Lock()
+        # Guards _snapshot/_pins/stats; held for pointer swaps and
+        # refcount bumps, never across evaluation or cloning.
+        self._state_lock = threading.Lock()
+        self._pins: Dict[int, int] = {}
         self.stats = RuntimeStats()
         self._snapshot = Snapshot(
             index=index,
@@ -165,44 +197,94 @@ class EngineRuntime:
     def epoch(self) -> Tuple[int, int]:
         return self._snapshot.epoch
 
+    def pinned_snapshots(self) -> int:
+        """Number of distinct snapshot generations currently pinned."""
+        with self._state_lock:
+            return len(self._pins)
+
     @contextmanager
     def pin(self) -> Iterator[Snapshot]:
         """Pin the current snapshot for one query.
 
-        The read lock is held for the duration, so an in-place mutation
-        cannot start until this reader releases; a concurrent *reload*
-        (different index object) proceeds without waiting and this
-        reader simply finishes on the old snapshot.
+        A refcount bump, not a lock hold: concurrent mutations proceed
+        on their own clone and publish past this reader, which simply
+        finishes on the snapshot it pinned.  The snapshot retires when
+        the last pin on a superseded generation releases.
         """
-        with self._rw.read():
-            yield self._snapshot
+        with self._state_lock:
+            snapshot = self._snapshot
+            self._pins[snapshot.serial] = self._pins.get(snapshot.serial, 0) + 1
+        try:
+            yield snapshot
+        finally:
+            self._release(snapshot)
+
+    def _release(self, snapshot: Snapshot) -> None:
+        with self._state_lock:
+            remaining = self._pins.get(snapshot.serial, 0) - 1
+            if remaining > 0:
+                self._pins[snapshot.serial] = remaining
+                return
+            self._pins.pop(snapshot.serial, None)
+            if snapshot is not self._snapshot:
+                self._retire()
+
+    def _retire(self) -> None:
+        """Account one superseded snapshot (caller holds _state_lock)."""
+        self.stats.retired += 1
+        if OBS.enabled:
+            OBS.metrics.inc("snapshot.retired")
 
     # ------------------------------------------------------------------
     def _publish(self, index: BiGIndex) -> Snapshot:
         """Build and install a fresh snapshot for ``index``'s epoch."""
-        with self._publish_lock:
+        evaluator = self._factory(index)
+        with self._state_lock:
+            previous = self._snapshot
             snapshot = Snapshot(
                 index=index,
-                evaluator=self._factory(index),
+                evaluator=evaluator,
                 epoch=index.epoch,
-                serial=self._snapshot.serial + 1,
+                serial=previous.serial + 1,
             )
             self._snapshot = snapshot
             self.stats.publishes += 1
+            if previous.serial not in self._pins:
+                self._retire()
             return snapshot
 
-    def mutate(self, fn: Callable[[BiGIndex], T]) -> Tuple[T, Snapshot]:
-        """Apply an in-place mutation and publish the new epoch.
+    def mutate(
+        self,
+        fn: Callable[[BiGIndex], T],
+        wal_entry: Optional[WalEntryFactory] = None,
+    ) -> Tuple[T, Snapshot]:
+        """Apply a mutation to a copy-on-write clone and publish it.
 
-        Takes the write lock — in-flight readers finish on the old
-        snapshot first, and readers arriving while the writer waits
-        queue behind it and pin the *new* snapshot.  ``fn`` receives the
-        live index and may call any maintenance entry point.
+        Readers are never drained: ``fn`` runs against a private clone
+        (:meth:`BiGIndex.cow_clone`) while in-flight queries keep
+        serving the published snapshot; the swap at the end is a pointer
+        assignment.  ``fn`` may call any maintenance entry point.
+
+        When the runtime has a WAL and ``wal_entry`` is given, the
+        record it derives from ``fn``'s result is committed — fsync and
+        all — *before* the publish, so a caller that sees the new
+        snapshot (or an HTTP ack built from it) is guaranteed the op
+        survives ``kill -9``.  ``wal_entry`` returning ``None`` (a
+        no-op mutation) skips the log.
+
+        If ``fn`` raises, nothing is logged or published and the clone
+        is discarded — the published state never reflects a half-applied
+        mutation.
         """
-        with self._rw.write():
-            result = fn(self._snapshot.index)
+        with self._mutate_lock:
+            clone = self._snapshot.index.cow_clone()
+            result = fn(clone)
+            if self.wal is not None and wal_entry is not None:
+                record = wal_entry(result)
+                if record is not None:
+                    self.wal.commit(dict(record))
             self.stats.mutations += 1
-            return result, self._publish(self._snapshot.index)
+            return result, self._publish(clone)
 
     def reload(self, index: BiGIndex) -> Snapshot:
         """Swap in a different index object with zero downtime.
@@ -210,7 +292,10 @@ class EngineRuntime:
         No reader drain: the replacement snapshot is fully built before
         the atomic publish, and readers pinned to the old snapshot keep
         serving from the old (now immutable) index until they finish.
+        Serialized against :meth:`mutate` so a concurrent mutation's
+        clone cannot clobber the reload (or vice versa).
         """
-        snapshot = self._publish(index)
-        self.stats.reloads += 1
-        return snapshot
+        with self._mutate_lock:
+            snapshot = self._publish(index)
+            self.stats.reloads += 1
+            return snapshot

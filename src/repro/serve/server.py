@@ -13,7 +13,7 @@ import json
 import threading
 from contextlib import contextmanager
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 from repro.serve.service import QueryService
 
@@ -111,6 +111,38 @@ def start_server(
 ) -> QueryServer:
     """Bind a server (``port=0`` picks a free one) without serving yet."""
     return QueryServer((host, port), service)
+
+
+def shutdown_gracefully(
+    server: QueryServer,
+    thread: Optional[threading.Thread] = None,
+    drain_deadline: float = 10.0,
+) -> bool:
+    """Drain and stop a server: the SIGTERM path of ``repro-bigindex serve``.
+
+    Ordering matters for durability and clean client errors:
+
+    1. the service stops admitting (new requests shed 503 "draining"),
+    2. in-flight requests finish, up to ``drain_deadline`` seconds —
+       any admin mutation that acks during the drain is WAL-durable by
+       the ack contract,
+    3. the listener stops and the socket closes,
+    4. the WAL (if the runtime owns one) fsyncs its tail and closes.
+
+    Returns whether the drain finished before the deadline.  Safe to
+    call from a signal-handling thread that is *not* the serve loop
+    (``serve_forever`` must run elsewhere, or ``shutdown()`` deadlocks).
+    """
+    service = server.service
+    drained = service.drain(drain_deadline)
+    server.shutdown()
+    server.server_close()
+    if thread is not None:
+        thread.join(timeout=5.0)
+    wal = service.runtime.wal
+    if wal is not None:
+        wal.close()
+    return drained
 
 
 @contextmanager

@@ -330,6 +330,13 @@ class QueryService:
         started = monotonic_now()
         route = (method.upper(), path.rstrip("/") or "/")
         try:
+            if self._draining.is_set() and route[1] not in (
+                "/healthz", "/metrics"
+            ):
+                # Graceful shutdown: stop admitting work, keep answering
+                # introspection so orchestrators see the drain progress.
+                self.metrics.inc("serve.drained_rejects")
+                raise ShedError("draining")
             if route == ("POST", "/query"):
                 response = self.handle_query(body, headers)
             elif route == ("POST", "/batch"):
@@ -342,9 +349,11 @@ class QueryService:
                 response = self.handle_mutate(body)
             elif route == ("POST", "/admin/reload"):
                 response = self.handle_reload()
+            elif route == ("GET", "/admin/digest"):
+                response = self.handle_digest()
             elif route[1] in (
                 "/query", "/batch", "/healthz", "/metrics",
-                "/admin/mutate", "/admin/reload",
+                "/admin/mutate", "/admin/reload", "/admin/digest",
             ):
                 response = (
                     405,
@@ -515,6 +524,9 @@ class QueryService:
                 "reserved_expansions": self.admission.reserved_expansions,
                 "mutations": stats.mutations,
                 "reloads": stats.reloads,
+                "retired_snapshots": stats.retired,
+                "pinned_snapshots": self.runtime.pinned_snapshots(),
+                "draining": self._draining.is_set(),
                 "uptime_seconds": monotonic_now() - self._started,
             },
             {},
@@ -551,8 +563,16 @@ class QueryService:
             index.delete_edge(u, v)
             return True
 
+        def wal_entry(applied: bool) -> Optional[Dict[str, object]]:
+            # No-op mutations (duplicate insert, absent delete) publish a
+            # snapshot but change nothing — logging them would only slow
+            # replay down.
+            if not applied:
+                return None
+            return {"op": op, "u": u, "v": v}
+
         try:
-            applied, snapshot = self.runtime.mutate(apply)
+            applied, snapshot = self.runtime.mutate(apply, wal_entry=wal_entry)
         except (BigIndexError, IndexError) as exc:
             raise BadRequest(f"mutation failed: {exc}")
         self.metrics.inc("serve.mutations")
@@ -563,9 +583,35 @@ class QueryService:
                 "applied": applied,
                 "epoch": list(snapshot.epoch),
                 "serial": snapshot.serial,
+                "durable": self.runtime.wal is not None,
             },
             {},
         )
+
+    def handle_digest(self) -> Response:
+        """State fingerprint for differential drills (admin-gated).
+
+        ``digest`` is :meth:`BiGIndex.state_digest` of the *current*
+        snapshot — an external oracle that applied the same acked ops
+        must produce the same value.  ``wal_records`` reports how many
+        ops the server has made durable since the last save/truncate.
+        """
+        if not self.config.enable_admin:
+            return (
+                403,
+                {"status": "error", "error": "admin endpoints are disabled"},
+                {},
+            )
+        snapshot = self.runtime.current
+        payload: Dict[str, object] = {
+            "status": "ok",
+            "digest": snapshot.index.state_digest(),
+            "epoch": list(snapshot.epoch),
+            "serial": snapshot.serial,
+        }
+        if self.runtime.wal is not None:
+            payload["wal_records"] = self.runtime.wal.record_count
+        return 200, payload, {}
 
     def handle_reload(self) -> Response:
         if not self.config.enable_admin:
@@ -595,3 +641,26 @@ class QueryService:
         snapshot = self.runtime.reload(index)
         self.metrics.inc("serve.reloads")
         return snapshot
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work: every new request (except ``/healthz``
+        and ``/metrics``) is shed with 503 from now on."""
+        self._draining.set()
+
+    def drain(self, deadline_seconds: float = 10.0) -> bool:
+        """Wait for in-flight requests to finish, up to a deadline.
+
+        Calls :meth:`begin_drain` first.  Returns whether the server
+        went idle before the deadline; a ``False`` means the caller is
+        about to exit with requests still running (logged by the CLI).
+        """
+        self.begin_drain()
+        pause = threading.Event()
+        deadline = monotonic_now() + deadline_seconds
+        while self.admission.inflight > 0 and monotonic_now() < deadline:
+            pause.wait(0.02)
+        return self.admission.inflight == 0

@@ -62,6 +62,53 @@ class IndexVersionError(IndexPersistenceError):
     """The on-disk index uses a format version this code cannot read."""
 
 
+class WALError(IndexPersistenceError):
+    """Base class for mutation write-ahead-log failures.
+
+    See :mod:`repro.core.wal` for the log format and the acked-durable
+    contract it backs.
+    """
+
+
+class WALCorruptedError(WALError):
+    """The file at the WAL path is not a mutation log (bad magic).
+
+    Unlike a torn tail this cannot be recovered by truncation — nothing
+    in the file can be trusted.
+    """
+
+
+class WALTornTailError(WALError):
+    """The log ends in a damaged tail after a valid record prefix.
+
+    Raised by strict reads (``read_wal(..., on_tail="error")``); recovery
+    paths truncate the tail instead.  Attributes locate the damage:
+
+    Attributes
+    ----------
+    kind:
+        ``"truncated-header"`` / ``"truncated-payload"`` (torn final
+        write) or ``"checksum-mismatch"`` / ``"unparsable-payload"`` /
+        ``"implausible-length"`` (damaged tail bytes).
+    valid_records:
+        Number of records in the recoverable prefix.
+    valid_bytes:
+        File offset at which the valid prefix ends.
+    """
+
+    def __init__(
+        self, path: str, kind: str, valid_records: int, valid_bytes: int
+    ) -> None:
+        super().__init__(
+            f"{path}: damaged WAL tail ({kind}) after {valid_records} "
+            f"valid record(s) / {valid_bytes} byte(s)"
+        )
+        self.path = path
+        self.kind = kind
+        self.valid_records = valid_records
+        self.valid_bytes = valid_bytes
+
+
 class BudgetExceeded(BigIndexError):
     """An execution budget ran out before the operation completed.
 

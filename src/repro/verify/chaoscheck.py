@@ -1,0 +1,457 @@
+"""Process-level crash-recovery chaos drill for ``repro-bigindex serve``.
+
+The in-process legs (:mod:`repro.verify.servecheck`) prove the runtime's
+concurrency story; this drill proves the *durability* story the only way
+it can be proved — by actually killing the process.  One round:
+
+1. a real ``repro-bigindex serve --admin`` subprocess serves a persisted
+   index,
+2. the drill streams admin mutations over HTTP, tracking exactly which
+   ops were **acked** (HTTP 200 received),
+3. at a seeded random point mid-stream the drill sends one more op and
+   ``SIGKILL``\\ s the server a few milliseconds later — before, during,
+   or after that op's WAL commit,
+4. optionally (seeded) the drill then appends garbage to the WAL,
+   simulating a write torn mid-``fsync``,
+5. the server restarts; its ``/admin/digest`` must equal an in-process
+   oracle that applied **exactly the acked prefix** — or, when the kill
+   raced the final ack, the acked prefix plus that one in-flight op
+   (durable-but-unacked is allowed; acked-but-lost never is).
+
+The last round ends with ``SIGTERM`` instead: the server must drain,
+fsync, and exit 0 (the graceful path), and a final restart must still
+agree with the oracle.  Every decision derives from one seed, so a
+failure reproduces exactly.  ``repro-bigindex verify --serve`` runs this
+after the in-process battery; CI's ``chaos-smoke`` job runs it through
+``scripts/chaos_drill.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import repro
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.persistence import load_index, save_index
+from repro.core.wal import WAL_NAME, apply_wal_op
+from repro.datasets.knowledge import dataset_registry
+from repro.serve.client import ServeClient
+
+#: Dataset the drill serves; small enough to build in well under a
+#: second with exact costs, real enough to have ontology layers.
+_DATASET = "yago-like"
+_SCALE = 0.05
+_NUM_LAYERS = 2
+
+
+@dataclass
+class ChaosEvent:
+    """One kill/restart cycle's outcome (one line of the JSON report)."""
+
+    round: int
+    kill: str  # "sigkill" | "sigkill+torn-tail" | "sigterm"
+    acked_before_kill: int
+    inflight_resolution: str  # "acked" | "lost" | "durable-unacked" | "none"
+    wal_records_after: int
+    digest_matched: bool
+
+    def to_dict(self) -> Dict[str, object]:
+        return dict(self.__dict__)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one :func:`run_chaos_drill` campaign."""
+
+    seed: int = 0
+    rounds: int = 0
+    ops_sent: int = 0
+    ops_acked: int = 0
+    kills: int = 0
+    torn_tails: int = 0
+    restarts: int = 0
+    checks: int = 0
+    events: List[ChaosEvent] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def format(self) -> str:
+        status = "OK" if self.ok else f"{len(self.failures)} failure(s)"
+        lines = [
+            f"chaos: {status} ({self.rounds} round(s), {self.kills} "
+            f"SIGKILL(s), {self.torn_tails} torn tail(s), "
+            f"{self.ops_acked}/{self.ops_sent} op(s) acked, "
+            f"{self.restarts} recovery restart(s), {self.checks} check(s), "
+            f"seed={self.seed})"
+        ]
+        lines.extend("  " + failure for failure in self.failures)
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "ops_sent": self.ops_sent,
+            "ops_acked": self.ops_acked,
+            "kills": self.kills,
+            "torn_tails": self.torn_tails,
+            "restarts": self.restarts,
+            "checks": self.checks,
+            "events": [event.to_dict() for event in self.events],
+            "failures": list(self.failures),
+        }
+
+
+class _ServerProcess:
+    """One ``repro-bigindex serve`` subprocess with a captured log."""
+
+    def __init__(self, index_dir: str, log_path: str) -> None:
+        self.index_dir = index_dir
+        self.log_path = log_path
+        self.proc: Optional[subprocess.Popen] = None
+        self.url: Optional[str] = None
+        self._log_offset = 0
+
+    def start(self, deadline: float = 60.0) -> str:
+        src_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            repro.__file__
+        )))
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing
+            else os.pathsep.join([src_root, existing])
+        )
+        cmd = [
+            sys.executable, "-u", "-m", "repro.cli", "serve",
+            self.index_dir,
+            "--admin",
+            "--ontology-from", _DATASET,
+            "--scale", str(_SCALE),
+            "--port", "0",
+            "--drain-deadline", "5",
+        ]
+        log = open(self.log_path, "ab")
+        try:
+            self._log_offset = log.tell()
+            self.proc = subprocess.Popen(
+                cmd, stdout=log, stderr=subprocess.STDOUT, env=env
+            )
+        finally:
+            log.close()
+        self.url = self._await_url(deadline)
+        return self.url
+
+    def _await_url(self, deadline: float) -> str:
+        """Parse ``on http://...`` from the startup line as it appears."""
+        end = time.monotonic() + deadline
+        while time.monotonic() < end:
+            if self.proc is not None and self.proc.poll() is not None:
+                raise RuntimeError(
+                    f"server exited during startup (rc "
+                    f"{self.proc.returncode}): {self.log_tail()}"
+                )
+            for line in self.new_log_lines(consume=False):
+                if " on http://" in line:
+                    return line.split(" on ", 1)[1].split()[0]
+            time.sleep(0.02)
+        raise RuntimeError(f"server startup timed out: {self.log_tail()}")
+
+    def new_log_lines(self, consume: bool = True) -> List[str]:
+        """Log lines written since the last consumed read."""
+        try:
+            with open(self.log_path, "rb") as f:
+                f.seek(self._log_offset)
+                data = f.read()
+        except FileNotFoundError:
+            return []
+        if consume:
+            self._log_offset += len(data)
+        return data.decode("utf-8", errors="replace").splitlines()
+
+    def log_tail(self, lines: int = 5) -> str:
+        try:
+            with open(self.log_path, "rb") as f:
+                data = f.read()
+        except FileNotFoundError:
+            return "<no log>"
+        return " | ".join(
+            data.decode("utf-8", errors="replace").splitlines()[-lines:]
+        )
+
+    def sigkill(self) -> None:
+        assert self.proc is not None
+        self.proc.kill()
+        self.proc.wait()
+
+    def sigterm(self, timeout: float = 30.0) -> int:
+        assert self.proc is not None
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+def _tear_wal_tail(index_dir: str, rng: random.Random) -> None:
+    """Append a partial record, as a crash mid-append would leave it."""
+    garbage = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 7)))
+    with open(os.path.join(index_dir, WAL_NAME), "ab") as f:
+        f.write(garbage)
+
+
+def _next_op(rng: random.Random, oracle: BiGIndex) -> Dict[str, int]:
+    """A mutation biased to actually apply (so the WAL sees traffic)."""
+    edges = sorted(oracle.base_graph.edges())
+    n = oracle.base_graph.num_vertices
+    if edges and rng.random() < 0.5:
+        u, v = edges[rng.randrange(len(edges))]
+        return {"op": "delete", "u": u, "v": v}
+    return {
+        "op": "insert",
+        "u": rng.randrange(n),
+        "v": rng.randrange(n),
+    }
+
+
+def run_chaos_drill(
+    rounds: int = 3,
+    ops_per_round: int = 6,
+    seed: int = 0,
+    workdir: Optional[str] = None,
+) -> ChaosReport:
+    """Kill ``repro-bigindex serve`` mid-mutation-stream; recovery must
+    restore exactly the acked prefix (see the module docstring)."""
+    report = ChaosReport(seed=seed, rounds=rounds)
+    rng = random.Random(f"chaos:{seed}")
+    own_workdir = workdir is None
+    if own_workdir:
+        workdir = tempfile.mkdtemp(prefix="bigindex-chaos-")
+    index_dir = os.path.join(workdir, "idx")
+    log_path = os.path.join(workdir, "serve.log")
+    server = _ServerProcess(index_dir, log_path)
+    try:
+        dataset = dataset_registry(scale=_SCALE)[_DATASET]()
+        built = BiGIndex.build(
+            dataset.graph.copy(share_label_table=True),
+            dataset.ontology,
+            num_layers=_NUM_LAYERS,
+            cost_params=CostParams(exact=True),
+        )
+        save_index(built, index_dir)
+        # The oracle loads from the same persisted files the server
+        # does, so base-state digests agree byte-for-byte.
+        oracle = load_index(index_dir, dataset.ontology)
+        applied_acked = 0  # applied ops known durable (acked or matched)
+
+        server.start()
+        for round_index in range(rounds):
+            final_round = round_index == rounds - 1
+            # max_retries=0: every mutate is exactly one HTTP exchange,
+            # so "acked" is unambiguous when the kill races the stream.
+            client = ServeClient.for_url(
+                server.url, timeout=10.0, max_retries=0
+            )
+            kill_at = rng.randrange(1, ops_per_round)
+
+            # Stream the pre-kill prefix synchronously: every one of
+            # these is acked before the kill, so recovery MUST keep it.
+            for _ in range(kill_at):
+                op = _next_op(rng, oracle)
+                report.ops_sent += 1
+                response = client.mutate(op["op"], op["u"], op["v"])
+                if response.status != 200:
+                    report.failures.append(
+                        f"round {round_index}: mutate returned HTTP "
+                        f"{response.status}: {response.payload}"
+                    )
+                    continue
+                report.ops_acked += 1
+                if apply_wal_op(oracle, op):
+                    applied_acked += 1
+
+            inflight_resolution = "none"
+            if final_round:
+                # Graceful path: SIGTERM must drain, fsync, and exit 0.
+                kill_kind = "sigterm"
+                client.close()
+                report.checks += 1
+                returncode = server.sigterm()
+                if returncode != 0:
+                    report.failures.append(
+                        f"round {round_index}: SIGTERM exit code "
+                        f"{returncode} (want 0): {server.log_tail()}"
+                    )
+                report.checks += 1
+                if not any(
+                    "shut down cleanly" in line
+                    for line in server.new_log_lines()
+                ):
+                    report.failures.append(
+                        f"round {round_index}: no clean-shutdown notice "
+                        f"after SIGTERM: {server.log_tail()}"
+                    )
+            else:
+                # Crash path: race one more op against SIGKILL.  The op
+                # may die pre-commit (lost, allowed), post-commit but
+                # pre-ack (durable-unacked, allowed), or get fully
+                # acked — in which case it is durable or the drill
+                # fails.
+                kill_kind = "sigkill"
+                inflight_op = _next_op(rng, oracle)
+                report.ops_sent += 1
+                inflight_response: List[Optional[int]] = [None]
+
+                def send_inflight(op=inflight_op, out=inflight_response):
+                    try:
+                        out[0] = client.mutate(
+                            op["op"], op["u"], op["v"]
+                        ).status
+                    except Exception:  # noqa: BLE001 - kill races the ack
+                        out[0] = None
+
+                sender = threading.Thread(target=send_inflight)
+                sender.start()
+                time.sleep(rng.random() * 0.01)
+                server.sigkill()
+                report.kills += 1
+                sender.join(timeout=10.0)
+                client.close()
+                inflight_acked = inflight_response[0] == 200
+
+                if rng.random() < 0.5:
+                    kill_kind = "sigkill+torn-tail"
+                    _tear_wal_tail(index_dir, rng)
+                    report.torn_tails += 1
+
+            # Restart and compare against the oracle alternatives.
+            server.start()
+            report.restarts += 1
+            with ServeClient.for_url(server.url, timeout=10.0) as probe:
+                digest_response = probe.request("GET", "/admin/digest")
+            report.checks += 1
+            if digest_response.status != 200:
+                report.failures.append(
+                    f"round {round_index}: /admin/digest HTTP "
+                    f"{digest_response.status} after restart"
+                )
+                report.events.append(ChaosEvent(
+                    round=round_index, kill=kill_kind,
+                    acked_before_kill=report.ops_acked,
+                    inflight_resolution="unknown",
+                    wal_records_after=-1, digest_matched=False,
+                ))
+                continue
+            served_digest = digest_response.payload.get("digest")
+            wal_records = int(
+                digest_response.payload.get("wal_records", -1)
+            )
+
+            matched = False
+            mismatch = None
+            if served_digest == oracle.state_digest():
+                matched = True
+                if kill_kind.startswith("sigkill"):
+                    if inflight_acked:
+                        # The in-flight op cannot both be applied (its
+                        # digest would differ) and acked yet absent —
+                        # unless it was a no-op, which acks without
+                        # changing state.  Distinguish the two.
+                        probe_clone = oracle.cow_clone()
+                        if apply_wal_op(probe_clone, inflight_op):
+                            # Acked, state-changing, gone: the one
+                            # outcome durability forbids.
+                            matched = False
+                            mismatch = (
+                                f"acked op {inflight_op} missing after "
+                                f"recovery"
+                            )
+                        else:
+                            # A no-op acks without touching the WAL.
+                            inflight_resolution = "acked"
+                            report.ops_acked += 1
+                    else:
+                        inflight_resolution = "lost"
+            elif kill_kind.startswith("sigkill"):
+                alt = oracle.cow_clone()
+                inflight_applied = apply_wal_op(alt, inflight_op)
+                if served_digest == alt.state_digest():
+                    # Durable before the ack could leave: adopt it so
+                    # the oracle tracks the server from here on.
+                    matched = True
+                    inflight_resolution = (
+                        "acked" if inflight_acked else "durable-unacked"
+                    )
+                    oracle = alt
+                    if inflight_applied:
+                        applied_acked += 1
+                    if inflight_acked:
+                        report.ops_acked += 1
+                else:
+                    mismatch = (
+                        f"recovered digest {served_digest!r} matches "
+                        f"neither the acked prefix ({applied_acked} "
+                        f"applied op(s)) nor acked+1"
+                    )
+            else:
+                mismatch = (
+                    f"digest diverged across a graceful restart "
+                    f"({served_digest!r})"
+                )
+            if not matched:
+                report.failures.append(
+                    f"round {round_index}: {mismatch}: "
+                    f"{server.log_tail()}"
+                )
+
+            # The WAL must hold exactly the applied, durable ops.
+            report.checks += 1
+            if matched and wal_records != applied_acked:
+                report.failures.append(
+                    f"round {round_index}: WAL holds {wal_records} "
+                    f"record(s), expected {applied_acked}"
+                )
+            if kill_kind == "sigkill+torn-tail":
+                report.checks += 1
+                if not any(
+                    "truncated a damaged WAL tail" in line
+                    for line in server.new_log_lines()
+                ):
+                    report.failures.append(
+                        f"round {round_index}: torn tail was not "
+                        f"reported on restart: {server.log_tail()}"
+                    )
+            report.events.append(ChaosEvent(
+                round=round_index, kill=kill_kind,
+                acked_before_kill=report.ops_acked,
+                inflight_resolution=inflight_resolution,
+                wal_records_after=wal_records,
+                digest_matched=matched,
+            ))
+        server.sigterm()
+    except Exception as exc:  # noqa: BLE001 - the report is the contract
+        report.failures.append(
+            f"chaos drill aborted: {type(exc).__name__}: {exc}"
+        )
+    finally:
+        server.stop()
+        if own_workdir:
+            shutil.rmtree(workdir, ignore_errors=True)
+    return report

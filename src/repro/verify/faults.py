@@ -12,6 +12,12 @@ failure is the promised one:
   reached by re-blessing tampered files with
   :func:`~repro.core.persistence.write_manifest` so the checksum gate
   passes and the structural validation has to catch the damage itself.
+* **WAL faults** — a committed mutation log is torn at sampled byte
+  offsets, bit-flipped, and de-magicked; recovery must keep exactly the
+  longest valid record prefix, classify the damage, stay appendable
+  after truncating the tail, and replay idempotently to the same state
+  as applying the ops directly (docs/ROBUSTNESS.md, "Durability & crash
+  recovery").
 * **Budget exhaustion** — queries are run through
   :meth:`~repro.core.evaluator.HierarchicalEvaluator.evaluate_resilient`
   under a sweep of expansion caps; every degraded result must be a
@@ -47,6 +53,15 @@ from repro.core.persistence import (
     write_manifest,
 )
 from repro.core.plugins import boost
+from repro.core.wal import (
+    WAL_MAGIC,
+    WAL_NAME,
+    MutationWAL,
+    apply_wal_op,
+    read_wal,
+    replay_wal,
+    scan_wal_bytes,
+)
 from repro.datasets.synthetic import verification_corpus
 from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
@@ -57,6 +72,7 @@ from repro.utils.errors import (
     IndexCorruptedError,
     IndexPersistenceError,
     IndexVersionError,
+    WALCorruptedError,
 )
 
 #: Distance bound for the budget-sweep probe algorithm.
@@ -280,6 +296,176 @@ def _storage_drills(
 
 
 # ----------------------------------------------------------------------
+# WAL faults
+# ----------------------------------------------------------------------
+def _wal_drills(
+    report: FaultReport, index: BiGIndex, ontology, rng: random.Random
+) -> None:
+    """Tear, flip, and de-magic a committed mutation log.
+
+    The durability contract under attack: recovery keeps exactly the
+    longest valid record prefix (never more, never garbage), classifies
+    the damage, leaves the file appendable, and replaying the kept
+    records — once or twice — reaches the same state as applying the
+    ops directly.
+    """
+    workdir = tempfile.mkdtemp(prefix="bigindex-walfaults-")
+    try:
+        home = os.path.join(workdir, "idx")
+        save_index(index, home)
+        wal_path = os.path.join(home, WAL_NAME)
+
+        # A short schedule over real edges: deletes of present edges
+        # plus one re-insert, all applicable, so replay changes state.
+        edges = sorted(index.base_graph.edges())
+        ops = [
+            {"op": "delete", "u": u, "v": v}
+            for u, v in rng.sample(edges, min(3, len(edges)))
+        ]
+        if ops:
+            ops.append(
+                {"op": "insert", "u": ops[0]["u"], "v": ops[0]["v"]}
+            )
+        with MutationWAL(wal_path) as wal:
+            for op in ops:
+                wal.commit(op)
+        with open(wal_path, "rb") as f:
+            pristine = f.read()
+        full_ops = [record.op for record in read_wal(wal_path).records]
+
+        # Replay parity: loading (which replays the log) must reach the
+        # direct-apply oracle's state exactly.
+        report.checks += 1
+        oracle = index.cow_clone()
+        for op in ops:
+            apply_wal_op(oracle, op)
+        loaded = None
+        try:
+            loaded = load_index(home, ontology)
+        except Exception as exc:  # noqa: BLE001 - classifying is the point
+            report.findings.append(
+                FaultFinding(
+                    "wal/replay", "load",
+                    f"index with a clean WAL failed to load: {exc}",
+                )
+            )
+        else:
+            if loaded.state_digest() != oracle.state_digest():
+                report.findings.append(
+                    FaultFinding(
+                        "wal/replay", "parity",
+                        "replayed state differs from applying the "
+                        "logged ops directly",
+                    )
+                )
+
+        # Idempotence: replaying the same log again must be a no-op.
+        if loaded is not None:
+            report.checks += 1
+            before = loaded.state_digest()
+            replay_wal(loaded, read_wal(wal_path).records)
+            if loaded.state_digest() != before:
+                report.findings.append(
+                    FaultFinding(
+                        "wal/replay", "idempotence",
+                        "replaying an already-applied log changed state",
+                    )
+                )
+
+        # Torn tails: every sampled truncation point must scan to a
+        # clean prefix of the full log, with tail damage classified iff
+        # the cut is mid-record.
+        magic = len(WAL_MAGIC)
+        offsets = sorted(
+            set(rng.sample(range(len(pristine)), min(16, len(pristine))))
+            | {1, magic - 1, magic, magic + 1, len(pristine) - 1}
+        )
+        record_ends = {magic}
+        pos = magic
+        for op in full_ops:
+            pos += 8 + len(
+                json.dumps(op, sort_keys=True, separators=(",", ":"))
+            )
+            record_ends.add(pos)
+        for cut in offsets:
+            report.checks += 1
+            scan = scan_wal_bytes(pristine[:cut])
+            kept = [record.op for record in scan.records]
+            if kept != full_ops[: len(kept)]:
+                report.findings.append(
+                    FaultFinding(
+                        "wal/torn", f"cut@{cut}",
+                        f"scan of a truncated log is not a prefix: {kept}",
+                    )
+                )
+            elif cut >= magic and (scan.tail_kind is None) != (
+                cut in record_ends
+            ):
+                report.findings.append(
+                    FaultFinding(
+                        "wal/torn", f"cut@{cut}",
+                        f"tail diagnosis {scan.tail_kind!r} does not match "
+                        f"the cut (record boundary: {cut in record_ends})",
+                    )
+                )
+
+        # A torn file recovers in place and is appendable afterwards.
+        report.checks += 1
+        torn_path = os.path.join(workdir, "torn.wal")
+        with open(torn_path, "wb") as f:
+            f.write(pristine[:-3])  # mid-payload tear
+        with MutationWAL(torn_path) as torn:
+            if torn.recovered_tail is None:
+                report.findings.append(
+                    FaultFinding(
+                        "wal/recover", "diagnose",
+                        "torn tail was not diagnosed on open",
+                    )
+                )
+            probe = {"op": "insert", "u": 0, "v": 0}
+            torn.commit(probe)
+        reread = read_wal(torn_path)  # on_tail="error": must be clean
+        if [r.op for r in reread.records] != full_ops[:-1] + [probe]:
+            report.findings.append(
+                FaultFinding(
+                    "wal/recover", "append",
+                    "recovered log did not keep the valid prefix plus "
+                    "the new append",
+                )
+            )
+
+        # A bit flip past the magic damages the tail, never the prefix.
+        report.checks += 1
+        offset = rng.randrange(magic, len(pristine))
+        bit = 1 << rng.randrange(8)
+        flipped = bytearray(pristine)
+        flipped[offset] ^= bit
+        scan = scan_wal_bytes(bytes(flipped))
+        kept = [record.op for record in scan.records]
+        if scan.tail_kind is None or kept != full_ops[: len(kept)]:
+            report.findings.append(
+                FaultFinding(
+                    "wal/bitflip", f"@{offset}",
+                    f"flip was not classified as tail damage "
+                    f"(kind={scan.tail_kind!r}, kept={len(kept)})",
+                )
+            )
+
+        # A de-magicked log is refused outright — including by load.
+        home2 = os.path.join(workdir, "badmagic")
+        shutil.copytree(home, home2)
+        bad_path = os.path.join(home2, WAL_NAME)
+        with open(bad_path, "r+b") as f:
+            f.write(b"NOTAWAL!")
+        _expect_load_failure(
+            report, "wal:bad-magic", "wal/magic", home2, ontology,
+            expected=WALCorruptedError,
+        )
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
 # Budget faults
 # ----------------------------------------------------------------------
 def _budget_drills(
@@ -449,6 +635,7 @@ def run_fault_injection(
         if case_index == 0:
             # Storage drills are O(files x copies); smallest case only.
             _storage_drills(report, index, ontology, rng)
+            _wal_drills(report, index, ontology, rng)
         queries = probe_queries_fn(graph)
         if quick:
             queries = queries[:2]

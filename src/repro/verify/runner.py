@@ -31,10 +31,16 @@ from repro.search.blinks import Blinks
 from repro.search.rclique import RClique
 from repro.verify.auditor import AuditReport, audit_index
 from repro.verify.cachecheck import CacheReport, run_cache_drill
+from repro.verify.chaoscheck import ChaosReport, run_chaos_drill
 from repro.verify.faults import FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzReport, Op, _random_op, apply_op, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
-from repro.verify.servecheck import ServeReport, fuzz_serve, run_serve_drill
+from repro.verify.servecheck import (
+    ServeReport,
+    fuzz_serve,
+    run_mutation_stream_drill,
+    run_serve_drill,
+)
 
 #: Distance bound shared by the rooted probe algorithms.
 _D_MAX = 3
@@ -95,6 +101,9 @@ class VerifyReport:
     #: Serve drill (2s smoke under ``--quick``, full under ``--serve``);
     #: ``None`` when neither ran.
     serve: Optional[ServeReport] = None
+    #: Process-level crash-recovery drill (full ``--serve`` only);
+    #: ``None`` when it did not run.
+    chaos: Optional[ChaosReport] = None
 
     @property
     def ok(self) -> bool:
@@ -102,6 +111,7 @@ class VerifyReport:
             all(case.ok for case in self.cases)
             and (self.faults is None or self.faults.ok)
             and (self.serve is None or self.serve.ok)
+            and (self.chaos is None or self.chaos.ok)
         )
 
     def format(self) -> str:
@@ -115,6 +125,8 @@ class VerifyReport:
             lines.append(self.faults.format())
         if self.serve is not None:
             lines.append(self.serve.format())
+        if self.chaos is not None:
+            lines.append(self.chaos.format())
         return "\n".join(lines)
 
 
@@ -251,6 +263,9 @@ def run_verification(
             seed=seed,
             smoke=not serve,
         )
+    if serve:
+        # Process-level crash recovery: real subprocesses, real SIGKILL.
+        report.chaos = run_chaos_drill(seed=seed)
     return report
 
 
@@ -291,6 +306,20 @@ def _run_serve_leg(
             queries,
             ops_per_sequence=2 if smoke else 6,
             sequences=1 if smoke else 2,
+            seed=seed,
+        )
+    )
+    # The copy-on-write acceptance gate: reader p99 must stay flat (and
+    # every response byte-identical to its pinned epoch's oracle) while
+    # a writer streams the same schedule back-to-back.
+    report.merge(
+        run_mutation_stream_drill(
+            index_factory,
+            algorithm_factory,
+            queries,
+            threads=2 if smoke else 4,
+            rounds=2 if smoke else 4,
+            ops=ops,
             seed=seed,
         )
     )

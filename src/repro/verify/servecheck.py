@@ -65,12 +65,16 @@ def _query_body(query: KeywordQuery) -> bytes:
 
 @dataclass
 class ServeReport:
-    """Outcome of the serve drill (and/or its fuzz leg)."""
+    """Outcome of the serve drill (and/or its fuzz/latency legs)."""
 
     threads: int = 0
     requests: int = 0
     epochs_seen: int = 0
     fuzz_ops: int = 0
+    #: Reader p99 latency with no writers (mutation-stream leg only).
+    idle_p99: float = 0.0
+    #: Reader p99 latency under the sustained mutation stream.
+    mutate_p99: float = 0.0
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -78,14 +82,20 @@ class ServeReport:
         return not self.failures
 
     def format(self) -> str:
+        latency = ""
+        if self.mutate_p99 > 0:
+            latency = (
+                f", reader p99 {self.idle_p99 * 1000:.1f}ms idle / "
+                f"{self.mutate_p99 * 1000:.1f}ms under mutations"
+            )
         if self.ok:
             return (
                 f"serve: OK ({self.requests} response(s) across "
                 f"{self.threads} thread(s), {self.epochs_seen} epoch(s), "
-                f"{self.fuzz_ops} fuzz op(s) — all byte-identical to "
-                f"single-threaded evaluation)"
+                f"{self.fuzz_ops} fuzz op(s){latency} — all byte-identical "
+                f"to single-threaded evaluation)"
             )
-        lines = [f"serve: {len(self.failures)} failure(s)"]
+        lines = [f"serve: {len(self.failures)} failure(s){latency}"]
         lines.extend(f"  {f}" for f in self.failures[:10])
         return "\n".join(lines)
 
@@ -94,6 +104,8 @@ class ServeReport:
         self.requests += other.requests
         self.epochs_seen += other.epochs_seen
         self.fuzz_ops += other.fuzz_ops
+        self.idle_p99 = max(self.idle_p99, other.idle_p99)
+        self.mutate_p99 = max(self.mutate_p99, other.mutate_p99)
         self.failures.extend(other.failures)
 
 
@@ -207,6 +219,129 @@ def run_serve_drill(
             for future in futures:
                 report.failures.extend(future.result())
     report.requests = threads * rounds * len(queries)
+    return report
+
+
+def _p99(samples: Sequence[float]) -> float:
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))]
+
+
+def run_mutation_stream_drill(
+    index_factory: IndexFactory,
+    algorithm_factory: Callable[[], KeywordSearchAlgorithm],
+    queries: Sequence[KeywordQuery],
+    threads: int = 4,
+    rounds: int = 4,
+    ops: Sequence[Op] = (),
+    seed: int = 0,
+    latency_factor: float = 3.0,
+    latency_slack: float = 0.05,
+) -> ServeReport:
+    """Readers never block while a writer streams mutations.
+
+    The copy-on-write acceptance gate.  Phase one measures reader p99
+    against an idle server; phase two repeats the identical workload
+    while the main thread streams every op in ``ops`` back-to-back
+    through ``runtime.mutate``.  The drill fails if
+
+    * reader p99 under mutations exceeds
+      ``max(latency_factor * idle_p99, idle_p99 + latency_slack)`` —
+      the old drain-based runtime stalls every in-flight reader for the
+      full layer-refresh (tens of ms), which this bound catches, while
+      the absolute slack keeps a sub-millisecond idle p99 from turning
+      scheduler jitter into flakes; or
+    * any response is not byte-identical to the single-threaded
+      expectation for the epoch it pinned (same oracle as
+      :func:`run_serve_drill`).
+    """
+    report = ServeReport(threads=threads)
+    expectations = _epoch_expectations(
+        index_factory, algorithm_factory, queries, ops
+    )
+    report.epochs_seen = len(expectations)
+
+    index = index_factory()
+    service = _make_service(index, algorithm_factory, enable_admin=False)
+
+    def reader(worker_id: int, port: int) -> Tuple[List[float], List[str]]:
+        latencies: List[float] = []
+        problems: List[str] = []
+        order = list(queries)
+        wrng = random.Random(f"{seed}:stream:{worker_id}")
+        with ServeClient("127.0.0.1", port, max_retries=0) as client:
+            for _ in range(rounds):
+                wrng.shuffle(order)
+                for query in order:
+                    started = time.perf_counter()
+                    response = client.query(list(query.keywords))
+                    latencies.append(time.perf_counter() - started)
+                    if response.status != 200:
+                        problems.append(
+                            f"reader {worker_id} Q={list(query.keywords)}: "
+                            f"HTTP {response.status}: {response.payload}"
+                        )
+                        continue
+                    epoch = tuple(response.payload.get("epoch", ()))
+                    per_query = expectations.get(epoch)
+                    if per_query is None:
+                        problems.append(
+                            f"reader {worker_id} Q={list(query.keywords)}: "
+                            f"pinned unknown epoch {epoch} (torn read?)"
+                        )
+                        continue
+                    actual = _canonical_bytes(response.payload)
+                    if actual != per_query[query.keywords]:
+                        problems.append(
+                            f"reader {worker_id} Q={list(query.keywords)} "
+                            f"epoch {epoch}: differs from single-threaded "
+                            f"evaluation"
+                        )
+        return latencies, problems
+
+    def run_phase(port: int) -> List[List[float]]:
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            futures = [pool.submit(reader, i, port) for i in range(threads)]
+            if mutating:
+                # Stream the whole schedule back-to-back: each mutate
+                # clones copy-on-write and publishes without draining, so
+                # reader latency must stay flat throughout.
+                for op in ops:
+                    service.runtime.mutate(
+                        lambda idx, op=op: apply_op(idx, op)
+                    )
+            all_latencies = []
+            for future in futures:
+                latencies, problems = future.result()
+                all_latencies.append(latencies)
+                report.failures.extend(problems)
+            return all_latencies
+
+    with serve_in_thread(service) as server:
+        mutating = False
+        idle = [x for lat in run_phase(server.port) for x in lat]
+        # Reset to the baseline snapshot so phase two replays the same
+        # epoch schedule the expectations were computed for.
+        service.runtime.reload(index_factory())
+        mutating = True
+        under = [x for lat in run_phase(server.port) for x in lat]
+
+    report.requests = len(idle) + len(under)
+    report.idle_p99 = _p99(idle)
+    report.mutate_p99 = _p99(under)
+    bound = max(
+        latency_factor * report.idle_p99, report.idle_p99 + latency_slack
+    )
+    if report.mutate_p99 > bound:
+        report.failures.append(
+            f"reader p99 under mutations {report.mutate_p99 * 1000:.1f}ms "
+            f"exceeds bound {bound * 1000:.1f}ms (idle p99 "
+            f"{report.idle_p99 * 1000:.1f}ms x{latency_factor:g} + "
+            f"{latency_slack * 1000:.0f}ms slack) — a mutation is blocking "
+            f"readers"
+        )
     return report
 
 

@@ -691,3 +691,391 @@ class TestConcurrentServing:
                 second = client.query(["C", "D"])
                 assert client._conn.sock is sock, "connection was not reused"
         assert first.status == 200 and second.status == 200
+
+
+# ----------------------------------------------------------------------
+# Copy-on-write runtime: pinning, retirement, non-blocking mutation
+# ----------------------------------------------------------------------
+class TestSnapshotLifecycle:
+    def test_pinned_reader_survives_mutation(self, service):
+        runtime = service.runtime
+        with runtime.pin() as snapshot:
+            digest = snapshot.index.state_digest()
+            graph = snapshot.index.base_graph
+            u, v = next(iter(sorted(graph.edges())))
+            status, payload, _ = post(
+                service, "/admin/mutate", {"op": "delete", "u": u, "v": v}
+            )
+            assert status == 200 and payload["applied"] is True
+            # The writer published past this reader without touching
+            # its pinned generation.
+            assert runtime.current is not snapshot
+            assert snapshot.index.state_digest() == digest
+            assert snapshot.index.base_graph.has_edge(u, v)
+            assert not runtime.current.index.base_graph.has_edge(u, v)
+            assert runtime.pinned_snapshots() == 1
+            assert runtime.stats.retired == 0
+        # Last pin released: the superseded snapshot retires.
+        assert runtime.pinned_snapshots() == 0
+        assert runtime.stats.retired == 1
+
+    def test_unpinned_snapshot_retires_at_publish(self, service):
+        runtime = service.runtime
+        runtime.reload(runtime.current.index.cow_clone())
+        assert runtime.stats.retired == 1
+        assert runtime.stats.reloads == 1
+
+    def test_current_snapshot_release_does_not_retire(self, service):
+        runtime = service.runtime
+        with runtime.pin():
+            pass
+        assert runtime.stats.retired == 0
+
+    def test_pin_does_not_wait_for_a_slow_writer(self, service):
+        import time as _time
+
+        runtime = service.runtime
+        entered = threading.Event()
+
+        def slow_mutation(index):
+            entered.set()
+            _time.sleep(0.5)
+            return True
+
+        writer = threading.Thread(
+            target=lambda: runtime.mutate(slow_mutation)
+        )
+        writer.start()
+        try:
+            assert entered.wait(2.0)
+            started = _time.monotonic()
+            with runtime.pin() as snapshot:
+                elapsed = _time.monotonic() - started
+                result = snapshot.evaluator.evaluate(
+                    KeywordQuery(["A", "B"])
+                )
+            assert elapsed < 0.25, "pin blocked behind an in-flight writer"
+            assert result.answers
+        finally:
+            writer.join()
+
+    def test_mutation_failure_publishes_nothing(self, service):
+        runtime = service.runtime
+        before = runtime.current
+
+        def exploding(index):
+            index.base_graph  # touch the clone, then fail
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            runtime.mutate(exploding)
+        assert runtime.current is before
+        assert runtime.stats.publishes == 0
+
+
+# ----------------------------------------------------------------------
+# Drain discipline and graceful shutdown
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_draining_sheds_everything_but_introspection(self, service):
+        service.begin_drain()
+        assert service.draining is True
+        status, payload, extra = post(
+            service, "/query", {"keywords": ["A", "B"]}
+        )
+        assert status == 503
+        assert payload["reason"] == "draining"
+        assert "Retry-After" in extra
+        status, payload, _ = service.handle("GET", "/healthz", b"", {})
+        assert status == 200
+        assert payload["draining"] is True
+        status, _, _ = service.handle("GET", "/metrics", b"", {})
+        assert status == 200
+
+    def test_drain_with_no_inflight_returns_quickly(self, service):
+        assert service.drain(deadline_seconds=1.0) is True
+
+    def test_healthz_reports_snapshot_accounting(self, service):
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        post(service, "/admin/mutate", {"op": "delete", "u": u, "v": v})
+        _, payload, _ = service.handle("GET", "/healthz", b"", {})
+        assert payload["retired_snapshots"] == 1
+        assert payload["pinned_snapshots"] == 0
+        assert payload["draining"] is False
+
+    def test_shutdown_gracefully_drains_then_stops(
+        self, random_graph_factory, small_ontology
+    ):
+        from repro.serve.server import shutdown_gracefully, start_server
+
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(enable_admin=True),
+        )
+        server = start_server(service)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        with ServeClient("127.0.0.1", server.port) as client:
+            assert client.healthz().ok
+        assert shutdown_gracefully(server, thread, drain_deadline=2.0)
+        assert service.draining is True
+        assert not thread.is_alive()
+        # The in-process contract after shutdown: still shedding.
+        status, _, _ = post(service, "/query", {"keywords": ["A", "B"]})
+        assert status == 503
+
+
+# ----------------------------------------------------------------------
+# /admin/digest
+# ----------------------------------------------------------------------
+class TestDigestEndpoint:
+    def test_digest_matches_state(self, service):
+        status, payload, _ = service.handle("GET", "/admin/digest", b"", {})
+        assert status == 200
+        snapshot = service.runtime.current
+        assert payload["digest"] == snapshot.index.state_digest()
+        assert payload["epoch"] == list(snapshot.epoch)
+        assert payload["serial"] == snapshot.serial
+
+    def test_digest_tracks_mutations(self, service):
+        _, before, _ = service.handle("GET", "/admin/digest", b"", {})
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        post(service, "/admin/mutate", {"op": "delete", "u": u, "v": v})
+        _, after, _ = service.handle("GET", "/admin/digest", b"", {})
+        assert after["digest"] != before["digest"]
+
+    def test_digest_requires_admin(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(enable_admin=False),
+        )
+        status, _, _ = service.handle("GET", "/admin/digest", b"", {})
+        assert status == 403
+
+
+# ----------------------------------------------------------------------
+# Durable mutate: WAL-before-ack
+# ----------------------------------------------------------------------
+class TestDurableMutate:
+    def _durable_service(
+        self, tmp_path, random_graph_factory, small_ontology
+    ):
+        from repro.core.wal import MutationWAL
+        from repro.core.plugins import boost as boost_factory
+
+        index = build_index(random_graph_factory, small_ontology)
+        wal = MutationWAL(str(tmp_path / "mutations.wal"))
+        wal.open()
+
+        def evaluator_factory(idx):
+            return boost_factory(
+                BackwardKeywordSearch(d_max=4, k=10),
+                idx,
+                allow_layer_zero=True,
+            ).evaluator
+
+        runtime = EngineRuntime(index, evaluator_factory, wal=wal)
+        return QueryService(
+            runtime, config=ServerConfig(enable_admin=True)
+        ), wal
+
+    def test_applied_mutation_is_logged_before_ack(
+        self, tmp_path, random_graph_factory, small_ontology
+    ):
+        from repro.core.wal import read_wal
+
+        service, wal = self._durable_service(
+            tmp_path, random_graph_factory, small_ontology
+        )
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        status, payload, _ = post(
+            service, "/admin/mutate", {"op": "delete", "u": u, "v": v}
+        )
+        assert status == 200
+        assert payload["applied"] is True
+        assert payload["durable"] is True
+        records = read_wal(wal.path).records
+        assert [r.op for r in records] == [
+            {"op": "delete", "u": u, "v": v}
+        ]
+
+    def test_noop_mutation_skips_the_log(
+        self, tmp_path, random_graph_factory, small_ontology
+    ):
+        service, wal = self._durable_service(
+            tmp_path, random_graph_factory, small_ontology
+        )
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        status, payload, _ = post(
+            service, "/admin/mutate", {"op": "insert", "u": u, "v": v}
+        )
+        assert status == 200
+        assert payload["applied"] is False
+        assert payload["durable"] is True
+        assert wal.record_count == 0
+
+    def test_without_wal_mutations_are_not_durable(self, service):
+        graph = service.runtime.current.index.base_graph
+        u, v = next(iter(sorted(graph.edges())))
+        _, payload, _ = post(
+            service, "/admin/mutate", {"op": "delete", "u": u, "v": v}
+        )
+        assert payload["durable"] is False
+
+
+# ----------------------------------------------------------------------
+# Client retry and backoff
+# ----------------------------------------------------------------------
+class _ScriptedHandler:
+    """Builds a BaseHTTPRequestHandler that replays a status script."""
+
+    @staticmethod
+    def build(script, headers_per_status=None):
+        import http.server
+
+        state = {"hits": 0}
+        extra_headers = headers_per_status or {}
+
+        class Handler(http.server.BaseHTTPRequestHandler):
+            protocol_version = "HTTP/1.1"
+
+            def do_GET(self):  # noqa: N802
+                index = min(state["hits"], len(script) - 1)
+                state["hits"] += 1
+                status = script[index]
+                body = json.dumps({"status": status}).encode()
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                for key, value in extra_headers.get(status, {}).items():
+                    self.send_header(key, value)
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, fmt, *args):  # noqa: A002
+                pass
+
+        return Handler, state
+
+
+class TestClientRetry:
+    def _serve_script(self, script, headers_per_status=None):
+        import contextlib
+        import http.server
+
+        handler, state = _ScriptedHandler.build(script, headers_per_status)
+
+        @contextlib.contextmanager
+        def running():
+            server = http.server.ThreadingHTTPServer(
+                ("127.0.0.1", 0), handler
+            )
+            thread = threading.Thread(
+                target=server.serve_forever, daemon=True
+            )
+            thread.start()
+            try:
+                yield server.server_address[1], state
+            finally:
+                server.shutdown()
+                server.server_close()
+                thread.join(timeout=5.0)
+
+        return running()
+
+    def test_shed_is_retried_until_success(self):
+        with self._serve_script([503, 503, 200]) as (port, state):
+            client = ServeClient(
+                "127.0.0.1", port,
+                max_retries=2, backoff_base=0.001, backoff_cap=0.002,
+                rng=random.Random(0),
+            )
+            with client:
+                response = client.request("GET", "/healthz")
+        assert response.status == 200
+        assert response.attempts == 3
+        assert state["hits"] == 3
+
+    def test_exhausted_retries_return_the_shed(self):
+        with self._serve_script([503, 503, 503, 503]) as (port, state):
+            client = ServeClient(
+                "127.0.0.1", port,
+                max_retries=2, backoff_base=0.001, backoff_cap=0.002,
+                rng=random.Random(0),
+            )
+            with client:
+                response = client.request("GET", "/healthz")
+        assert response.status == 503
+        assert response.attempts == 3
+
+    def test_zero_retries_observes_raw_backpressure(self):
+        with self._serve_script([503, 200]) as (port, state):
+            with ServeClient("127.0.0.1", port, max_retries=0) as client:
+                response = client.request("GET", "/healthz")
+        assert response.status == 503
+        assert response.attempts == 1
+        assert state["hits"] == 1
+
+    def test_degraded_retried_once_only_when_opted_in(self):
+        with self._serve_script([429, 429, 429]) as (port, state):
+            client = ServeClient(
+                "127.0.0.1", port,
+                max_retries=3, backoff_base=0.001, backoff_cap=0.002,
+                retry_degraded=True, rng=random.Random(0),
+            )
+            with client:
+                response = client.request("GET", "/healthz")
+        assert response.status == 429
+        assert response.attempts == 2  # exactly one extra attempt
+        with self._serve_script([429, 200]) as (port, state):
+            with ServeClient("127.0.0.1", port, max_retries=3) as client:
+                response = client.request("GET", "/healthz")
+        assert response.status == 429
+        assert response.attempts == 1  # a degraded answer is an answer
+
+    def test_backoff_growth_jitter_and_retry_after(self, monkeypatch):
+        import repro.serve.client as client_module
+
+        sleeps = []
+        monkeypatch.setattr(
+            client_module.time, "sleep", lambda s: sleeps.append(s)
+        )
+        client = ServeClient(
+            "127.0.0.1", 1,
+            backoff_base=0.1, backoff_cap=0.4, rng=random.Random(7),
+        )
+        for attempt in (1, 2, 3, 4):
+            client._backoff(attempt, None)
+        # Exponential up to the cap, scaled by jitter in [0.5, 1.0].
+        for i, nominal in enumerate([0.1, 0.2, 0.4, 0.4]):
+            assert 0.5 * nominal <= sleeps[i] <= nominal
+        sleeps.clear()
+        client._backoff(1, "0.3")  # server hint raises the wait
+        assert sleeps[0] >= 0.3
+        sleeps.clear()
+        client._backoff(1, "99")  # ... but stays capped
+        assert sleeps[0] <= 0.4
+        sleeps.clear()
+        client._backoff(1, "not-a-number")  # unparsable hint ignored
+        assert sleeps[0] <= 0.1
+
+    def test_reconnects_after_dropped_socket(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(),
+        )
+        with serve_in_thread(service) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                assert client.healthz().ok
+                client._conn.sock.close()  # sever the keep-alive socket
+                response = client.healthz()
+                assert response.ok
+                assert response.attempts == 2
