@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""CI smoke for the v4 mmap index container.
+
+Round-trips a real index (synt-1k, 2 layers) through the v4 binary
+format and holds it to the format's core promises:
+
+* the mmap-backed reload has the same ``state_digest`` as the
+  heap-built original (zero-copy views must be semantically invisible);
+* every graph in the reload reports itself mmap-backed;
+* the v4 -> v3 -> v4 conversion chain (``repro-bigindex persist``)
+  preserves the digest end to end;
+* the v4 cold load is faster than the v3 cold load (the headline
+  acceptance criterion, asserted here only loosely — >= 2x — because CI
+  machines are noisy; the committed BENCH_hotpaths.json pins the real
+  ratio).
+
+Writes a JSON report for the artifact upload and exits non-zero on any
+violated contract.
+
+Usage:
+    PYTHONPATH=src python scripts/persist_smoke.py --out persist-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.core.cost import CostParams
+from repro.core.index import BiGIndex
+from repro.core.persistence import load_index, save_index
+from repro.datasets.synthetic import synthetic_dataset
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="synt-1k")
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required v4-vs-v3 cold-load ratio (loose; "
+                             "the bench baseline pins the real number)")
+    parser.add_argument("--out", default="persist-report.json")
+    args = parser.parse_args()
+
+    graph, ontology = synthetic_dataset(args.dataset, seed=args.seed)
+    built = BiGIndex.build(
+        graph,
+        ontology,
+        num_layers=args.layers,
+        cost_params=CostParams(num_samples=25),
+    )
+    want = built.state_digest()
+    report = {
+        "dataset": args.dataset,
+        "layers": built.num_layers,
+        "digest": want,
+        "failures": [],
+    }
+
+    def fail(message: str) -> None:
+        report["failures"].append(message)
+        print(f"FAIL: {message}", file=sys.stderr)
+
+    with tempfile.TemporaryDirectory(prefix="persist-smoke-") as tmp:
+        v4_dir = os.path.join(tmp, "idx-v4")
+        v3_dir = os.path.join(tmp, "idx-v3")
+        save_index(built, v4_dir, format=4)
+        save_index(built, v3_dir, format=3)
+        report["v4_bytes"] = sum(
+            os.path.getsize(os.path.join(v4_dir, name))
+            for name in os.listdir(v4_dir)
+        )
+        report["v3_bytes"] = sum(
+            os.path.getsize(os.path.join(v3_dir, name))
+            for name in os.listdir(v3_dir)
+        )
+
+        start = time.perf_counter()
+        v4 = load_index(v4_dir, ontology)
+        report["v4_load_seconds"] = time.perf_counter() - start
+        start = time.perf_counter()
+        load_index(v3_dir, ontology)
+        report["v3_load_seconds"] = time.perf_counter() - start
+        if report["v4_load_seconds"] > 0:
+            report["load_speedup"] = round(
+                report["v3_load_seconds"] / report["v4_load_seconds"], 2
+            )
+
+        got = v4.state_digest()
+        if got != want:
+            fail(f"v4 round trip changed the digest: {got} != {want}")
+        graphs = [v4.layer_graph(m) for m in range(v4.num_layers + 1)]
+        heap_resident = [
+            m for m, g in enumerate(graphs) if not g.is_mmap_backed
+        ]
+        report["mmap_backed"] = not heap_resident
+        if heap_resident:
+            fail(f"graphs {heap_resident} are heap-resident after a v4 "
+                 f"load; the container should serve them zero-copy")
+
+        # Conversion chain: v4 -> v3 -> v4, digests stable throughout.
+        down = os.path.join(tmp, "down-v3")
+        up = os.path.join(tmp, "up-v4")
+        save_index(v4, down, format=3)
+        save_index(load_index(down, ontology), up, format=4)
+        chained = load_index(up, ontology).state_digest()
+        if chained != want:
+            fail(f"v4 -> v3 -> v4 chain drifted: {chained} != {want}")
+
+        speedup = report.get("load_speedup", 0.0)
+        if speedup < args.min_speedup:
+            fail(f"v4 cold load only {speedup}x faster than v3 "
+                 f"(required >= {args.min_speedup}x)")
+
+    report["ok"] = not report["failures"]
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"persist smoke: {'OK' if report['ok'] else 'FAIL'} "
+        f"(digest {want[:12]}..., v4 load "
+        f"{report['v4_load_seconds'] * 1e3:.1f} ms, "
+        f"{report.get('load_speedup', 0.0)}x vs v3)"
+    )
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

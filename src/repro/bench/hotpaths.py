@@ -21,6 +21,17 @@ Suite (full mode)
   count, which is machine-independent.
 * ``build.synt-1k`` — a 2-layer ``BiGIndex.build``, serial and with a
   worker pool; best of two runs.
+* ``persist.save.*`` / ``persist.load.cold.*`` — round-trip the query
+  index through both on-disk formats: v3 text files and the v4 mmap
+  container.  Cold loads include full manifest verification (every
+  section hashed), so the numbers are what a process restart actually
+  pays.  ``persist.load.v3_vs_v4.speedup`` and the v4 load's
+  resident-set delta are recorded as evidence, not gated (the speedup
+  floor is an acceptance criterion checked at bless time; RSS is
+  machine-bound).
+* ``serve.coldstart`` — restart-to-first-answer: load the v4 index from
+  disk, bind a boosted searcher, and answer the first probe query.  Its
+  answer count is exact-gated.
 * ``query.cold`` / ``query.warm`` / ``query.batch`` — the full boosted
   query path (``eval_Ont`` via ``boost-bkws``) over the probe queries on
   a 2-layer index: cold drops every cache (CSR, postings, ``Gen``/
@@ -103,6 +114,23 @@ def peak_rss_kib() -> Optional[int]:
     except ImportError:  # pragma: no cover - non-Unix
         return None
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def current_rss_kib() -> Optional[int]:
+    """Resident set size *right now* in KiB (None off-Linux).
+
+    Unlike :func:`peak_rss_kib` this can go down, so deltas across a
+    single operation are meaningful — e.g. how much resident memory a
+    cold index load actually faults in.
+    """
+    import os
+
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as handle:
+            pages = int(handle.read().split()[1])
+    except (OSError, ValueError, IndexError):  # pragma: no cover
+        return None
+    return pages * os.sysconf("SC_PAGESIZE") // 1024
 
 
 def calibration_seconds(repeats: int = 3) -> float:
@@ -485,6 +513,67 @@ def run_suite(
         )
     metrics["serve.read.idle_p99.seconds"] = _p99(idle_samples)
     metrics["serve.read.mutate_p99.seconds"] = _p99(under_samples)
+
+    # --- persistence: v3 text files vs the v4 mmap container -------------
+    # Cold loads go through the full path a restart pays: manifest
+    # verification (every binary section re-hashed), then format-specific
+    # materialization — JSON/TSV parsing for v3, mmap + memoryview views
+    # for v4.  Saves are timed too so the container format can't buy its
+    # load speed with a pathological write path.
+    import os
+    import tempfile
+
+    from repro.core.persistence import load_index, save_index
+
+    qontology = corpus[0][2] if quick else ontology
+    persist_repeats = min(2, repeats)
+    with tempfile.TemporaryDirectory(prefix="bench-persist-") as tmp:
+        v3_dir = os.path.join(tmp, "idx-v3")
+        v4_dir = os.path.join(tmp, "idx-v4")
+        elapsed, _ = _best_of(
+            lambda: save_index(qindex, v3_dir, format=3), persist_repeats
+        )
+        metrics["persist.save.v3.seconds"] = elapsed
+        elapsed, _ = _best_of(
+            lambda: save_index(qindex, v4_dir, format=4), persist_repeats
+        )
+        metrics["persist.save.v4.seconds"] = elapsed
+
+        elapsed, _ = _best_of(
+            lambda: load_index(v3_dir, qontology), persist_repeats
+        )
+        metrics["persist.load.cold.v3.seconds"] = elapsed
+        rss_before = current_rss_kib()
+        elapsed, _ = _best_of(
+            lambda: load_index(v4_dir, qontology), persist_repeats
+        )
+        rss_after = current_rss_kib()
+        metrics["persist.load.cold.v4.seconds"] = elapsed
+        if rss_before is not None and rss_after is not None:
+            metrics["persist.load.cold.v4.rss_delta_kib"] = (
+                rss_after - rss_before
+            )
+        if elapsed > 0:
+            metrics["persist.load.v3_vs_v4.speedup"] = round(
+                metrics["persist.load.cold.v3.seconds"] / elapsed, 2
+            )
+
+        # Restart-to-first-answer: what a freshly exec'd server pays
+        # before it can serve its first query from the v4 container.
+        first_query = queries[0]
+
+        def coldstart() -> int:
+            restarted = load_index(v4_dir, qontology)
+            boosted = boost(
+                BackwardKeywordSearch(d_max=3, k=10),
+                restarted,
+                allow_layer_zero=True,
+            )
+            return len(boosted.evaluate_resilient(first_query).answers)
+
+        elapsed, coldstart_answers = _best_of(coldstart, persist_repeats)
+        metrics["serve.coldstart.seconds"] = elapsed
+        metrics["serve.coldstart.answers"] = coldstart_answers
 
     rss = peak_rss_kib()
     if rss is not None:

@@ -63,18 +63,21 @@ class Layer:
         ``G^i = Bisim(Gen(G^{i-1}, C^i))``.
     parent_of:
         ``parent_of[v]`` is the supernode of layer-(i-1) vertex ``v`` —
-        the per-layer ``chi`` map.
+        the per-layer ``chi`` map.  A plain list on heap-built indexes;
+        a zero-copy :class:`repro.core.binfmt.IntVector` when loaded
+        from a v4 container (the two compare equal element-wise).
     extent:
         ``extent[s]`` lists the layer-(i-1) vertices of supernode ``s`` —
-        the per-layer ``chi^{-1}`` hash table.
+        the per-layer ``chi^{-1}`` hash table.  List-of-lists on heap
+        builds, :class:`repro.core.binfmt.ExtentTable` on v4 loads.
     build_seconds:
         Wall-clock construction time of this layer (Exp-3).
     """
 
     config: Configuration
     graph: Graph
-    parent_of: List[int]
-    extent: List[List[int]]
+    parent_of: Sequence[int]
+    extent: Sequence[Sequence[int]]
     build_seconds: float = 0.0
 
 

@@ -45,7 +45,13 @@ def graph_to_payload(graph: Graph) -> GraphPayload:
     """Snapshot ``graph`` into a compact picklable payload."""
     csr = graph.csr()
     labels = [graph.label(v) for v in range(graph.num_vertices)]
-    return (labels, csr.out_offsets, csr.out_targets)
+
+    def picklable(buf) -> array:
+        # mmap-backed graphs expose CSR buffers as memoryviews, which
+        # cannot cross a process boundary; copy those into arrays.
+        return buf if isinstance(buf, array) else array("i", bytes(buf))
+
+    return (labels, picklable(csr.out_offsets), picklable(csr.out_targets))
 
 
 def payload_to_graph(payload: GraphPayload) -> Graph:

@@ -4,25 +4,39 @@ The paper treats index construction as an offline step ("BiG-index takes
 20 minutes ... to construct the indexes for YAGO3") whose product is
 loaded at query time ("BiG-index loads the m-th layer from the disk",
 Sec. 5.1).  This module provides that persistence: a built
-:class:`~repro.core.index.BiGIndex` round-trips through a directory of
-TSV/JSON files, so construction cost is paid once per dataset.
+:class:`~repro.core.index.BiGIndex` round-trips through a directory, so
+construction cost is paid once per dataset.
 
-Layout (one directory per index)::
+Two formats are written:
 
-    meta.json                 {"num_layers": h, "direction": ..., "version": 3}
-    manifest.json             {"algorithm": "sha256", "files": {...}}
-    base.nodes / base.edges   the data graph (repro.graph.io format)
-    base.postings.json        keyword postings: label -> sorted vertex ids
-    layer<i>.nodes / .edges   summary graph of layer i
-    layer<i>.config.json      the configuration C^i
-    layer<i>.parents.txt      parent_of: one supernode id per line
-    layer<i>.postings.json    keyword postings of layer i
+* **v4 (default)** — one binary container holds every hot payload::
 
-The extents are reconstructed from ``parent_of`` on load.  Postings are
-new in format version 3: they pre-warm each graph's per-label seed-hit
-index so a restarted server answers its first query without a postings
-build.  Version-2 directories (no postings files) still load — the
-postings are simply rebuilt lazily on first use.
+      meta.json                 {"num_layers": h, "direction": ..., "version": 4}
+      manifest.json             {"algorithm": "sha256", "files": ..., "binary": ...}
+      index.v4.bin              sectioned zero-copy container (repro.core.binfmt)
+      layer<i>.config.json      the configuration C^i (small, human-auditable)
+
+  The container packs CSR adjacency, per-label keyword postings,
+  ``parent_of`` vectors and Bisim⁻¹ extent tables as little-endian i32
+  sections.  Loading is ``mmap`` + ``memoryview.cast``: no per-element
+  parsing, cold starts cost page-table setup instead of a JSON walk, and
+  layers larger than RAM page in on demand.  Loaded graphs serve reads
+  zero-copy and detach to heap structures on their first mutation
+  (:meth:`repro.graph.digraph.Graph._materialize`), so WAL replay and
+  the serve runtime's copy-on-write snapshots work unchanged.
+
+* **v3 (``save_index(..., format=3)``)** — the legacy TSV/JSON layout::
+
+      base.nodes / base.edges   the data graph (repro.graph.io format)
+      base.postings.json        keyword postings: label -> sorted vertex ids
+      layer<i>.nodes / .edges   summary graph of layer i
+      layer<i>.config.json      the configuration C^i
+      layer<i>.parents.txt      parent_of: one supernode id per line
+      layer<i>.postings.json    keyword postings of layer i
+
+  Extents are reconstructed from ``parent_of`` on load.  Version-2
+  directories (no postings files) still load — postings are rebuilt
+  lazily on first use.
 
 Crash safety and integrity
 --------------------------
@@ -34,12 +48,19 @@ briefly becomes ``<directory>.stale`` and is removed after the swap).  A
 crash at any point leaves either the old index or the new one — never a
 torn mix.
 
+The v4 container is blessed at *section* granularity: the manifest's
+``"binary"`` block records the SHA-256 of the section table and of every
+section's bytes, plus a whole-file hash that also covers the header and
+alignment padding.  Verification therefore reports corruption by section
+name ("checksum mismatch for index.v4.bin section 'layer2.parent_of'")
+instead of an opaque file-level mismatch.
+
 :func:`load_index` verifies the manifest before trusting any file and
 classifies failures:
 
 * :class:`~repro.utils.errors.IndexVersionError` — the on-disk format
-  version is not this code's (checked *before* checksums, so a foreign
-  version is reported as such rather than as corruption);
+  version is not one this code reads (checked *before* checksums, so a
+  foreign version is reported as such rather than as corruption);
 * :class:`~repro.utils.errors.IndexCorruptedError` — missing files,
   checksum mismatches, or structurally invalid contents.
 
@@ -56,12 +77,19 @@ import json
 import os
 import shutil
 import tempfile
-from typing import Dict, List
+from array import array
+from typing import Any, Dict, List
 
+from repro.core.binfmt import (
+    ExtentTable,
+    IntVector,
+    SectionFile,
+    SectionWriter,
+)
 from repro.core.config import Configuration
 from repro.core.index import BiGIndex, Layer
 from repro.core.wal import WAL_NAME, recover_wal, replay_wal
-from repro.graph.digraph import Graph
+from repro.graph.digraph import FrozenAdjacency, Graph, LabelTable
 from repro.graph.io import load_graph_tsv, save_graph_tsv
 from repro.obs.runtime import OBS
 from repro.ontology.ontology import OntologyGraph
@@ -72,15 +100,23 @@ from repro.utils.errors import (
     IndexVersionError,
 )
 
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 
-#: Format versions this build can read; only the current one is written.
-#: Version 2 predates the persisted keyword postings (label -> sorted
-#: vertex ids per graph) and loads with lazily rebuilt postings instead.
-SUPPORTED_VERSIONS = (2, 3)
+#: Format versions this build can read.  Version 2 predates the persisted
+#: keyword postings (rebuilt lazily on load); version 3 is the TSV/JSON
+#: layout; version 4 is the mmap-backed binary container.  Versions 3 and
+#: 4 can both be written (``save_index(..., format=3)`` keeps an index
+#: readable by older builds).
+SUPPORTED_VERSIONS = (2, 3, 4)
+
+#: Format versions :func:`save_index` can write.
+WRITABLE_VERSIONS = (3, 4)
 
 #: Name of the checksum manifest inside an index directory.
 MANIFEST_NAME = "manifest.json"
+
+#: Name of the v4 binary container inside an index directory.
+BINARY_NAME = "index.v4.bin"
 
 
 # ----------------------------------------------------------------------
@@ -98,14 +134,17 @@ def compute_manifest(directory: str) -> Dict[str, str]:
     """Checksum every regular file in ``directory`` except the manifest.
 
     Returns ``{filename: sha256-hex}`` sorted by name.  Subdirectories are
-    ignored (an index directory has none).
+    ignored (an index directory has none).  The v4 container is excluded
+    here — it is blessed per *section* under the manifest's ``"binary"``
+    key so corruption can be reported by section name.
     """
     checksums: Dict[str, str] = {}
     for name in sorted(os.listdir(directory)):
-        if name == MANIFEST_NAME or name == WAL_NAME:
+        if name in (MANIFEST_NAME, WAL_NAME, BINARY_NAME):
             # The mutation WAL changes after every acked mutation and is
             # self-checksummed per record; blessing it in the manifest
-            # would fail verification after the first append.
+            # would fail verification after the first append.  The binary
+            # container gets its own section-granular manifest block.
             continue
         path = os.path.join(directory, name)
         if os.path.isfile(path):
@@ -113,17 +152,36 @@ def compute_manifest(directory: str) -> Dict[str, str]:
     return checksums
 
 
+def _binary_manifest(path: str) -> Dict[str, Any]:
+    """Section-granular checksums for one v4 container file."""
+    container = SectionFile(path)
+    try:
+        sections = container.section_digests()
+        toc_sha = container.toc_sha256
+    finally:
+        container.close()
+    return {
+        "file_sha256": _sha256_file(path),
+        "toc_sha256": toc_sha,
+        "sections": sections,
+    }
+
+
 def write_manifest(directory: str) -> str:
     """(Re-)write ``manifest.json`` for ``directory``; returns its path.
 
     Used by :func:`save_index` while staging, and available to operators
     (and the fault-injection tests) to re-bless an index whose files were
-    edited deliberately.
+    edited deliberately.  A present ``index.v4.bin`` is blessed section
+    by section under the ``"binary"`` key.
     """
-    manifest = {
+    manifest: Dict[str, Any] = {
         "algorithm": "sha256",
         "files": compute_manifest(directory),
     }
+    binary_path = os.path.join(directory, BINARY_NAME)
+    if os.path.isfile(binary_path):
+        manifest["binary"] = {BINARY_NAME: _binary_manifest(binary_path)}
     path = os.path.join(directory, MANIFEST_NAME)
     with open(path, "w", encoding="utf-8") as f:
         json.dump(manifest, f, indent=2, sort_keys=True)
@@ -145,6 +203,9 @@ def _verify_manifest(directory: str) -> None:
             manifest = json.load(f)
         files = manifest["files"]
         algorithm = manifest.get("algorithm", "sha256")
+        binary = manifest.get("binary", {})
+        if not isinstance(binary, dict):
+            raise TypeError("'binary' is not an object")
     except (json.JSONDecodeError, KeyError, TypeError) as exc:
         raise IndexCorruptedError(
             f"unreadable index manifest {manifest_path}: {exc}"
@@ -165,12 +226,73 @@ def _verify_manifest(directory: str) -> None:
                 "(truncated or tampered; re-bless with write_manifest "
                 "if the edit was deliberate)"
             )
+    for name, entry in sorted(binary.items()):
+        _verify_binary(directory, name, entry, manifest_path)
+
+
+def _verify_binary(
+    directory: str, name: str, entry: Any, manifest_path: str
+) -> None:
+    """Verify one blessed v4 container, naming the damaged section."""
+    if not isinstance(entry, dict) or not isinstance(
+        entry.get("sections"), dict
+    ):
+        raise IndexCorruptedError(
+            f"unreadable index manifest {manifest_path}: invalid binary "
+            f"entry for {name!r}"
+        )
+    path = os.path.join(directory, name)
+    if not os.path.exists(path):
+        raise IndexCorruptedError(f"index file missing: {path}")
+    # Opening parses header + section table; structural damage (bad
+    # magic, out-of-bounds toc, truncated sections) raises with its own
+    # precise message.
+    container = SectionFile(path)
+    try:
+        expected_sections: Dict[str, str] = entry["sections"]
+        if container.toc_sha256 != entry.get("toc_sha256"):
+            raise IndexCorruptedError(
+                f"checksum mismatch for {path} section table (torn write "
+                "or tampered; re-bless with write_manifest if the edit "
+                "was deliberate)"
+            )
+        actual_sections = container.section_digests()
+        for section in sorted(expected_sections):
+            if section not in actual_sections:
+                raise IndexCorruptedError(
+                    f"{path}: section {section!r} missing from container"
+                )
+            if actual_sections[section] != expected_sections[section]:
+                raise IndexCorruptedError(
+                    f"checksum mismatch for {path} section {section!r}: "
+                    f"manifest says {expected_sections[section][:12]}..., "
+                    f"section hashes to {actual_sections[section][:12]}... "
+                    "(truncated or tampered; re-bless with write_manifest "
+                    "if the edit was deliberate)"
+                )
+        extra = sorted(set(actual_sections) - set(expected_sections))
+        if extra:
+            raise IndexCorruptedError(
+                f"{path}: sections {extra} not blessed by the manifest"
+            )
+    finally:
+        container.close()
+    # Whole-file hash last: catches damage outside any section (header
+    # bytes, alignment padding) that the per-section pass cannot see.
+    actual_file = _sha256_file(path)
+    if actual_file != entry.get("file_sha256"):
+        raise IndexCorruptedError(
+            f"checksum mismatch for {path}: bytes outside the blessed "
+            "sections changed (header or padding; truncated or tampered)"
+        )
 
 
 # ----------------------------------------------------------------------
 # Save
 # ----------------------------------------------------------------------
-def save_index(index: BiGIndex, directory: str) -> None:
+def save_index(
+    index: BiGIndex, directory: str, format: int = FORMAT_VERSION
+) -> None:
     """Atomically write ``index`` (graphs, configs, parent maps).
 
     The files are staged in a temporary sibling directory, checksummed
@@ -178,7 +300,16 @@ def save_index(index: BiGIndex, directory: str) -> None:
     mid-save never leaves a torn index at ``directory``.  If the swap
     itself is interrupted the previous index survives at
     ``<directory>.stale`` (see docs/ROBUSTNESS.md for the runbook).
+
+    ``format`` selects the on-disk layout: 4 (default) writes the binary
+    zero-copy container, 3 the legacy TSV/JSON layout readable by older
+    builds.
     """
+    if format not in WRITABLE_VERSIONS:
+        raise BigIndexError(
+            f"cannot write index format version {format!r} "
+            f"(writable versions: {WRITABLE_VERSIONS})"
+        )
     directory = os.path.abspath(directory)
     parent = os.path.dirname(directory)
     os.makedirs(parent, exist_ok=True)
@@ -186,10 +317,10 @@ def save_index(index: BiGIndex, directory: str) -> None:
         prefix=os.path.basename(directory) + ".tmp-", dir=parent
     )
     with OBS.tracer.span(
-        "index-save", layers=index.num_layers
+        "index-save", layers=index.num_layers, format=format
     ) as save_span:
         try:
-            _write_index_files(index, staging)
+            _write_index_files(index, staging, format=format)
             write_manifest(staging)
             if OBS.enabled:
                 names = os.listdir(staging)
@@ -216,10 +347,12 @@ def save_index(index: BiGIndex, directory: str) -> None:
             raise
 
 
-def _write_index_files(index: BiGIndex, directory: str) -> None:
+def _write_index_files(
+    index: BiGIndex, directory: str, format: int = FORMAT_VERSION
+) -> None:
     """Write the index's files (without manifest) into ``directory``."""
     meta = {
-        "version": FORMAT_VERSION,
+        "version": format,
         "num_layers": index.num_layers,
         "direction": index.direction.value,
     }
@@ -228,16 +361,21 @@ def _write_index_files(index: BiGIndex, directory: str) -> None:
         json.dump(meta, f, indent=2)
         f.flush()
         os.fsync(f.fileno())
+    for i, layer in enumerate(index.layers, start=1):
+        config_path = os.path.join(directory, f"layer{i}.config.json")
+        with open(config_path, "w", encoding="utf-8") as f:
+            json.dump(layer.config.mappings, f, indent=2, sort_keys=True)
+            f.flush()
+            os.fsync(f.fileno())
+    if format >= 4:
+        _write_v4_container(index, os.path.join(directory, BINARY_NAME))
+        return
     save_graph_tsv(index.base_graph, os.path.join(directory, "base"))
     _write_postings(index.base_graph, os.path.join(directory, "base"))
     for i, layer in enumerate(index.layers, start=1):
         prefix = os.path.join(directory, f"layer{i}")
         save_graph_tsv(layer.graph, prefix)
         _write_postings(layer.graph, prefix)
-        with open(prefix + ".config.json", "w", encoding="utf-8") as f:
-            json.dump(layer.config.mappings, f, indent=2, sort_keys=True)
-            f.flush()
-            os.fsync(f.fileno())
         with open(prefix + ".parents.txt", "w", encoding="utf-8") as f:
             for supernode in layer.parent_of:
                 f.write(f"{supernode}\n")
@@ -245,10 +383,87 @@ def _write_index_files(index: BiGIndex, directory: str) -> None:
             os.fsync(f.fileno())
 
 
+def _write_v4_container(index: BiGIndex, path: str) -> None:
+    """Stream the index's hot payloads into one v4 binary container.
+
+    Re-saving an mmap-loaded index stays zero-copy end to end: the CSR
+    buffers, label vector and posting arrays are handed to the section
+    writer as the loaded views themselves.
+    """
+    writer = SectionWriter(path)
+    writer.add_json("labels.table", list(index.base_graph.label_table))
+    _write_graph_sections(writer, "base", index.base_graph)
+    for i, layer in enumerate(index.layers, start=1):
+        tag = f"layer{i}"
+        _write_graph_sections(writer, tag, layer.graph)
+        writer.add_ints(f"{tag}.parent_of", layer.parent_of)
+        offsets = array("i", [0])
+        total = 0
+        for members in layer.extent:
+            total += len(members)
+            offsets.append(total)
+        writer.add_ints(f"{tag}.extent_offsets", offsets)
+        writer.add_ints(
+            f"{tag}.extent_children",
+            (child for members in layer.extent for child in members),
+        )
+    writer.close()
+
+
+def _write_graph_sections(
+    writer: SectionWriter, tag: str, graph: Graph
+) -> None:
+    """Write one graph's sections (labels, CSR, postings, names)."""
+    writer.add_ints(f"{tag}.labels", graph.labels)
+    csr = graph.csr()
+    writer.add_ints(f"{tag}.out_offsets", csr.out_offsets)
+    writer.add_ints(f"{tag}.out_targets", csr.out_targets)
+    writer.add_ints(f"{tag}.in_offsets", csr.in_offsets)
+    writer.add_ints(f"{tag}.in_targets", csr.in_targets)
+    items = graph.postings_items_by_id()
+    post_labels = array("i")
+    post_offsets = array("i", [0])
+    total = 0
+    for label_id, posting in items:
+        post_labels.append(label_id)
+        total += len(posting)
+        post_offsets.append(total)
+    writer.add_ints(f"{tag}.post_labels", post_labels)
+    writer.add_ints(f"{tag}.post_offsets", post_offsets)
+    writer.add_ints(
+        f"{tag}.post_ids",
+        (v for _label_id, posting in items for v in posting),
+    )
+    writer.add_json(
+        f"{tag}.names",
+        {str(v): name for v, name in sorted(graph.names.items())},
+    )
+
+
 def _write_postings(graph: Graph, prefix: str) -> None:
-    """Write ``<prefix>.postings.json``: label -> sorted vertex ids."""
+    """Write ``<prefix>.postings.json``: label -> sorted vertex ids.
+
+    Streamed one label at a time: ``json.dump`` over the whole snapshot
+    would materialize every posting list simultaneously, which defeats
+    the point of zero-copy postings when re-saving a huge loaded index.
+    The output is byte-identical to ``json.dump(..., sort_keys=True)``.
+    """
+    label_of = graph.label_table.label_of
+    entries = sorted(
+        (label_of(label_id), posting)
+        for label_id, posting in graph.postings_items_by_id()
+    )
     with open(prefix + ".postings.json", "w", encoding="utf-8") as f:
-        json.dump(graph.postings_snapshot(), f, sort_keys=True)
+        f.write("{")
+        first = True
+        for label, posting in entries:
+            if not first:
+                f.write(", ")
+            first = False
+            f.write(json.dumps(label))
+            f.write(": ")
+            f.write(json.dumps(list(posting)))
+        f.write("}")
         f.flush()
         os.fsync(f.fileno())
 
@@ -298,6 +513,11 @@ def load_index(
     re-validated against it, so a changed ontology loads fine — matching
     the maintenance semantics of Sec. 3.2 (ontology additions never
     invalidate an index).
+
+    A v4 directory loads zero-copy: graphs, parent maps and extent
+    tables are views over the mmapped container, and answer every read
+    exactly like their heap-built twins.  The first mutation (including
+    a WAL replay below) detaches the affected graph to heap structures.
 
     When ``replay_wal_tail`` is true (the default) and the directory
     holds a ``mutations.wal``, its valid record prefix is replayed on
@@ -366,6 +586,9 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
             f"invalid index metadata in {meta_path}: {exc}"
         ) from exc
 
+    if version >= 4:
+        return _load_v4(directory, ontology, num_layers, direction)
+
     base_prefix = os.path.join(directory, "base")
     base_graph, base_map = load_graph_tsv(base_prefix)
     _require_dense(base_map, "base")
@@ -380,18 +603,7 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
         _require_dense(id_map, f"layer{i}")
         if version >= 3:
             _load_postings(graph, prefix)
-        config_path = prefix + ".config.json"
-        try:
-            with open(config_path, "r", encoding="utf-8") as f:
-                config = Configuration(json.load(f))
-        except FileNotFoundError as exc:
-            raise IndexCorruptedError(
-                f"index file missing: {config_path}"
-            ) from exc
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise IndexCorruptedError(
-                f"unreadable layer config {config_path}: {exc}"
-            ) from exc
+        config = _load_config(prefix + ".config.json")
         parent_of = _load_parents(prefix + ".parents.txt")
         below = index.layer_graph(i - 1)
         if len(parent_of) != below.num_vertices:
@@ -420,6 +632,160 @@ def _load_index_impl(directory: str, ontology: OntologyGraph) -> BiGIndex:
             )
         )
     return index
+
+
+def _load_v4(
+    directory: str,
+    ontology: OntologyGraph,
+    num_layers: int,
+    direction,
+) -> BiGIndex:
+    """Load a v4 directory: mmap the container, wrap views, validate.
+
+    Validation is O(n) scans over int views (range checks, offset
+    monotonicity) — the expensive content integrity was already settled
+    by the manifest's per-section checksums.
+    """
+    container = SectionFile(os.path.join(directory, BINARY_NAME))
+    label_strings = container.json("labels.table")
+    if not isinstance(label_strings, list) or not all(
+        isinstance(label, str) for label in label_strings
+    ):
+        raise IndexCorruptedError(
+            f"{container.path}: section 'labels.table' is not a list of "
+            "label strings"
+        )
+    label_table = LabelTable(label_strings)
+    base_graph = _graph_from_sections(container, "base", label_table)
+    index = BiGIndex(base_graph, ontology, direction=direction)
+
+    for i in range(1, num_layers + 1):
+        tag = f"layer{i}"
+        graph = _graph_from_sections(container, tag, label_table)
+        config = _load_config(os.path.join(directory, f"{tag}.config.json"))
+        parent_of = container.ints(f"{tag}.parent_of")
+        below = index.layer_graph(i - 1)
+        if len(parent_of) != below.num_vertices:
+            raise IndexCorruptedError(
+                f"layer {i} parent map covers {len(parent_of)} vertices, "
+                f"expected {below.num_vertices}"
+            )
+        n_super = graph.num_vertices
+        if len(parent_of):
+            lowest, highest = min(parent_of), max(parent_of)
+            if lowest < 0 or highest >= n_super:
+                bad = lowest if lowest < 0 else highest
+                raise IndexCorruptedError(
+                    f"layer {i} parent map references unknown supernode "
+                    f"{bad}"
+                )
+        ext_offsets = container.ints(f"{tag}.extent_offsets")
+        ext_children = container.ints(f"{tag}.extent_children")
+        if (
+            len(ext_offsets) != n_super + 1
+            or ext_offsets[0] != 0
+            or ext_offsets[n_super] != len(ext_children)
+            or len(ext_children) != below.num_vertices
+        ):
+            raise IndexCorruptedError(
+                f"layer {i} extent table is inconsistent with "
+                f"{n_super} supernodes over {below.num_vertices} children"
+            )
+        for s in range(n_super):
+            if ext_offsets[s + 1] <= ext_offsets[s]:
+                raise IndexCorruptedError(
+                    f"layer {i} has an empty supernode extent"
+                )
+        index.layers.append(
+            Layer(
+                config=config,
+                graph=graph,
+                parent_of=IntVector(parent_of),
+                extent=ExtentTable(ext_offsets, ext_children),
+            )
+        )
+    return index
+
+
+def _graph_from_sections(
+    container: SectionFile, tag: str, label_table: LabelTable
+) -> Graph:
+    """One graph as zero-copy views over the container's sections."""
+    labels = container.ints(f"{tag}.labels")
+    n = len(labels)
+    out_offsets = container.ints(f"{tag}.out_offsets")
+    out_targets = container.ints(f"{tag}.out_targets")
+    in_offsets = container.ints(f"{tag}.in_offsets")
+    in_targets = container.ints(f"{tag}.in_targets")
+    for what, offsets, targets in (
+        ("out", out_offsets, out_targets),
+        ("in", in_offsets, in_targets),
+    ):
+        if (
+            len(offsets) != n + 1
+            or offsets[0] != 0
+            or offsets[n] != len(targets)
+        ):
+            raise IndexCorruptedError(
+                f"{container.path}: {tag} {what}-adjacency is inconsistent "
+                f"with {n} vertices"
+            )
+    if len(out_targets) != len(in_targets):
+        raise IndexCorruptedError(
+            f"{container.path}: {tag} out/in edge counts disagree "
+            f"({len(out_targets)} vs {len(in_targets)})"
+        )
+    if n and (min(labels) < 0 or max(labels) >= len(label_table)):
+        raise IndexCorruptedError(
+            f"{container.path}: {tag} labels reference an unknown label id"
+        )
+    post_labels = container.ints(f"{tag}.post_labels")
+    post_offsets = container.ints(f"{tag}.post_offsets")
+    post_ids = container.ints(f"{tag}.post_ids")
+    if (
+        len(post_offsets) != len(post_labels) + 1
+        or post_offsets[0] != 0
+        or post_offsets[len(post_labels)] != len(post_ids)
+    ):
+        raise IndexCorruptedError(
+            f"{container.path}: {tag} posting offsets are inconsistent"
+        )
+    names_raw = container.json(f"{tag}.names")
+    if not isinstance(names_raw, dict):
+        raise IndexCorruptedError(
+            f"{container.path}: section {tag + '.names'!r} is not an object"
+        )
+    try:
+        names = {int(v): str(name) for v, name in names_raw.items()}
+    except ValueError as exc:
+        raise IndexCorruptedError(
+            f"{container.path}: section {tag + '.names'!r} has a "
+            f"non-integer vertex key: {exc}"
+        ) from exc
+    frozen = FrozenAdjacency(
+        out_offsets,
+        out_targets,
+        in_offsets,
+        in_targets,
+        post_labels,
+        post_offsets,
+        post_ids,
+        owner=container,
+    )
+    return Graph.from_frozen(label_table, labels, frozen, names)
+
+
+def _load_config(path: str) -> Configuration:
+    """Parse one ``layer<i>.config.json``."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return Configuration(json.load(f))
+    except FileNotFoundError as exc:
+        raise IndexCorruptedError(f"index file missing: {path}") from exc
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise IndexCorruptedError(
+            f"unreadable layer config {path}: {exc}"
+        ) from exc
 
 
 def _load_parents(path: str) -> List[int]:

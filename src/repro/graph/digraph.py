@@ -134,6 +134,107 @@ class CSRView:
     def in_degree(self, v: int) -> int:
         return self.in_offsets[v + 1] - self.in_offsets[v]
 
+    @classmethod
+    def from_arrays(
+        cls,
+        num_vertices: int,
+        out_offsets: Sequence[int],
+        out_targets: Sequence[int],
+        in_offsets: Sequence[int],
+        in_targets: Sequence[int],
+    ) -> "CSRView":
+        """Wrap pre-packed offset/target buffers without re-packing.
+
+        The zero-copy load path (index format v4) hands in ``memoryview``
+        slices over an mmap; heap callers may pass ``array('i')``.  The
+        buffers must already satisfy the CSR invariants — this is a
+        trusted constructor, validation happens in the persistence layer.
+        """
+        view = cls.__new__(cls)
+        view.num_vertices = num_vertices
+        view.out_offsets = out_offsets
+        view.out_targets = out_targets
+        view.in_offsets = in_offsets
+        view.in_targets = in_targets
+        return view
+
+
+class FrozenAdjacency:
+    """The retained zero-copy payload of an mmap-loaded graph.
+
+    Holds the CSR buffers and packed postings (``memoryview`` slices
+    into the container mmap, or arrays on the big-endian fallback) plus
+    a reference to the owning reader so the mapping outlives every view.
+    A frozen :class:`Graph` keeps one of these instead of ``_out`` /
+    ``_in`` / ``_edge_set`` / ``_label_index``; the first mutation
+    materializes heap structures and drops it (see
+    :meth:`Graph._materialize`).
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "out_offsets",
+        "out_targets",
+        "in_offsets",
+        "in_targets",
+        "post_labels",
+        "post_offsets",
+        "post_ids",
+        "owner",
+        "_post_row",
+    )
+
+    def __init__(
+        self,
+        out_offsets: Sequence[int],
+        out_targets: Sequence[int],
+        in_offsets: Sequence[int],
+        in_targets: Sequence[int],
+        post_labels: Sequence[int],
+        post_offsets: Sequence[int],
+        post_ids: Sequence[int],
+        owner: object = None,
+    ) -> None:
+        self.num_vertices = len(out_offsets) - 1
+        self.out_offsets = out_offsets
+        self.out_targets = out_targets
+        self.in_offsets = in_offsets
+        self.in_targets = in_targets
+        self.post_labels = post_labels
+        self.post_offsets = post_offsets
+        self.post_ids = post_ids
+        self.owner = owner
+        self._post_row: Optional[Dict[int, int]] = None
+
+    def make_csr(self) -> CSRView:
+        return CSRView.from_arrays(
+            self.num_vertices,
+            self.out_offsets,
+            self.out_targets,
+            self.in_offsets,
+            self.in_targets,
+        )
+
+    def _row_of(self, label_id: int) -> Optional[int]:
+        if self._post_row is None:
+            self._post_row = {
+                lid: row for row, lid in enumerate(self.post_labels)
+            }
+        return self._post_row.get(label_id)
+
+    def posting(self, label_id: int) -> Sequence[int]:
+        """Sorted vertex ids carrying ``label_id`` (zero-copy slice)."""
+        row = self._row_of(label_id)
+        if row is None:
+            return ()
+        return self.post_ids[
+            self.post_offsets[row] : self.post_offsets[row + 1]
+        ]
+
+    def label_ids(self) -> Sequence[int]:
+        """Label ids with at least one vertex."""
+        return self.post_labels
+
 
 def _pack_csr(adjacency: List[List[int]]) -> Tuple[array, array]:
     """Pack a list-of-lists adjacency into (offsets, targets) int arrays."""
@@ -198,12 +299,102 @@ class Graph:
         self._cow_out: Optional[Set[int]] = None
         self._cow_in: Optional[Set[int]] = None
         self._cow_labels: Optional[Set[int]] = None
+        # Zero-copy payload of an mmap-loaded graph; ``None`` for heap
+        # graphs.  While set (and _out is None) adjacency and postings
+        # are served from its buffers (see from_frozen / _materialize).
+        self._frozen: Optional[FrozenAdjacency] = None
+
+    @classmethod
+    def from_frozen(
+        cls,
+        label_table: LabelTable,
+        labels: Sequence[int],
+        frozen: FrozenAdjacency,
+        names: Optional[Dict[int, str]] = None,
+    ) -> "Graph":
+        """A graph served directly from loaded zero-copy buffers.
+
+        ``labels`` and the buffers inside ``frozen`` are typically
+        ``memoryview`` slices over an index container mmap; nothing is
+        parsed or copied here, so constructing the graph is O(1) in the
+        graph size.  The result answers every read exactly like a
+        heap-built twin; the first mutation detaches to heap structures
+        exactly once (:meth:`_materialize`), so the WAL-replay and
+        copy-on-write mutation paths work unchanged.
+        """
+        graph = cls.__new__(cls)
+        graph.labels = labels  # type: ignore[assignment] - read-only view
+        graph._out = None  # type: ignore[assignment]
+        graph._in = None  # type: ignore[assignment]
+        graph._edge_set = None  # type: ignore[assignment]
+        graph._label_index = None  # type: ignore[assignment]
+        graph._num_edges = len(frozen.out_targets)
+        graph.label_table = label_table
+        graph.names = dict(names) if names else {}
+        graph.mutation_epoch = 0
+        graph._csr = None
+        graph._posting_cache = {}
+        graph._cow_out = None
+        graph._cow_in = None
+        graph._cow_labels = None
+        graph._frozen = frozen
+        return graph
+
+    @property
+    def is_mmap_backed(self) -> bool:
+        """Whether reads are still served from loaded zero-copy buffers.
+
+        Flips to ``False`` permanently after the first mutation
+        (:meth:`_materialize` detaches to heap structures).
+        """
+        return self._out is None
+
+    def _materialize(self) -> None:
+        """Detach an mmap-backed graph to owned heap structures, once.
+
+        Called by every mutator before it writes.  Rebuilds ``_out`` /
+        ``_in`` in CSR order (which is insertion order — the v4 writer
+        preserves it), the edge set, and the label index, then drops the
+        frozen payload; subsequent mutations take the normal in-place
+        path.  A no-op for heap graphs, so the hot mutation path pays
+        one ``is not None`` check.
+        """
+        if self._out is not None:
+            return
+        csr = self.csr()
+        n = csr.num_vertices
+        out_targets, out_offsets = csr.out_targets, csr.out_offsets
+        in_targets, in_offsets = csr.in_targets, csr.in_offsets
+        self._out = [
+            list(out_targets[out_offsets[v] : out_offsets[v + 1]])
+            for v in range(n)
+        ]
+        self._in = [
+            list(in_targets[in_offsets[v] : in_offsets[v + 1]])
+            for v in range(n)
+        ]
+        self._edge_set = {
+            (u, v) for u in range(n) for v in self._out[u]
+        }
+        self.labels = list(self.labels)
+        label_index: Dict[int, Set[int]] = {}
+        for v, label_id in enumerate(self.labels):
+            label_index.setdefault(label_id, set()).add(v)
+        self._label_index = label_index
+        self._cow_out = None
+        self._cow_in = None
+        self._cow_labels = None
+        self._frozen = None
+        self._csr = None
+        if OBS.enabled:
+            OBS.metrics.inc("persist.mmap.detaches")
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def add_vertex(self, label: str, name: Optional[str] = None) -> int:
         """Add a vertex with ``label`` and return its id."""
+        self._materialize()
         vid = len(self.labels)
         label_id = self.label_table.intern(label)
         self.labels.append(label_id)
@@ -221,6 +412,7 @@ class Graph:
         """Add a vertex by pre-interned label id (fast path for builders)."""
         if not 0 <= label_id < len(self.label_table):
             raise GraphError(f"label id {label_id} not in label table")
+        self._materialize()
         vid = len(self.labels)
         self.labels.append(label_id)
         self._out.append([])
@@ -239,6 +431,7 @@ class Graph:
         """
         self._check_vertex(u)
         self._check_vertex(v)
+        self._materialize()
         if (u, v) in self._edge_set:
             return False
         self._edge_set.add((u, v))
@@ -251,8 +444,9 @@ class Graph:
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the directed edge ``(u, v)``; raise if absent."""
-        if (u, v) not in self._edge_set:
+        if not self.has_edge(u, v):
             raise GraphError(f"edge ({u}, {v}) not in graph")
+        self._materialize()
         self._edge_set.remove((u, v))
         self._own_out_row(u).remove(v)
         self._own_in_row(v).remove(u)
@@ -316,6 +510,7 @@ class Graph:
         old_id = self.labels[v]
         if old_id == new_label_id:
             return
+        self._materialize()
         old_set = self._own_label_set(old_id)
         old_set.discard(v)
         if not old_set:
@@ -350,32 +545,53 @@ class Graph:
 
     def edges(self) -> Iterator[Tuple[int, int]]:
         """Iterate over all edges as ``(u, v)`` pairs."""
+        if self._out is None:
+            csr = self.csr()
+            offsets, targets = csr.out_offsets, csr.out_targets
+            for u in range(self.num_vertices):
+                for k in range(offsets[u], offsets[u + 1]):
+                    yield (u, targets[k])
+            return
         for u in range(self.num_vertices):
             for v in self._out[u]:
                 yield (u, v)
 
     def has_edge(self, u: int, v: int) -> bool:
-        """Return whether edge ``(u, v)`` exists (O(1))."""
+        """Return whether edge ``(u, v)`` exists (O(1) on heap graphs)."""
+        if self._edge_set is None:
+            if not (
+                0 <= u < self.num_vertices and 0 <= v < self.num_vertices
+            ):
+                return False
+            return v in self.csr().out_neighbors(u)
         return (u, v) in self._edge_set
 
-    def out_neighbors(self, v: int) -> List[int]:
-        """Successors of ``v`` (the list is owned by the graph; do not mutate)."""
+    def out_neighbors(self, v: int) -> Sequence[int]:
+        """Successors of ``v`` (owned by the graph; do not mutate)."""
         self._check_vertex(v)
+        if self._out is None:
+            return self.csr().out_neighbors(v)
         return self._out[v]
 
-    def in_neighbors(self, v: int) -> List[int]:
-        """Predecessors of ``v`` (the list is owned by the graph; do not mutate)."""
+    def in_neighbors(self, v: int) -> Sequence[int]:
+        """Predecessors of ``v`` (owned by the graph; do not mutate)."""
         self._check_vertex(v)
+        if self._in is None:
+            return self.csr().in_neighbors(v)
         return self._in[v]
 
     def out_degree(self, v: int) -> int:
         """Number of out-edges of ``v``."""
         self._check_vertex(v)
+        if self._out is None:
+            return self.csr().out_degree(v)
         return len(self._out[v])
 
     def in_degree(self, v: int) -> int:
         """Number of in-edges of ``v``."""
         self._check_vertex(v)
+        if self._in is None:
+            return self.csr().in_degree(v)
         return len(self._in[v])
 
     def degree(self, v: int) -> int:
@@ -405,7 +621,12 @@ class Graph:
         """
         view = self._csr
         if view is None:
-            view = CSRView(self._out, self._in)
+            if self._out is None:
+                # mmap-backed: the CSR is the loaded buffers themselves —
+                # resurrecting after drop_caches() costs five slot writes.
+                view = self._frozen.make_csr()
+            else:
+                view = CSRView(self._out, self._in)
             self._csr = view
             if OBS.enabled:
                 OBS.metrics.inc("csr.builds")
@@ -422,10 +643,16 @@ class Graph:
         """
         cached = self._posting_cache.get(label_id)
         if cached is None:
-            cached = tuple(sorted(self._label_index.get(label_id, ())))
+            if self._label_index is None:
+                # Loaded postings are already sorted; the tuple copy is
+                # per *queried* label, so cold start stays O(1) and does
+                # not count as a postings *build* (v4 loads start warm).
+                cached = tuple(self._frozen.posting(label_id))
+            else:
+                cached = tuple(sorted(self._label_index.get(label_id, ())))
+                if OBS.enabled:
+                    OBS.metrics.inc("postings.build")
             self._posting_cache[label_id] = cached
-            if OBS.enabled:
-                OBS.metrics.inc("postings.build")
         return cached
 
     def sorted_vertices_with_label(self, label: str) -> Tuple[int, ...]:
@@ -444,9 +671,30 @@ class Graph:
         lookup warm.
         """
         return {
-            self.label_table.label_of(label_id): sorted(vertex_set)
-            for label_id, vertex_set in self._label_index.items()
+            self.label_table.label_of(label_id): list(posting)
+            for label_id, posting in self.postings_items_by_id()
         }
+
+    def postings_items_by_id(self) -> List[Tuple[int, Sequence[int]]]:
+        """``(label_id, sorted vertex ids)`` pairs in ascending label id.
+
+        The building block for persistence writers: on a heap graph the
+        lists are sorted fresh from the label index; on an mmap-backed
+        graph they are zero-copy slices of the loaded posting arrays, so
+        re-saving a loaded index never materializes the inverted index.
+        Only labels with at least one vertex appear (same contract as
+        :meth:`postings_snapshot`).
+        """
+        if self._label_index is None:
+            frozen = self._frozen
+            return [
+                (label_id, frozen.posting(label_id))
+                for label_id in sorted(frozen.label_ids())
+            ]
+        return [
+            (label_id, sorted(vertex_set))
+            for label_id, vertex_set in sorted(self._label_index.items())
+        ]
 
     def preload_postings(self, postings: Mapping[str, Sequence[int]]) -> None:
         """Install precomputed posting lists (e.g. from a saved index).
@@ -464,7 +712,11 @@ class Graph:
                     f"posting list for unknown label {label!r}"
                 )
             posting = tuple(ids)
-            if list(posting) != sorted(self._label_index.get(label_id, ())):
+            if self._label_index is None:
+                expected = list(self._frozen.posting(label_id))
+            else:
+                expected = sorted(self._label_index.get(label_id, ()))
+            if list(posting) != expected:
                 raise GraphError(
                     f"posting list for label {label!r} does not match the "
                     "graph's label index"
@@ -488,10 +740,12 @@ class Graph:
         label_id = self.label_table.get_id(label)
         if label_id is None:
             return set()
-        return set(self._label_index.get(label_id, ()))
+        return self.vertices_with_label_id(label_id)
 
     def vertices_with_label_id(self, label_id: int) -> Set[int]:
         """All vertices with the interned label id (empty set when absent)."""
+        if self._label_index is None:
+            return set(self._frozen.posting(label_id))
         return set(self._label_index.get(label_id, ()))
 
     def label_support(self, label: str) -> int:
@@ -499,23 +753,28 @@ class Graph:
         label_id = self.label_table.get_id(label)
         if label_id is None:
             return 0
+        if self._label_index is None:
+            return len(self._frozen.posting(label_id))
         return len(self._label_index.get(label_id, ()))
 
     def distinct_labels(self) -> Set[str]:
         """The set of labels actually used by some vertex."""
         return {
-            self.label_table.label_of(label_id) for label_id in self._label_index
+            self.label_table.label_of(label_id)
+            for label_id in self.distinct_label_ids()
         }
 
     def distinct_label_ids(self) -> Set[int]:
         """The set of label ids actually used by some vertex."""
+        if self._label_index is None:
+            return set(self._frozen.label_ids())
         return set(self._label_index)
 
     def label_histogram(self) -> Dict[str, int]:
         """Map of label -> number of vertices carrying it."""
         return {
-            self.label_table.label_of(label_id): len(vertex_set)
-            for label_id, vertex_set in self._label_index.items()
+            self.label_table.label_of(label_id): len(posting)
+            for label_id, posting in self.postings_items_by_id()
         }
 
     # ------------------------------------------------------------------
@@ -532,13 +791,28 @@ class Graph:
         )
         clone = Graph(table)
         clone.labels = list(self.labels)
-        clone._out = [list(adj) for adj in self._out]
-        clone._in = [list(adj) for adj in self._in]
-        clone._edge_set = set(self._edge_set)
-        clone._label_index = {
-            label_id: set(vertex_set)
-            for label_id, vertex_set in self._label_index.items()
-        }
+        if self._out is None:
+            # mmap-backed: build the heap copy from the CSR buffers
+            # without detaching this graph (it stays zero-copy).
+            csr = self.csr()
+            n = csr.num_vertices
+            clone._out = [list(csr.out_neighbors(v)) for v in range(n)]
+            clone._in = [list(csr.in_neighbors(v)) for v in range(n)]
+            clone._edge_set = {
+                (u, v) for u in range(n) for v in clone._out[u]
+            }
+            clone._label_index = {
+                label_id: set(posting)
+                for label_id, posting in self.postings_items_by_id()
+            }
+        else:
+            clone._out = [list(adj) for adj in self._out]
+            clone._in = [list(adj) for adj in self._in]
+            clone._edge_set = set(self._edge_set)
+            clone._label_index = {
+                label_id: set(vertex_set)
+                for label_id, vertex_set in self._label_index.items()
+            }
         clone._num_edges = self._num_edges
         clone.names = dict(self.names)
         return clone
@@ -560,20 +834,36 @@ class Graph:
         O(|V| + |E|).
         """
         clone = Graph.__new__(Graph)
-        clone.labels = list(self.labels)
-        clone._out = list(self._out)
-        clone._in = list(self._in)
-        clone._edge_set = set(self._edge_set)
-        clone._label_index = dict(self._label_index)
+        if self._out is None:
+            # mmap-backed: share the frozen buffers outright.  The
+            # clone's first mutation runs _materialize(), which builds
+            # fully private heap structures — detaching *is* the
+            # copy-on-write step, so no per-row bookkeeping is needed.
+            clone.labels = self.labels
+            clone._out = None
+            clone._in = None
+            clone._edge_set = None
+            clone._label_index = None
+            clone._cow_out = None
+            clone._cow_in = None
+            clone._cow_labels = None
+            clone._frozen = self._frozen
+        else:
+            clone.labels = list(self.labels)
+            clone._out = list(self._out)
+            clone._in = list(self._in)
+            clone._edge_set = set(self._edge_set)
+            clone._label_index = dict(self._label_index)
+            clone._cow_out = set()
+            clone._cow_in = set()
+            clone._cow_labels = set()
+            clone._frozen = None
         clone._num_edges = self._num_edges
         clone.label_table = self.label_table
         clone.names = dict(self.names)
         clone.mutation_epoch = self.mutation_epoch
         clone._csr = self._csr
         clone._posting_cache = dict(self._posting_cache)
-        clone._cow_out = set()
-        clone._cow_in = set()
-        clone._cow_labels = set()
         if OBS.enabled:
             OBS.metrics.inc("cow.graph.clones")
         return clone
@@ -594,8 +884,12 @@ class Graph:
             self._check_vertex(v)
             mapping[v] = sub.add_vertex_with_label_id(self.labels[v])
         member = set(ordered)
+        successors = (
+            self.csr().out_neighbors if self._out is None
+            else self._out.__getitem__
+        )
         for v in ordered:
-            for w in self._out[v]:
+            for w in successors(v):
                 if w in member:
                     sub.add_edge(mapping[v], mapping[w])
         return sub, mapping
@@ -623,7 +917,12 @@ def validate_same_topology(left: Graph, right: Graph) -> bool:
     Generalization (Sec. 3.1) must only rewrite labels; this check is used
     in tests to assert the topology is untouched.
     """
-    return (
-        left.num_vertices == right.num_vertices
-        and left._edge_set == right._edge_set  # noqa: SLF001 - deliberate
-    )
+    if left.num_vertices != right.num_vertices:
+        return False
+
+    def edge_set(graph: Graph) -> Set[Tuple[int, int]]:
+        if graph._edge_set is None:  # noqa: SLF001 - mmap-backed graph
+            return set(graph.edges())
+        return graph._edge_set  # noqa: SLF001 - deliberate
+
+    return edge_set(left) == edge_set(right)

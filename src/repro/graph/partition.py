@@ -94,7 +94,7 @@ def partition_bfs_grow(graph: Graph, target_block_size: int) -> Partition:
         while queue and len(members) < target_block_size:
             v = queue.popleft()
             members.append(v)
-            for w in graph.out_neighbors(v) + graph.in_neighbors(v):
+            for w in [*graph.out_neighbors(v), *graph.in_neighbors(v)]:
                 if block_of[w] == -1 and len(members) + len(queue) < target_block_size:
                     block_of[w] = block_id
                     queue.append(w)

@@ -32,7 +32,9 @@ def _neighbor_fn(graph: Graph, direction: str):
     if direction == BACKWARD:
         return csr.in_neighbors
     if direction == BOTH:
-        return lambda v: csr.out_neighbors(v) + csr.in_neighbors(v)
+        # Splat instead of `+`: neighbor slices are memoryviews on an
+        # mmap-loaded graph, and memoryview has no concatenation.
+        return lambda v: [*csr.out_neighbors(v), *csr.in_neighbors(v)]
     raise GraphError(f"unknown traversal direction: {direction!r}")
 
 

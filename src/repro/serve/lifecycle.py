@@ -133,6 +133,22 @@ class Snapshot:
     epoch: Tuple[int, int]
     serial: int = 0
 
+    @property
+    def storage_kind(self) -> str:
+        """Where this snapshot's graphs live: ``"mmap"`` when every
+        graph is still zero-copy over the v4 container, ``"heap"`` when
+        none is, ``"mixed"`` after some (but not all) detached — e.g. a
+        WAL replay materialized the base graph while the summary layers
+        stayed frozen."""
+        graphs = [
+            self.index.layer_graph(m)
+            for m in range(self.index.num_layers + 1)
+        ]
+        frozen = sum(1 for g in graphs if g.is_mmap_backed)
+        if frozen == 0:
+            return "heap"
+        return "mmap" if frozen == len(graphs) else "mixed"
+
 
 @dataclass
 class RuntimeStats:

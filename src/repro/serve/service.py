@@ -520,6 +520,7 @@ class QueryService:
                 "serial": snapshot.serial,
                 "layers": snapshot.index.num_layers,
                 "layer_sizes": snapshot.index.layer_sizes(),
+                "storage": snapshot.storage_kind,
                 "inflight": self.admission.inflight,
                 "reserved_expansions": self.admission.reserved_expansions,
                 "mutations": stats.mutations,

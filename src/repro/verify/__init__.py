@@ -26,6 +26,7 @@ from repro.verify.auditor import AuditReport, Violation, audit_index
 from repro.verify.faults import FaultFinding, FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzFailure, FuzzReport, fuzz_index, shrink_ops
 from repro.verify.oracle import DifferentialOracle, Divergence, OracleReport
+from repro.verify.persistcheck import PersistReport, run_persistence_drill
 from repro.verify.runner import VerifyReport, run_verification
 
 __all__ = [
@@ -37,11 +38,13 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "OracleReport",
+    "PersistReport",
     "VerifyReport",
     "Violation",
     "audit_index",
     "fuzz_index",
     "run_fault_injection",
+    "run_persistence_drill",
     "run_verification",
     "shrink_ops",
 ]

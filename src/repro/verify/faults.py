@@ -39,14 +39,17 @@ import json
 import os
 import random
 import shutil
+import struct
 import tempfile
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
+from repro.core.binfmt import SectionFile
 from repro.core.cost import CostParams
 from repro.core.evaluator import eval_direct
 from repro.core.index import BiGIndex
 from repro.core.persistence import (
+    BINARY_NAME,
     MANIFEST_NAME,
     load_index,
     save_index,
@@ -198,11 +201,11 @@ def _storage_drills(
             if os.path.isfile(os.path.join(pristine, name))
         )
 
-        def fresh_copy(tag: str) -> str:
+        def fresh_copy(tag: str, source: str = pristine) -> str:
             target = os.path.join(workdir, tag)
             if os.path.exists(target):
                 shutil.rmtree(target)
-            shutil.copytree(pristine, target)
+            shutil.copytree(source, target)
             return target
 
         # Truncation and a seeded bit flip, per file.
@@ -242,9 +245,60 @@ def _storage_drills(
                 ontology,
             )
 
-        # Re-blessed tampering: write_manifest makes the checksum gate
-        # pass, so the structural validators must catch the damage.
-        target = fresh_copy("parents-noise")
+        # v4 binary container: corruption inside one section must be
+        # reported *by section name*, never load as garbage.
+        target = fresh_copy("section-flip")
+        container_path = os.path.join(target, BINARY_NAME)
+        container = SectionFile(container_path)
+        entry = dict(container.sections["layer1.parent_of"])
+        container.close()
+        flip_at = entry["offset"] + rng.randrange(max(entry["length"], 1))
+        with open(container_path, "r+b") as f:
+            f.seek(flip_at)
+            byte = f.read(1)[0]
+            f.seek(flip_at)
+            f.write(bytes([byte ^ 0x01]))
+        _expect_load_failure(
+            report, "binary:section-flip", "storage/binary-section",
+            target, ontology,
+            expected=IndexCorruptedError, must_mention="section",
+        )
+
+        # Re-blessed binary tampering: write_manifest makes the checksum
+        # gate pass, so the loader's range validation must catch it.
+        target = fresh_copy("binary-range")
+        container_path = os.path.join(target, BINARY_NAME)
+        container = SectionFile(container_path)
+        entry = dict(container.sections["layer1.parent_of"])
+        container.close()
+        with open(container_path, "r+b") as f:
+            f.seek(entry["offset"])
+            f.write(struct.pack("<i", 999999))
+        write_manifest(target)
+        _expect_load_failure(
+            report, "reblessed:binary-range", "storage/deep-parse",
+            target, ontology,
+            expected=IndexCorruptedError, must_mention="unknown supernode",
+        )
+
+        # Legacy v3 layout: re-blessed tampering of the text artifacts —
+        # the structural validators must catch the damage themselves.
+        pristine_v3 = os.path.join(workdir, "pristine-v3")
+        save_index(index, pristine_v3, format=3)
+        report.checks += 1
+        try:
+            load_index(pristine_v3, ontology)
+        except Exception as exc:  # noqa: BLE001
+            report.findings.append(
+                FaultFinding(
+                    "storage/pristine",
+                    "save-load-v3",
+                    f"pristine v3 index failed to load: {exc}",
+                )
+            )
+            return
+
+        target = fresh_copy("parents-noise", source=pristine_v3)
         parents = os.path.join(target, "layer1.parents.txt")
         with open(parents, "a", encoding="utf-8") as f:
             f.write("notanint\n")
@@ -255,7 +309,7 @@ def _storage_drills(
             expected=IndexCorruptedError, must_mention="parents.txt:",
         )
 
-        target = fresh_copy("parents-range")
+        target = fresh_copy("parents-range", source=pristine_v3)
         parents = os.path.join(target, "layer1.parents.txt")
         with open(parents, "r", encoding="utf-8") as f:
             lines = f.read().splitlines()

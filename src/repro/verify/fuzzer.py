@@ -22,7 +22,13 @@ them through the incremental maintenance entry points, and checks:
    cache + per-layer searchers, invalidated by the index epoch) answer
    every probe query exactly like a fresh uncached evaluator after every
    single mutation — the stale-epoch trap a post-sequence check would
-   miss (:class:`_CachedQueryProbe`).
+   miss (:class:`_CachedQueryProbe`);
+5. *interleaved with the ops*, the index survives a save → load-v4
+   round trip: the mmap-backed reload has the same state digest and
+   answers every probe query identically, and mutating the reload (a
+   copy-on-write detach from the container) lands in exactly the same
+   state as the same mutation on the heap-resident original
+   (:class:`_PersistRoundtripProbe`).
 
 A failing sequence is shrunk ddmin-style to a minimal reproducer: each op
 is tentatively dropped and the remainder replayed from a fresh index, so
@@ -232,6 +238,100 @@ class _CachedQueryProbe:
         return problems
 
 
+class _PersistRoundtripProbe:
+    """Save → load-v4 → compare drill interleaved with maintenance ops.
+
+    After every ``every``-th mutation the live index is saved in the v4
+    container format, loaded back (mmap-backed, zero-copy), and held to
+    three standards:
+
+    * the reload's :meth:`~repro.core.index.BiGIndex.state_digest`
+      matches the live index's;
+    * every probe query evaluates to the same outcome on both;
+    * applying one further edge insertion to the reload — which detaches
+      its base graph from the mmap — produces the same digest as the
+      same insertion on a copy-on-write clone of the live index, so the
+      materialized heap state is provably the frozen state.
+    """
+
+    def __init__(
+        self,
+        index: BiGIndex,
+        algorithms: Sequence[KeywordSearchAlgorithm],
+        queries: Sequence[KeywordQuery],
+        every: int = 2,
+    ) -> None:
+        self.index = index
+        self.algorithms = list(algorithms)
+        self.queries = list(queries)
+        self.every = max(1, every)
+        self._ops_seen = 0
+
+    def _fresh_edge(self) -> Optional[Tuple[int, int]]:
+        """A deterministic absent edge for the detach mutation."""
+        graph = self.index.base_graph
+        n = graph.num_vertices
+        for u in range(min(n, 8)):
+            for v in range(min(n, 8)):
+                if u != v and not graph.has_edge(u, v):
+                    return (u, v)
+        return None
+
+    def check(self, context: str) -> List[str]:
+        self._ops_seen += 1
+        if self._ops_seen % self.every:
+            return []
+        import os
+        import tempfile
+
+        from repro.core.persistence import load_index, save_index
+
+        problems: List[str] = []
+        with tempfile.TemporaryDirectory(prefix="fuzz-persist-") as tmp:
+            directory = os.path.join(tmp, "idx")
+            save_index(self.index, directory, format=4)
+            loaded = load_index(directory, self.index.ontology)
+        live_digest = self.index.state_digest()
+        loaded_digest = loaded.state_digest()
+        if loaded_digest != live_digest:
+            problems.append(
+                f"persist-roundtrip ({context}): v4 reload digest "
+                f"{loaded_digest} != live digest {live_digest}"
+            )
+            return problems
+        for algorithm in self.algorithms:
+            live_eval = HierarchicalEvaluator(
+                self.index, algorithm, cache_size=0
+            )
+            loaded_eval = HierarchicalEvaluator(
+                loaded, algorithm, cache_size=0
+            )
+            for query in self.queries:
+                expected = _eval_outcome(live_eval, query)
+                actual = _eval_outcome(loaded_eval, query)
+                if actual != expected:
+                    problems.append(
+                        f"persist-roundtrip ({context}, {algorithm.name}, "
+                        f"Q={list(query.keywords)}): v4 reload outcome "
+                        f"{actual!r} != live outcome {expected!r}"
+                    )
+        edge = self._fresh_edge()
+        if edge is not None:
+            # Same mutation on both sides: the reload detaches from its
+            # container, the clone stays on the heap; they must agree.
+            twin = self.index.cow_clone()
+            twin.insert_edge(*edge)
+            loaded.insert_edge(*edge)
+            if loaded.state_digest() != twin.state_digest():
+                problems.append(
+                    f"persist-roundtrip ({context}): inserting edge "
+                    f"{edge} after the v4 reload diverged from the same "
+                    f"insertion on a heap clone "
+                    f"({loaded.state_digest()} != {twin.state_digest()})"
+                )
+        return problems
+
+
 @dataclass(frozen=True)
 class FuzzFailure:
     """One failing sequence with its minimal reproducer."""
@@ -319,13 +419,20 @@ def _replay_problems(
     algorithms: Sequence[KeywordSearchAlgorithm],
     queries: Sequence[KeywordQuery],
     cache_probe: bool = True,
+    persist_probe: bool = True,
 ) -> List[str]:
     """Replay ``ops`` on a fresh index, mirroring the campaign's checks
-    (including the interleaved cache probe, so cache failures shrink)."""
+    (including the interleaved cache and persistence probes, so their
+    failures shrink)."""
     index = index_factory()
     probe = (
         _CachedQueryProbe(index, algorithms, queries)
         if cache_probe and algorithms and queries
+        else None
+    )
+    persist = (
+        _PersistRoundtripProbe(index, algorithms, queries)
+        if persist_probe
         else None
     )
     problems: List[str] = []
@@ -335,6 +442,8 @@ def _replay_problems(
         apply_op(index, op)
         if probe is not None:
             problems.extend(probe.check(f"after op {position}"))
+        if persist is not None:
+            problems.extend(persist.check(f"after op {position}"))
     problems.extend(check_equivalence(index, algorithms, queries))
     return problems
 
@@ -345,6 +454,7 @@ def shrink_ops(
     algorithms: Sequence[KeywordSearchAlgorithm] = (),
     queries: Sequence[KeywordQuery] = (),
     cache_probe: bool = True,
+    persist_probe: bool = True,
 ) -> List[Op]:
     """Greedy ddmin: drop ops one at a time while the failure persists."""
     current = list(ops)
@@ -354,7 +464,8 @@ def shrink_ops(
         for i in range(len(current)):
             candidate = current[:i] + current[i + 1 :]
             if _replay_problems(
-                index_factory, candidate, algorithms, queries, cache_probe
+                index_factory, candidate, algorithms, queries,
+                cache_probe, persist_probe,
             ):
                 current = candidate
                 changed = True
@@ -371,6 +482,7 @@ def fuzz_index(
     seed: int = 0,
     shrink: bool = True,
     cache_probe: bool = True,
+    persist_probe: bool = True,
 ) -> FuzzReport:
     """Run a fuzzing campaign against incremental maintenance.
 
@@ -393,6 +505,10 @@ def fuzz_index(
     cache_probe:
         Interleave the :class:`_CachedQueryProbe` cached==uncached check
         with the ops (needs ``algorithms`` and ``queries``).
+    persist_probe:
+        Interleave :class:`_PersistRoundtripProbe` save → load-v4
+        round-trip checks (digest, query, and detach identity) with the
+        ops.
     """
     report = FuzzReport(seed=seed)
     for sequence in range(sequences):
@@ -401,6 +517,11 @@ def fuzz_index(
         probe = (
             _CachedQueryProbe(index, algorithms, queries)
             if cache_probe and algorithms and queries
+            else None
+        )
+        persist = (
+            _PersistRoundtripProbe(index, algorithms, queries)
+            if persist_probe
             else None
         )
         problems: List[str] = []
@@ -416,13 +537,16 @@ def fuzz_index(
             ops.append(op)
             if probe is not None:
                 problems.extend(probe.check(f"after op {len(ops)}"))
+            if persist is not None:
+                problems.extend(persist.check(f"after op {len(ops)}"))
         report.sequences_run += 1
         report.ops_applied += len(ops)
         problems.extend(check_equivalence(index, algorithms, queries))
         if problems:
             shrunk = (
                 shrink_ops(
-                    index_factory, ops, algorithms, queries, cache_probe
+                    index_factory, ops, algorithms, queries,
+                    cache_probe, persist_probe,
                 )
                 if shrink
                 else list(ops)

@@ -6,10 +6,12 @@ builds a fresh index, audits the hierarchy invariants (with minimality,
 since the build is from scratch), cross-checks every plugged algorithm
 against direct evaluation with the differential oracle — both exhaustively
 and under a top-k cutoff — fuzzes incremental maintenance against
-rebuilds, and runs the cache-identity drill (cached == uncached
+rebuilds, runs the cache-identity drill (cached == uncached
 evaluation, including across incremental maintenance; see
-:mod:`repro.verify.cachecheck`).  ``--quick`` keeps the corpus and fuzz
-budget CI-sized.
+:mod:`repro.verify.cachecheck`), and runs the persistence round-trip
+drill (v3/v4 save → load identity, conversion chains, mmap detach; see
+:mod:`repro.verify.persistcheck`).  ``--quick`` keeps the corpus and
+fuzz budget CI-sized.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from repro.verify.chaoscheck import ChaosReport, run_chaos_drill
 from repro.verify.faults import FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzReport, Op, _random_op, apply_op, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
+from repro.verify.persistcheck import PersistReport, run_persistence_drill
 from repro.verify.servecheck import (
     ServeReport,
     fuzz_serve,
@@ -58,6 +61,8 @@ class CaseResult:
     fuzz: Optional[FuzzReport] = None
     #: Cached==uncached identity drill (see repro.verify.cachecheck).
     cache: Optional[CacheReport] = None
+    #: On-disk round-trip identity drill (see repro.verify.persistcheck).
+    persist: Optional[PersistReport] = None
     #: Telemetry counters captured while the oracle leg ran (search and
     #: evaluator activity for this case; empty when instrumentation was
     #: unavailable).
@@ -70,12 +75,15 @@ class CaseResult:
             and self.oracle.ok
             and (self.fuzz is None or self.fuzz.ok)
             and (self.cache is None or self.cache.ok)
+            and (self.persist is None or self.persist.ok)
         )
 
     def format(self) -> str:
         status = "OK" if self.ok else "FAIL"
         lines = [f"[{status}] {self.name}"]
-        for part in (self.audit, self.oracle, self.fuzz, self.cache):
+        for part in (
+            self.audit, self.oracle, self.fuzz, self.cache, self.persist
+        ):
             if part is not None:
                 lines.append("  " + part.format().replace("\n", "\n  "))
         shown = {
@@ -241,6 +249,12 @@ def run_verification(
             cache_report = run_cache_drill(
                 build, algorithms[:2], queries
             )
+        persist_report: Optional[PersistReport] = None
+        if quick or case_index == 0:
+            # Own build too: the detach leg mutates the reload.
+            persist_report = run_persistence_drill(
+                build, algorithms[:1], queries[:2]
+            )
         report.cases.append(
             CaseResult(
                 name=name,
@@ -248,6 +262,7 @@ def run_verification(
                 oracle=oracle_report,
                 fuzz=fuzz_report,
                 cache=cache_report,
+                persist=persist_report,
                 counters=inst.metrics.counters(),
             )
         )

@@ -69,13 +69,25 @@ class TestRoundtrip:
         assert before == after
 
     def test_save_creates_expected_files(self, built, tmp_path):
+        # The default format (v4) packs hot payloads into one container.
         directory = str(tmp_path / "idx")
         save_index(built, directory)
+        names = set(os.listdir(directory))
+        assert "meta.json" in names
+        assert "manifest.json" in names
+        assert "index.v4.bin" in names
+        assert "layer1.config.json" in names
+        assert "base.nodes" not in names
+
+    def test_save_v3_creates_legacy_files(self, built, tmp_path):
+        directory = str(tmp_path / "idx")
+        save_index(built, directory, format=3)
         names = set(os.listdir(directory))
         assert "meta.json" in names
         assert "base.nodes" in names and "base.edges" in names
         assert "layer1.config.json" in names
         assert "layer1.parents.txt" in names
+        assert "index.v4.bin" not in names
 
 
 class TestLoadErrors:
@@ -95,7 +107,7 @@ class TestLoadErrors:
 
     def test_truncated_parent_map(self, built, fig2_ontology, tmp_path):
         directory = str(tmp_path / "idx")
-        save_index(built, directory)
+        save_index(built, directory, format=3)
         with open(os.path.join(directory, "layer1.parents.txt"), "w") as f:
             f.write("0\n")
         with pytest.raises(BigIndexError):
@@ -103,7 +115,7 @@ class TestLoadErrors:
 
     def test_out_of_range_parent(self, built, fig2_ontology, tmp_path):
         directory = str(tmp_path / "idx")
-        save_index(built, directory)
+        save_index(built, directory, format=3)
         path = os.path.join(directory, "layer1.parents.txt")
         lines = open(path).read().splitlines()
         lines[0] = "999999"
@@ -117,8 +129,11 @@ class TestIntegrity:
 
     @pytest.fixture
     def saved(self, built, tmp_path):
+        # v3 layout: these drills edit the per-file text artifacts.  The
+        # v4 container's corruption taxonomy is covered by
+        # tests/test_persistence_v4.py.
         directory = str(tmp_path / "idx")
-        save_index(built, directory)
+        save_index(built, directory, format=3)
         return directory
 
     def test_manifest_written_and_covers_every_file(self, saved):
@@ -202,7 +217,7 @@ class TestAtomicity:
         directory = str(tmp_path / "idx")
         save_index(built, directory)
 
-        def explode(index, staging):
+        def explode(index, staging, **kwargs):
             with open(os.path.join(staging, "meta.json"), "w") as f:
                 f.write("{")  # a torn write, then the crash
             raise OSError("disk full")

@@ -140,7 +140,9 @@ def saved(fig1_graph, fig2_ontology, tmp_path):
         fig1_graph, fig2_ontology, num_layers=2, cost_params=EXACT
     )
     directory = str(tmp_path / "idx")
-    save_index(index, directory)
+    # These tests exercise the legacy v3 postings *files*; v4 packs
+    # postings into the binary container (tests/test_persistence_v4.py).
+    save_index(index, directory, format=3)
     return directory
 
 
@@ -158,6 +160,16 @@ class TestPersistedPostings:
             posting = loaded.base_graph.sorted_vertices_with_label(label)
         assert 0 in posting
         assert "postings.build" not in inst.metrics.counters()
+
+    def test_streamed_postings_match_canonical_json(self, saved):
+        # The v3 writer streams one posting list at a time; the bytes
+        # must stay identical to a whole-document json.dump with
+        # sort_keys=True, so existing files and tooling never notice.
+        path = os.path.join(saved, "base.postings.json")
+        with open(path, "rb") as f:
+            data = f.read()
+        canonical = json.dumps(json.loads(data), sort_keys=True)
+        assert data.decode("utf-8") == canonical
 
     def test_tampered_postings_rejected(self, saved, fig2_ontology):
         path = os.path.join(saved, "base.postings.json")
