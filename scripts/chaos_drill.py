@@ -5,8 +5,10 @@ Runs :func:`repro.verify.chaoscheck.run_chaos_drill` — real
 ``repro-bigindex serve`` subprocesses, SIGKILLed mid-mutation-stream
 (including simulated torn WAL tails), restarted, and compared against an
 in-process oracle holding exactly the acked op prefix — then writes the
-per-round event log as a JSON report for the artifact upload and exits
-non-zero on any violated durability contract.
+per-round event log (including the pre-kill flight-recorder timeline
+captured from each doomed process and diffed against the recovered WAL
+prefix) as a JSON report for the artifact upload and exits non-zero on
+any violated durability contract.
 
 Usage:
     PYTHONPATH=src python scripts/chaos_drill.py \

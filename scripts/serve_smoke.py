@@ -8,9 +8,23 @@ degraded path), and introspection reads, over persistent keep-alive
 connections.  The run **fails on any 5xx** and writes a throughput
 summary JSON for the artifact upload.
 
+Observability checks ride along:
+
+* ``--prom-out FILE`` scrapes ``GET /metrics`` with ``Accept:
+  text/plain`` after the workload, validates the body with the strict
+  Prometheus parser (:func:`repro.obs.promtext.parse_prometheus`),
+  requires the bucketed ``serve_latency_seconds`` histogram family, and
+  writes the exposition for the artifact upload.
+* ``--access-log FILE`` (the same file the server was booted with)
+  schema-validates every JSONL record and asserts that **every 429/5xx
+  the workload observed is attributable to a logged request ID** — the
+  client records each response's ``X-Request-Id`` and the log must
+  contain it.
+
 Usage:
     PYTHONPATH=src python scripts/serve_smoke.py \
-        --url http://127.0.0.1:8180 --requests 200 --out serve-qps.json
+        --url http://127.0.0.1:8180 --requests 200 --out serve-qps.json \
+        --access-log access-log.jsonl --prom-out metrics.prom
 """
 
 from __future__ import annotations
@@ -23,7 +37,105 @@ import random
 import sys
 import time
 
+from repro.obs.promtext import parse_prometheus
+from repro.obs.schema import validate_access_record
 from repro.serve.client import ServeClient
+
+
+def check_prometheus(client: ServeClient, prom_out: str) -> int:
+    """Scrape the text exposition, strict-parse it, write the artifact."""
+    response = client.metrics(prometheus=True)
+    if response.status != 200:
+        print(
+            f"FAIL: Prometheus /metrics answered {response.status}",
+            file=sys.stderr,
+        )
+        return 1
+    content_type = response.headers.get("Content-Type", "")
+    if not content_type.startswith("text/plain"):
+        print(
+            f"FAIL: Prometheus /metrics Content-Type {content_type!r}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        families = parse_prometheus(response.text)
+    except ValueError as exc:
+        print(f"FAIL: invalid Prometheus exposition: {exc}", file=sys.stderr)
+        return 1
+    histograms = {
+        name for name, family in families.items()
+        if family.type == "histogram"
+    }
+    if "serve_latency_seconds" not in histograms:
+        print(
+            f"FAIL: no serve_latency_seconds histogram family in "
+            f"/metrics (histograms: {sorted(histograms)})",
+            file=sys.stderr,
+        )
+        return 1
+    with open(prom_out, "w", encoding="utf-8") as handle:
+        handle.write(response.text)
+    print(
+        f"prometheus: {len(families)} familie(s), "
+        f"{len(histograms)} histogram(s), written to {prom_out}"
+    )
+    return 0
+
+
+def check_access_log(path: str, unattributed: dict) -> int:
+    """Schema-validate the access log; attribute every 429/5xx to it.
+
+    ``unattributed`` maps request_id -> status for every degraded or
+    faulted response the workload saw; each must appear in the log.
+    """
+    pending = dict(unattributed)
+    records = 0
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    print(
+                        f"FAIL: {path}:{lineno}: not JSON: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                problems = validate_access_record(record)
+                if problems:
+                    print(
+                        f"FAIL: {path}:{lineno}: {'; '.join(problems)}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                records += 1
+                pending.pop(record.get("request_id"), None)
+    except FileNotFoundError:
+        print(f"FAIL: access log {path} not found", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"FAIL: access log {path} is empty", file=sys.stderr)
+        return 1
+    if pending:
+        listed = ", ".join(
+            f"{rid} (HTTP {status})"
+            for rid, status in sorted(pending.items())
+        )
+        print(
+            f"FAIL: {len(pending)} degraded/faulted response(s) have no "
+            f"access-log line: {listed}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"access log: {records} schema-valid record(s); all "
+        f"{len(unattributed)} degraded/faulted response(s) attributed"
+    )
+    return 0
 
 
 def main() -> int:
@@ -38,6 +150,18 @@ def main() -> int:
     )
     parser.add_argument("--out", default="serve-qps.json")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--access-log",
+        default=None,
+        help="server-side access log (JSONL) to schema-validate and "
+             "attribute every 429/5xx response against",
+    )
+    parser.add_argument(
+        "--prom-out",
+        default=None,
+        help="scrape GET /metrics in Prometheus text format after the "
+             "workload, strict-parse it, and write it here",
+    )
     args = parser.parse_args()
 
     queries = list(itertools.combinations(args.keywords, 2))
@@ -49,6 +173,9 @@ def main() -> int:
     answers = 0
     degraded = 0
     retries = 0
+    # request_id -> status of every degraded (429) or faulted (5xx)
+    # response, for the access-log attribution check.
+    unattributed = {}
     started = time.perf_counter()
     with ServeClient.for_url(args.url) as client:
         health = client.healthz()
@@ -78,12 +205,19 @@ def main() -> int:
             retries += response.attempts - 1
             if response.degraded:
                 degraded += 1
+            if response.status == 429 or response.status >= 500:
+                unattributed[response.request_id] = response.status
             payload = response.payload
             if isinstance(payload, dict):
                 answers += len(payload.get("answers") or ())
                 for entry in payload.get("results") or ():
                     answers += len(entry.get("answers") or ())
-    elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started
+
+        prom_rc = (
+            check_prometheus(client, args.prom_out)
+            if args.prom_out else 0
+        )
 
     total = sum(statuses.values())
     faults = sum(count for code, count in statuses.items() if code >= 500)
@@ -101,6 +235,12 @@ def main() -> int:
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(summary, handle, indent=2, sort_keys=True)
     print(json.dumps(summary, indent=2, sort_keys=True))
+
+    access_rc = (
+        check_access_log(args.access_log, unattributed)
+        if args.access_log else 0
+    )
+
     if faults:
         breakdown = ", ".join(
             f"{code}: {count}" for code, count in sorted(statuses.items())
@@ -114,7 +254,7 @@ def main() -> int:
     if statuses.get(200, 0) == 0:
         print("FAIL: no successful responses", file=sys.stderr)
         return 1
-    return 0
+    return prom_rc or access_rc
 
 
 if __name__ == "__main__":

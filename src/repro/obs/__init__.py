@@ -5,7 +5,10 @@ build path.  See docs/OBSERVABILITY.md for the span taxonomy and metric
 name reference.
 """
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.promtext import parse_prometheus, render_prometheus
+from repro.obs.reqlog import RequestLog, SloWindow, mint_request_id
 from repro.obs.runtime import OBS, Instrumentation, charge_expansions, instrumented
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -28,4 +31,10 @@ __all__ = [
     "Span",
     "NULL_TRACER",
     "write_trace",
+    "FlightRecorder",
+    "RequestLog",
+    "SloWindow",
+    "mint_request_id",
+    "render_prometheus",
+    "parse_prometheus",
 ]

@@ -1,0 +1,59 @@
+"""A bounded lock-free flight recorder for the serve stack.
+
+The last ``capacity`` request records — id, route, status, outcome,
+epoch/serial, latency, and (for admin mutations) the op itself — in a
+preallocated ring.  Writers never take a lock: the slot index comes from
+``itertools.count()`` (a single C-level atomic step under the GIL) and
+the slot store is one list assignment, so a recorder on the hot path
+costs two bytecode-cheap operations plus building the record dict.
+
+Readers (:meth:`dump` — ``GET /admin/flight``, the ``SIGUSR2`` handler,
+and the chaos drill's pre-kill capture) snapshot the slot list and sort
+by sequence number; a record being overwritten mid-dump yields either
+the old or the new complete record, never a torn one (slot assignment
+is atomic).  That is exactly the black-box property the chaos drill
+needs: after SIGKILL, the pre-kill dump is an attributable timeline of
+what the dead process had acked, diffable against the recovered WAL.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+
+class FlightRecorder:
+    """Last-N request ring; ``capacity == 0`` disables recording."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = max(0, int(capacity))
+        self._slots: List[Optional[Dict[str, object]]] = (
+            [None] * self.capacity
+        )
+        self._seq = itertools.count()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def record(self, entry: Dict[str, object]) -> None:
+        """Stamp ``entry`` with a sequence number and store it.
+
+        ``entry`` must not be mutated by the caller afterwards — dumps
+        return the stored object itself.
+        """
+        if not self.capacity:
+            return
+        seq = next(self._seq)
+        entry["seq"] = seq
+        self._slots[seq % self.capacity] = entry
+
+    def dump(self) -> List[Dict[str, object]]:
+        """The live records, oldest first (by sequence number)."""
+        snapshot = list(self._slots)  # one atomic-ish copy of the ring
+        records = [entry for entry in snapshot if entry is not None]
+        records.sort(key=lambda entry: entry["seq"])  # type: ignore[arg-type]
+        return records
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._slots if entry is not None)

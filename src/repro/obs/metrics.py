@@ -15,20 +15,36 @@ values, histograms accumulate (count, sum, min, max) of observations.
 
 from __future__ import annotations
 
+import bisect
 import threading
-from typing import Dict, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Fixed ``le`` bucket bounds (seconds) shared by every histogram, so
+#: p50/p95/p99 are derivable by any Prometheus scraper and two
+#: registries merge bucket-for-bucket.  Spans sub-millisecond cache hits
+#: through multi-second degraded searches; everything beyond the last
+#: bound lands in the implicit ``+Inf`` overflow bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 
 class _Histogram:
-    """Streaming summary of observed values: count/sum/min/max."""
+    """Streaming summary of observed values: count/sum/min/max plus
+    fixed-bound buckets (Prometheus ``le`` semantics: a value counts in
+    the first bucket whose upper bound it does not exceed)."""
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "bounds", "bucket_counts")
 
-    def __init__(self) -> None:
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # One slot per bound plus the +Inf overflow; non-cumulative.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -37,19 +53,70 @@ class _Histogram:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def as_dict(self) -> Dict[str, float]:
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper bound, cumulative count)`` pairs, ``+Inf`` last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``q`` in [0, 1]).
+
+        Linear interpolation inside the covering bucket, the same
+        estimate ``histogram_quantile()`` computes server-side; exact at
+        the recorded min/max, which also bound the result.
+        """
+        if not self.count:
+            return 0.0
+        assert self.min is not None and self.max is not None
+        target = q * self.count
+        running = 0.0
+        lower = 0.0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            if running + n >= target and n:
+                position = (target - running) / n
+                estimate = lower + (bound - lower) * position
+                return min(max(estimate, self.min), self.max)
+            running += n
+            lower = bound
+        return self.max  # target falls in the +Inf overflow bucket
+
+    def as_dict(self) -> Dict[str, object]:
+        buckets = {
+            ("+Inf" if bound == float("inf") else f"{bound:g}"): cum
+            for bound, cum in self.cumulative_buckets()
+        }
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
             "mean": self.mean,
+            "buckets": buckets,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
+
+    def copy(self) -> "_Histogram":
+        """An independent deep copy (for merge-under-lock snapshots)."""
+        twin = _Histogram(self.bounds)
+        twin.count = self.count
+        twin.total = self.total
+        twin.min = self.min
+        twin.max = self.max
+        twin.bucket_counts = list(self.bucket_counts)
+        return twin
 
     def merge(self, other: "_Histogram") -> None:
         self.count += other.count
@@ -61,6 +128,15 @@ class _Histogram:
                 self.min = bound
             if self.max is None or bound > self.max:
                 self.max = bound
+        if self.bounds == other.bounds:
+            for i, n in enumerate(other.bucket_counts):
+                self.bucket_counts[i] += n
+        else:  # mismatched layouts: re-bucket by each upper bound
+            for bound, n in zip(other.bounds, other.bucket_counts):
+                if n:
+                    slot = bisect.bisect_left(self.bounds, bound)
+                    self.bucket_counts[slot] += n
+            self.bucket_counts[-1] += other.bucket_counts[-1]
 
 
 class MetricsRegistry:
@@ -115,32 +191,54 @@ class MetricsRegistry:
         with self._lock:
             return dict(sorted(self._gauges.items()))
 
-    def histograms(self) -> Dict[str, Dict[str, float]]:
-        """All histograms as {name: {count, sum, min, max, mean}}."""
+    def histograms(self) -> Dict[str, Dict[str, object]]:
+        """All histograms as {name: {count, sum, min, max, mean, buckets,
+        p50, p95, p99}}."""
         with self._lock:
             return {
                 name: hist.as_dict()
                 for name, hist in sorted(self._histograms.items())
             }
 
+    def histogram_quantile(self, name: str, q: float) -> float:
+        """Bucket-interpolated quantile of histogram ``name`` (0 when
+        the histogram has no observations)."""
+        with self._lock:
+            hist = self._histograms.get(name)
+            return hist.quantile(q) if hist is not None else 0.0
+
     def snapshot(self) -> Dict[str, object]:
-        """One JSON-serializable dict of everything recorded."""
-        return {
-            "counters": self.counters(),
-            "gauges": self.gauges(),
-            "histograms": self.histograms(),
-        }
+        """One JSON-serializable dict of everything recorded.
+
+        Taken under a single lock hold so the three sections are
+        mutually consistent even while request threads keep recording.
+        """
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: hist.as_dict()
+                    for name, hist in sorted(self._histograms.items())
+                },
+            }
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold another registry into this one (counters add, gauges take
         the other's last value, histograms combine)."""
         # Lock ordering: other first, to copy its state atomically, then
         # self; merge is only ever called parent <- worker so the two
-        # registries are distinct and no cycle is possible.
+        # registries are distinct and no cycle is possible.  Histograms
+        # are deep-copied under the lock: folding the live objects in
+        # later would race concurrent observe() on the same histogram
+        # and merge torn count/sum/bucket triples.
         with other._lock:
             counters = dict(other._counters)
             gauges = dict(other._gauges)
-            hists = {name: hist for name, hist in other._histograms.items()}
+            hists = {
+                name: hist.copy()
+                for name, hist in other._histograms.items()
+            }
         with self._lock:
             for name, value in counters.items():
                 self._counters[name] = self._counters.get(name, 0) + value

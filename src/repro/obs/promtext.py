@@ -1,0 +1,272 @@
+"""Prometheus text exposition (and a strict parser) for the registry.
+
+``GET /metrics`` content-negotiates between the original JSON snapshot
+and this text format (``Accept: text/plain`` or ``application/
+openmetrics-text``), so a stock Prometheus scrape works against
+``repro-bigindex serve`` with zero adapters.  The emitted format is the
+classic ``text/plain; version=0.0.4`` exposition:
+
+* counters  -> ``# TYPE <name> counter`` + one sample,
+* gauges    -> ``# TYPE <name> gauge`` + one sample,
+* histograms -> ``# TYPE <name> histogram`` + cumulative
+  ``<name>_bucket{le="..."}`` samples (``+Inf`` last), ``<name>_sum``
+  and ``<name>_count``.
+
+Dotted registry names (``serve.latency_seconds``) are sanitized to the
+Prometheus grammar (``serve_latency_seconds``).
+
+:func:`parse_prometheus` is the strict reader the tests and the CI
+serve-smoke use to *prove* the output is well-formed: it rejects bad
+metric names, unparsable samples, non-monotone histogram buckets, a
+missing ``+Inf`` bucket, and ``_count``/``+Inf`` disagreement — rather
+than best-effort-skipping them the way a real scraper might.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+#: Prometheus metric-name grammar.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Map a dotted registry name onto the Prometheus grammar."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not METRIC_NAME_RE.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def render_prometheus(snapshot: Mapping[str, object]) -> str:
+    """The registry's :meth:`~MetricsRegistry.snapshot` as exposition text.
+
+    Name collisions after sanitization ("a.b" and "a_b") keep the first
+    name in sorted order and drop the rest — emitting the same family
+    twice would be invalid exposition, and the registry's dotted naming
+    convention never collides in practice.
+    """
+    lines: List[str] = []
+    seen: set = set()
+
+    def claim(name: str) -> Optional[str]:
+        cleaned = sanitize_metric_name(name)
+        if cleaned in seen:
+            return None
+        seen.add(cleaned)
+        return cleaned
+
+    counters = snapshot.get("counters") or {}
+    for name in sorted(counters):  # type: ignore[arg-type]
+        cleaned = claim(name)
+        if cleaned is None:
+            continue
+        lines.append(f"# TYPE {cleaned} counter")
+        lines.append(f"{cleaned} {_format_value(float(counters[name]))}")
+
+    gauges = snapshot.get("gauges") or {}
+    for name in sorted(gauges):  # type: ignore[arg-type]
+        cleaned = claim(name)
+        if cleaned is None:
+            continue
+        lines.append(f"# TYPE {cleaned} gauge")
+        lines.append(f"{cleaned} {_format_value(float(gauges[name]))}")
+
+    histograms = snapshot.get("histograms") or {}
+    for name in sorted(histograms):  # type: ignore[arg-type]
+        cleaned = claim(name)
+        if cleaned is None:
+            continue
+        hist = histograms[name]  # type: ignore[index]
+        lines.append(f"# TYPE {cleaned} histogram")
+        buckets: Mapping[str, int] = hist.get("buckets") or {}
+
+        def bound_key(raw: str) -> float:
+            return float("inf") if raw == "+Inf" else float(raw)
+
+        for raw in sorted(buckets, key=bound_key):
+            le = _escape_label(raw)
+            lines.append(
+                f'{cleaned}_bucket{{le="{le}"}} '
+                f"{_format_value(float(buckets[raw]))}"
+            )
+        lines.append(f"{cleaned}_sum {_format_value(float(hist['sum']))}")
+        lines.append(f"{cleaned}_count {_format_value(float(hist['count']))}")
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+# ----------------------------------------------------------------------
+# Strict parsing (tests + CI smoke)
+# ----------------------------------------------------------------------
+@dataclass
+class PromFamily:
+    """One metric family: its declared type and every sample seen."""
+
+    name: str
+    type: str = "untyped"
+    #: ``(labels, value)`` per sample line, in file order.
+    samples: List[Tuple[Dict[str, str], float]] = field(default_factory=list)
+
+
+def _parse_value(raw: str) -> float:
+    lowered = raw.lower()
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    if lowered == "nan":
+        return float("nan")
+    return float(raw)
+
+
+def _parse_labels(raw: Optional[str], lineno: int) -> Dict[str, str]:
+    if not raw:
+        return {}
+    labels: Dict[str, str] = {}
+    rest = raw.strip().rstrip(",")
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed label pair in {raw!r}")
+        name = match.group("name")
+        if name in labels:
+            raise ValueError(f"line {lineno}: duplicate label {name!r}")
+        labels[name] = (
+            match.group("value")
+            .replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+        )
+        rest = rest[match.end():].lstrip(",").strip()
+    return labels
+
+
+def parse_prometheus(text: str) -> Dict[str, PromFamily]:
+    """Parse exposition text, raising ``ValueError`` on any violation.
+
+    Beyond line-level syntax, enforces the histogram contract for every
+    family declared ``histogram``: each ``_bucket`` sample carries an
+    ``le`` label, cumulative counts are non-decreasing as ``le`` grows,
+    the ``+Inf`` bucket exists, and it equals ``_count``.
+    """
+    families: Dict[str, PromFamily] = {}
+
+    def family_for(sample_name: str, lineno: int) -> PromFamily:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            stripped = sample_name[: -len(suffix)]
+            if (
+                sample_name.endswith(suffix)
+                and stripped in families
+                and families[stripped].type == "histogram"
+            ):
+                base = stripped
+                break
+        if base not in families:
+            families[base] = PromFamily(name=base)
+        return families[base]
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("TYPE", "HELP"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            name = parts[2]
+            if not METRIC_NAME_RE.match(name):
+                raise ValueError(
+                    f"line {lineno}: invalid metric name {name!r}"
+                )
+            if parts[1] == "TYPE":
+                if len(parts) != 4 or parts[3] not in (
+                    "counter", "gauge", "histogram", "summary", "untyped"
+                ):
+                    raise ValueError(
+                        f"line {lineno}: invalid TYPE line {line!r}"
+                    )
+                if name in families and families[name].samples:
+                    raise ValueError(
+                        f"line {lineno}: TYPE for {name!r} after samples"
+                    )
+                families.setdefault(name, PromFamily(name=name)).type = (
+                    parts[3]
+                )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: unparsable sample {line!r}")
+        labels = _parse_labels(match.group("labels"), lineno)
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparsable value {match.group('value')!r}"
+            )
+        family_for(match.group("name"), lineno).samples.append(
+            (dict(labels, __name__=match.group("name")), value)
+        )
+
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _check_histogram(family: PromFamily) -> None:
+    buckets: List[Tuple[float, float]] = []
+    count: Optional[float] = None
+    for labels, value in family.samples:
+        sample_name = labels["__name__"]
+        if sample_name == family.name + "_bucket":
+            if "le" not in labels:
+                raise ValueError(
+                    f"{family.name}: bucket sample without an le label"
+                )
+            buckets.append((_parse_value(labels["le"]), value))
+        elif sample_name == family.name + "_count":
+            count = value
+    if not buckets:
+        raise ValueError(f"{family.name}: histogram with no buckets")
+    bounds = [bound for bound, _ in buckets]
+    if bounds != sorted(bounds):
+        raise ValueError(f"{family.name}: bucket bounds out of order")
+    cumulative = [value for _, value in buckets]
+    if any(b < a for a, b in zip(cumulative, cumulative[1:])):
+        raise ValueError(f"{family.name}: bucket counts are not monotone")
+    if not math.isinf(bounds[-1]):
+        raise ValueError(f"{family.name}: missing the +Inf bucket")
+    if count is None:
+        raise ValueError(f"{family.name}: missing the _count sample")
+    if cumulative[-1] != count:
+        raise ValueError(
+            f"{family.name}: +Inf bucket {cumulative[-1]} != _count {count}"
+        )

@@ -1,0 +1,249 @@
+"""Request correlation, structured JSONL access logs, and SLO windows.
+
+The serve-side observability substrate (see docs/OBSERVABILITY.md):
+
+* :func:`mint_request_id` / :func:`valid_request_id` — every request
+  carries an ``X-Request-Id``.  The server accepts a well-formed client
+  ID or mints one, echoes it on the response, and stamps it on every
+  access-log line, flight-recorder slot, and (when tracing) the request
+  span — so one ID follows a request across client retries, logs, and
+  traces.
+* :class:`RequestLog` — a thread-safe JSONL appender with size-based
+  rotation (``file`` -> ``file.1``), used for both the access log and
+  the slow-query log.  One JSON object per line, schema-validated by
+  ``python -m repro.obs.schema --kind access``.
+* :class:`SloWindow` — per-endpoint latency quantiles and error/shed
+  rates over a sliding time window, surfaced in ``/healthz`` (``slo``
+  section) and exported as ``slo.*`` gauges for the Prometheus scrape.
+
+Everything here is opt-in from the service's point of view: a server
+with no access log, no flight recorder, and a zero-width SLO window
+takes the same no-op fast path PR 4's contract demands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+import uuid
+from typing import Dict, List, Optional, Tuple
+
+#: Client-supplied request IDs must match this or be re-minted: one
+#: header token, no whitespace/quotes, bounded length (log hygiene).
+REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9._\-]{1,128}$")
+
+#: Statuses an SLO window classifies (everything else counts as "ok").
+_DEGRADED, _SHED = 429, 503
+
+
+def mint_request_id() -> str:
+    """A fresh 32-hex request ID (UUID4; thread-safe, no coordination)."""
+    return uuid.uuid4().hex
+
+
+def valid_request_id(candidate: object) -> Optional[str]:
+    """``candidate`` if it is a usable request ID, else ``None``."""
+    if isinstance(candidate, str) and REQUEST_ID_RE.match(candidate):
+        return candidate
+    return None
+
+
+class RequestLog:
+    """Append-only JSONL log with size-based rotation.
+
+    Parameters
+    ----------
+    path:
+        Log file; the single rotated generation lives at ``path + ".1"``.
+    max_bytes:
+        Rotate before a write would push the file past this size.  The
+        bound is approximate by one record (the record that triggers
+        rotation lands in the fresh file).
+    flush_every:
+        Routine (``outcome == "ok"``, not slow) records are flushed to
+        the OS at most once per this many lines, keeping the hot path
+        within the <=2% observability budget; anything worth alerting on
+        — degraded, shed, fault, bad-request, or slow — flushes
+        immediately so a tail of the live log always shows it.  A crash
+        can lose at most ``flush_every - 1`` routine lines (never
+        fsynced either way; durability belongs to the WAL, not the log).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_bytes: int = 16 * 1024 * 1024,
+        flush_every: int = 32,
+    ) -> None:
+        self.path = path
+        self.max_bytes = max(4096, int(max_bytes))
+        self.flush_every = max(1, int(flush_every))
+        self.rotations = 0
+        self.lines = 0
+        self._lock = threading.Lock()
+        self._unflushed = 0
+        self._handle = open(path, "a", encoding="utf-8")
+        self._size = self._handle.tell()
+
+    def write(self, record: Dict[str, object]) -> None:
+        """Append one record as a JSON line (see ``flush_every``)."""
+        # No sort_keys: callers build records with a fixed literal
+        # layout, and re-sorting every line costs hot-path time.
+        line = json.dumps(record, separators=(",", ":"))
+        data = line + "\n"
+        urgent = (
+            record.get("outcome", "ok") != "ok" or bool(record.get("slow"))
+        )
+        with self._lock:
+            if self._size and self._size + len(data) > self.max_bytes:
+                self._rotate()
+            self._handle.write(data)
+            self._size += len(data)
+            self.lines += 1
+            self._unflushed += 1
+            if urgent or self._unflushed >= self.flush_every:
+                self._handle.flush()
+                self._unflushed = 0
+
+    def flush(self) -> None:
+        """Push any buffered routine lines to the OS."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._unflushed = 0
+
+    def _rotate(self) -> None:
+        """Roll ``path`` to ``path.1`` (caller holds the lock).
+
+        Closing the old handle flushes its buffer into the old file, so
+        rotation never reorders or drops buffered lines."""
+        self._handle.close()
+        os.replace(self.path, self.path + ".1")
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._size = 0
+        self._unflushed = 0
+        self.rotations += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._handle.close()
+
+    def __enter__(self) -> "RequestLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def outcome_for_status(status: int) -> str:
+    """The access-log/flight ``outcome`` class for an HTTP status."""
+    if status == _DEGRADED:
+        return "degraded"
+    if status == _SHED:
+        return "shed"
+    if status >= 500:
+        return "fault"
+    if status >= 400:
+        return "bad-request"
+    return "ok"
+
+
+class SloWindow:
+    """Per-endpoint rolling-window latency quantiles and error rates.
+
+    Observations older than ``window_seconds`` are pruned lazily on both
+    record and read; ``max_samples`` bounds memory per endpoint under
+    sustained load (oldest samples drop first, which biases the window
+    toward recent traffic — exactly what an SLO probe wants).
+    """
+
+    def __init__(
+        self,
+        window_seconds: float = 60.0,
+        max_samples: int = 4096,
+    ) -> None:
+        self.window_seconds = float(window_seconds)
+        self.max_samples = int(max_samples)
+        self._lock = threading.Lock()
+        #: endpoint -> list of (timestamp, latency, status).
+        self._samples: Dict[str, List[Tuple[float, float, int]]] = {}
+
+    def observe(
+        self,
+        endpoint: str,
+        latency_seconds: float,
+        status: int,
+        now: Optional[float] = None,
+    ) -> None:
+        stamp = time.monotonic() if now is None else now
+        with self._lock:
+            samples = self._samples.setdefault(endpoint, [])
+            samples.append((stamp, latency_seconds, status))
+            if len(samples) > self.max_samples:
+                del samples[: len(samples) - self.max_samples]
+            self._prune(samples, stamp)
+
+    def _prune(
+        self, samples: List[Tuple[float, float, int]], now: float
+    ) -> None:
+        horizon = now - self.window_seconds
+        cut = 0
+        while cut < len(samples) and samples[cut][0] < horizon:
+            cut += 1
+        if cut:
+            del samples[:cut]
+
+    @staticmethod
+    def _quantile(ordered: List[float], q: float) -> float:
+        if not ordered:
+            return 0.0
+        return ordered[min(len(ordered) - 1, int(len(ordered) * q))]
+
+    def summary(self, now: Optional[float] = None) -> Dict[str, Dict[str, object]]:
+        """``{endpoint: {count, p50/p95/p99 (seconds), rates}}``."""
+        stamp = time.monotonic() if now is None else now
+        out: Dict[str, Dict[str, object]] = {}
+        with self._lock:
+            for endpoint, samples in sorted(self._samples.items()):
+                self._prune(samples, stamp)
+                if not samples:
+                    continue
+                latencies = sorted(lat for _, lat, _ in samples)
+                count = len(samples)
+                degraded = sum(1 for _, _, s in samples if s == _DEGRADED)
+                shed = sum(1 for _, _, s in samples if s == _SHED)
+                faults = sum(
+                    1 for _, _, s in samples if s >= 500 and s != _SHED
+                )
+                out[endpoint] = {
+                    "count": count,
+                    "window_seconds": self.window_seconds,
+                    "p50_seconds": self._quantile(latencies, 0.50),
+                    "p95_seconds": self._quantile(latencies, 0.95),
+                    "p99_seconds": self._quantile(latencies, 0.99),
+                    "degraded_rate": degraded / count,
+                    "shed_rate": shed / count,
+                    "error_rate": faults / count,
+                }
+        return out
+
+    def publish_gauges(self, metrics) -> Dict[str, Dict[str, object]]:
+        """Compute :meth:`summary` and mirror it as ``slo.*`` gauges.
+
+        Gauge names: ``slo.<endpoint>.<field>`` with the endpoint's
+        leading slash dropped and inner slashes flattened, e.g.
+        ``slo.query.p99_seconds``.
+        """
+        summary = self.summary()
+        for endpoint, fields in summary.items():
+            slug = endpoint.strip("/").replace("/", "_") or "root"
+            for key, value in fields.items():
+                if key == "window_seconds":
+                    continue
+                metrics.gauge(f"slo.{slug}.{key}", float(value))
+        return summary

@@ -1,17 +1,25 @@
-"""Validator for the JSONL trace files emitted by ``--trace-out``.
+"""Validators for the JSONL telemetry files the toolchain emits.
 
-Each line must be one Chrome-trace event object.  ``"X"`` (complete)
-events need ``name``/``ts``/``dur``/``pid``/``tid``/``args``; the single
-optional ``"i"`` (instant) event carries the final metrics snapshot.
+Two kinds (``--kind``):
 
-Runs standalone for the CI trace smoke job::
+* ``trace`` (default) — Chrome-trace event lines from ``--trace-out``.
+  ``"X"`` (complete) events need ``name``/``ts``/``dur``/``pid``/
+  ``tid``/``args``; the single optional ``"i"`` (instant) event carries
+  the final metrics snapshot.
+* ``access`` — structured access/slow-query log lines from
+  ``repro-bigindex serve --access-log`` (see docs/OBSERVABILITY.md for
+  the field table): every line must carry a request ID, route, status,
+  outcome class, and latency.
+
+Runs standalone for the CI smoke jobs::
 
     python -m repro.obs.schema trace.jsonl --min-phases 4
+    python -m repro.obs.schema access.jsonl --kind access
 
-which fails (exit 1) on any malformed line, or when the trace contains
-fewer distinct span names than ``--min-phases`` — the acceptance bar
-that a query trace shows at least layer selection, translation, search,
-and answer recovery.
+which fail (exit 1) on any malformed line, or — for traces — when the
+file contains fewer distinct span names than ``--min-phases``, the
+acceptance bar that a query trace shows at least layer selection,
+translation, search, and answer recovery.
 """
 
 from __future__ import annotations
@@ -99,22 +107,128 @@ def validate_file(
     return events, errors
 
 
+# ----------------------------------------------------------------------
+# Access-log lines (repro-bigindex serve --access-log)
+# ----------------------------------------------------------------------
+#: Every access/slow-query log line must carry these fields.
+ACCESS_REQUIRED_FIELDS = (
+    "ts", "request_id", "method", "path", "status", "latency_ms", "outcome",
+)
+
+#: The closed set of ``outcome`` classes the service emits.
+ACCESS_OUTCOMES = ("ok", "degraded", "shed", "bad-request", "fault")
+
+
+def validate_access_record(record: object) -> List[str]:
+    """Schema errors for one parsed access-log record (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is {type(record).__name__}, expected object"]
+    for key in ACCESS_REQUIRED_FIELDS:
+        if key not in record:
+            errors.append(f"missing required field {key!r}")
+    for key in ("ts", "latency_ms"):
+        value = record.get(key)
+        if key in record and (
+            not isinstance(value, numbers.Real)
+            or isinstance(value, bool)
+            or value < 0
+        ):
+            errors.append(f"{key} must be a number >= 0, got {value!r}")
+    for key in ("request_id", "method", "path"):
+        value = record.get(key)
+        if key in record and (not isinstance(value, str) or not value):
+            errors.append(f"{key} must be a non-empty string, got {value!r}")
+    status = record.get("status")
+    if "status" in record and (
+        isinstance(status, bool)
+        or not isinstance(status, int)
+        or not 100 <= status <= 599
+    ):
+        errors.append(f"status must be an HTTP status code, got {status!r}")
+    outcome = record.get("outcome")
+    if "outcome" in record and outcome not in ACCESS_OUTCOMES:
+        errors.append(
+            f"outcome must be one of {list(ACCESS_OUTCOMES)}, got {outcome!r}"
+        )
+    if "slow" in record and not isinstance(record["slow"], bool):
+        errors.append(f"slow must be a boolean, got {record['slow']!r}")
+    epoch = record.get("epoch")
+    if epoch is not None and "epoch" in record:
+        if not (
+            isinstance(epoch, list)
+            and all(isinstance(part, int) for part in epoch)
+        ):
+            errors.append(f"epoch must be a list of integers, got {epoch!r}")
+    serial = record.get("serial")
+    if serial is not None and "serial" in record:
+        if isinstance(serial, bool) or not isinstance(serial, int):
+            errors.append(f"serial must be an integer, got {serial!r}")
+    return errors
+
+
+def validate_access_lines(
+    lines: Sequence[str],
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    """Parse and validate access-log JSONL content (same contract as
+    :func:`validate_lines`)."""
+    records: List[Dict[str, object]] = []
+    errors: List[str] = []
+    for lineno, raw in enumerate(lines, start=1):
+        text = raw.strip()
+        if not text:
+            continue
+        try:
+            record = json.loads(text)
+        except json.JSONDecodeError as exc:
+            errors.append(f"line {lineno}: invalid JSON ({exc.msg})")
+            continue
+        record_errors = validate_access_record(record)
+        if record_errors:
+            errors.extend(f"line {lineno}: {msg}" for msg in record_errors)
+        else:
+            records.append(record)
+    if not records and not errors:
+        errors.append("access log is empty")
+    return records, errors
+
+
+def validate_access_file(
+    path: str,
+) -> Tuple[List[Dict[str, object]], List[str]]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return validate_access_lines(handle.readlines())
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.schema",
-        description="Validate a --trace-out JSONL trace file.",
+        description="Validate a telemetry JSONL file (trace or access log).",
     )
-    parser.add_argument("trace", help="path to the JSONL trace")
+    parser.add_argument("trace", help="path to the JSONL file")
+    parser.add_argument(
+        "--kind",
+        choices=("trace", "access"),
+        default="trace",
+        help="file flavor: Chrome-trace events (default) or serve "
+             "access-log records",
+    )
     parser.add_argument(
         "--min-phases",
         type=int,
         default=0,
         metavar="N",
-        help="require at least N distinct span names among X events",
+        help="require at least N distinct span names among X events "
+             "(trace kind only)",
     )
     args = parser.parse_args(argv)
     try:
-        events, errors = validate_file(args.trace, min_phases=args.min_phases)
+        if args.kind == "access":
+            records, errors = validate_access_file(args.trace)
+        else:
+            records, errors = validate_file(
+                args.trace, min_phases=args.min_phases
+            )
     except OSError as exc:
         print(f"error: cannot read {args.trace}: {exc}")
         return 2
@@ -122,9 +236,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for message in errors:
             print(f"error: {message}")
         return 1
-    phases = distinct_phases(events)
+    if args.kind == "access":
+        ids = {str(record["request_id"]) for record in records}
+        print(
+            f"ok: {len(records)} access record(s), "
+            f"{len(ids)} distinct request id(s)"
+        )
+        return 0
+    phases = distinct_phases(records)
     print(
-        f"ok: {len(events)} event(s), {len(phases)} distinct span name(s):"
+        f"ok: {len(records)} event(s), {len(phases)} distinct span name(s):"
         f" {', '.join(phases)}"
     )
     return 0

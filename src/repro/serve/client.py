@@ -24,6 +24,8 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.reqlog import mint_request_id
+
 
 @dataclass
 class ServeResponse:
@@ -35,6 +37,12 @@ class ServeResponse:
     #: HTTP exchanges spent on this response, retries included (1 = no
     #: retry was needed).
     attempts: int = 1
+    #: The ``X-Request-Id`` this logical request carried — the same ID
+    #: on every retry attempt, so server logs correlate the whole story.
+    request_id: str = ""
+    #: Raw body text for non-JSON responses (e.g. the Prometheus
+    #: ``/metrics`` exposition); empty when ``payload`` was decoded.
+    text: str = ""
 
     @property
     def ok(self) -> bool:
@@ -142,6 +150,12 @@ class ServeClient:
         send_headers = {"Content-Type": "application/json"}
         if headers:
             send_headers.update(headers)
+        # One ID per *logical* request, minted before the first attempt
+        # and resent verbatim on every retry, so the server's access log
+        # shows the shed attempts and the final outcome as one story.
+        request_id = send_headers.setdefault(
+            "X-Request-Id", mint_request_id()
+        )
         attempts = 0
         degraded_retried = False
         while True:
@@ -158,11 +172,20 @@ class ServeClient:
                     raise
                 self._backoff(attempts, None)
                 continue
+            content_type = response.getheader("Content-Type") or ""
+            if raw and "json" not in content_type:
+                payload: Dict[str, object] = {}
+                text = raw.decode("utf-8", errors="replace")
+            else:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+                text = ""
             result = ServeResponse(
                 status=response.status,
-                payload=json.loads(raw.decode("utf-8")) if raw else {},
+                payload=payload,
                 headers=dict(response.getheaders()),
                 attempts=attempts,
+                request_id=request_id,
+                text=text,
             )
             if result.shed and not last_attempt:
                 self._backoff(attempts, result.headers.get("Retry-After"))
@@ -234,8 +257,17 @@ class ServeClient:
     def healthz(self) -> ServeResponse:
         return self.request("GET", "/healthz")
 
-    def metrics(self) -> ServeResponse:
+    def metrics(self, prometheus: bool = False) -> ServeResponse:
+        """``/metrics`` — JSON by default; ``prometheus=True`` asks for
+        the text exposition (returned in :attr:`ServeResponse.text`)."""
+        if prometheus:
+            return self.request(
+                "GET", "/metrics", headers={"Accept": "text/plain"}
+            )
         return self.request("GET", "/metrics")
+
+    def flight(self) -> ServeResponse:
+        return self.request("GET", "/admin/flight")
 
     def mutate(self, op: str, u: int, v: int) -> ServeResponse:
         return self.request(

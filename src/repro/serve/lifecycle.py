@@ -185,9 +185,16 @@ class EngineRuntime:
         index: BiGIndex,
         evaluator_factory: EvaluatorFactory,
         wal: Optional[MutationWAL] = None,
+        metrics=None,
     ) -> None:
         self._factory = evaluator_factory
         self.wal = wal
+        #: Fallback registry for runtime counters (snapshot.retired,
+        #: snapshot.published) when the process-wide OBS switch is off.
+        #: QueryService points this at its own registry, so /healthz and
+        #: /metrics always show COW accounting; when OBS is on, its
+        #: registry wins (in the serve CLI both are the same object).
+        self.metrics = metrics
         # Serializes writers (mutate/reload) against each other only;
         # readers never touch it.
         self._mutate_lock = threading.Lock()
@@ -245,11 +252,22 @@ class EngineRuntime:
             if snapshot is not self._snapshot:
                 self._retire()
 
+    def _metric_inc(self, name: str) -> None:
+        """Count into the OBS registry (when on) or the fallback one.
+
+        Exactly one registry records: in the serve CLI OBS routes into
+        the service registry anyway, and double-counting there would
+        skew the /healthz COW accounting.
+        """
+        if OBS.enabled:
+            OBS.metrics.inc(name)
+        elif self.metrics is not None:
+            self.metrics.inc(name)
+
     def _retire(self) -> None:
         """Account one superseded snapshot (caller holds _state_lock)."""
         self.stats.retired += 1
-        if OBS.enabled:
-            OBS.metrics.inc("snapshot.retired")
+        self._metric_inc("snapshot.retired")
 
     # ------------------------------------------------------------------
     def _publish(self, index: BiGIndex) -> Snapshot:
@@ -265,6 +283,7 @@ class EngineRuntime:
             )
             self._snapshot = snapshot
             self.stats.publishes += 1
+            self._metric_inc("snapshot.published")
             if previous.serial not in self._pins:
                 self._retire()
             return snapshot

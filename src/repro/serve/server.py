@@ -67,11 +67,21 @@ class ServeHandler(BaseHTTPRequestHandler):
         self._respond(status, payload, extra)
 
     def _respond(self, status: int, payload: object, extra=None) -> None:
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        # A str payload is pre-rendered text (the content-negotiated
+        # Prometheus /metrics); anything else is the JSON contract.
+        extra = dict(extra or {})
+        if isinstance(payload, str):
+            data = payload.encode("utf-8")
+            content_type = extra.pop(
+                "Content-Type", "text/plain; charset=utf-8"
+            )
+        else:
+            data = json.dumps(payload, sort_keys=True).encode("utf-8")
+            content_type = extra.pop("Content-Type", "application/json")
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(data)))
-        for key, value in (extra or {}).items():
+        for key, value in extra.items():
             self.send_header(key, value)
         self.end_headers()
         try:
@@ -127,7 +137,8 @@ def shutdown_gracefully(
        any admin mutation that acks during the drain is WAL-durable by
        the ack contract,
     3. the listener stops and the socket closes,
-    4. the WAL (if the runtime owns one) fsyncs its tail and closes.
+    4. the WAL (if the runtime owns one) fsyncs its tail and closes,
+       and any access/slow-query logs flush and close.
 
     Returns whether the drain finished before the deadline.  Safe to
     call from a signal-handling thread that is *not* the serve loop
@@ -142,6 +153,9 @@ def shutdown_gracefully(
     wal = service.runtime.wal
     if wal is not None:
         wal.close()
+    for log in (service.access_log, service.slow_log):
+        if log is not None:
+            log.close()
     return drained
 
 

@@ -33,15 +33,27 @@ Budget headers (both optional, server defaults apply when absent):
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import threading
+import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.core.evaluator import DegradedResult, EvalResult
 from repro.core.index import BiGIndex
+from repro.obs.flight import FlightRecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import render_prometheus
+from repro.obs.reqlog import (
+    RequestLog,
+    SloWindow,
+    mint_request_id,
+    outcome_for_status,
+    valid_request_id,
+)
+from repro.obs.runtime import OBS
 from repro.search.base import Answer, KeywordQuery
 from repro.serve.admission import AdmissionController, ShedError
 from repro.serve.lifecycle import EngineRuntime
@@ -49,8 +61,12 @@ from repro.utils.budget import Budget
 from repro.utils.errors import BigIndexError, QueryError
 from repro.utils.timers import monotonic_now
 
-#: ``(status code, JSON payload, extra response headers)``.
-Response = Tuple[int, Dict[str, object], Dict[str, str]]
+#: ``(status code, payload, extra response headers)``.  The payload is a
+#: JSON-serializable dict for every route except a content-negotiated
+#: ``GET /metrics``, which returns pre-rendered Prometheus text as a
+#: ``str`` (the transport sends it verbatim with the Content-Type the
+#: extra headers carry).
+Response = Tuple[int, Union[Dict[str, object], str], Dict[str, str]]
 
 
 class BadRequest(Exception):
@@ -83,6 +99,17 @@ class ServerConfig:
     max_batch_queries: int = 256
     #: Enable ``/admin/mutate`` and ``/admin/reload``.
     enable_admin: bool = False
+    #: Requests at/above this wall-clock latency (milliseconds) are
+    #: counted in ``log.slow_queries``, flagged ``slow`` in the access
+    #: log, and mirrored to the slow-query log.  ``None`` disables.
+    slow_query_ms: Optional[float] = None
+    #: Flight-recorder ring capacity (last-N request records, dumpable
+    #: via ``GET /admin/flight`` and ``SIGUSR2``).  ``0`` disables.
+    flight_records: int = 256
+    #: Rolling SLO window width for per-endpoint latency quantiles and
+    #: error/shed rates (``/healthz`` ``slo`` section, ``slo.*``
+    #: gauges).  ``0`` disables.
+    slo_window_seconds: float = 60.0
 
     def effective_cap(self, requested: Optional[int]) -> Optional[int]:
         """The expansion cap actually applied for a request."""
@@ -299,6 +326,12 @@ class QueryService:
         service always records into it directly (independent of the
         process-wide ``OBS`` switch, which additionally routes evaluator
         and cache telemetry here when the CLI enables it).
+    access_log / slow_log:
+        Optional :class:`~repro.obs.reqlog.RequestLog` sinks.  Every
+        request writes one access record; requests at/above
+        ``config.slow_query_ms`` are additionally mirrored to
+        ``slow_log``.  The service does not own either log's lifetime
+        (the CLI closes them on shutdown).
     """
 
     def __init__(
@@ -307,11 +340,26 @@ class QueryService:
         config: Optional[ServerConfig] = None,
         loader: Optional[Callable[[], BiGIndex]] = None,
         metrics: Optional[MetricsRegistry] = None,
+        access_log: Optional[RequestLog] = None,
+        slow_log: Optional[RequestLog] = None,
     ) -> None:
         self.runtime = runtime
         self.config = config or ServerConfig()
         self.loader = loader
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.access_log = access_log
+        self.slow_log = slow_log
+        self.flight = FlightRecorder(self.config.flight_records)
+        self.slo = (
+            SloWindow(self.config.slo_window_seconds)
+            if self.config.slo_window_seconds > 0
+            else None
+        )
+        # Runtime counters (snapshot.retired, snapshot.published) land in
+        # this registry even when the process-wide OBS switch is off, so
+        # /healthz and /metrics always see COW accounting.
+        if runtime.metrics is None:
+            runtime.metrics = self.metrics
         self.admission = AdmissionController(
             max_inflight_requests=self.config.max_inflight_requests,
             max_inflight_expansions=self.config.max_inflight_expansions,
@@ -326,9 +374,44 @@ class QueryService:
     def handle(
         self, method: str, path: str, body: bytes, headers: Mapping[str, str]
     ) -> Response:
-        """Route one request; never raises (faults become a 500)."""
+        """Route one request; never raises (faults become a 500).
+
+        Correlation: a well-formed client ``X-Request-Id`` is adopted,
+        anything else gets a minted one; the ID rides on the response
+        headers, the access-log line, the flight-recorder slot, and —
+        when tracing is on — the request span.
+        """
         started = monotonic_now()
+        request_id = self._request_id(headers)
         route = (method.upper(), path.rstrip("/") or "/")
+        if OBS.enabled:
+            with OBS.tracer.span(
+                "serve.request",
+                request_id=request_id,
+                method=route[0],
+                path=route[1],
+            ):
+                response = self._dispatch(route, method, path, body, headers)
+        else:
+            response = self._dispatch(route, method, path, body, headers)
+        status, payload, extra = response
+        extra = dict(extra)
+        extra.setdefault("X-Request-Id", request_id)
+        latency = monotonic_now() - started
+        self.metrics.inc("serve.requests")
+        self.metrics.inc(f"serve.responses.{status}")
+        self.metrics.observe("serve.latency_seconds", latency)
+        self._observe_request(request_id, route, status, payload, latency)
+        return status, payload, extra
+
+    def _dispatch(
+        self,
+        route: Tuple[str, str],
+        method: str,
+        path: str,
+        body: bytes,
+        headers: Mapping[str, str],
+    ) -> Response:
         try:
             if self._draining.is_set() and route[1] not in (
                 "/healthz", "/metrics"
@@ -344,16 +427,19 @@ class QueryService:
             elif route == ("GET", "/healthz"):
                 response = self.handle_healthz()
             elif route == ("GET", "/metrics"):
-                response = self.handle_metrics()
+                response = self.handle_metrics(headers)
             elif route == ("POST", "/admin/mutate"):
                 response = self.handle_mutate(body)
             elif route == ("POST", "/admin/reload"):
                 response = self.handle_reload()
             elif route == ("GET", "/admin/digest"):
                 response = self.handle_digest()
+            elif route == ("GET", "/admin/flight"):
+                response = self.handle_flight()
             elif route[1] in (
                 "/query", "/batch", "/healthz", "/metrics",
                 "/admin/mutate", "/admin/reload", "/admin/digest",
+                "/admin/flight",
             ):
                 response = (
                     405,
@@ -389,13 +475,97 @@ class QueryService:
                 },
                 {},
             )
-        status, payload, extra = response
-        self.metrics.inc("serve.requests")
-        self.metrics.inc(f"serve.responses.{status}")
-        self.metrics.observe(
-            "serve.latency_seconds", monotonic_now() - started
+        return response
+
+    # ------------------------------------------------------------------
+    # Request observability (correlation, flight, SLO, access log)
+    # ------------------------------------------------------------------
+    def _request_id(self, headers: Mapping[str, str]) -> str:
+        for key, value in headers.items():
+            if str(key).lower() == "x-request-id":
+                supplied = valid_request_id(value)
+                if supplied is not None:
+                    self.metrics.inc("req.received")
+                    return supplied
+                break
+        self.metrics.inc("req.minted")
+        return mint_request_id()
+
+    @staticmethod
+    def _payload_digest(payload: object) -> Optional[str]:
+        """A short fingerprint of the *canonical* response body.
+
+        Two responses with the same digest carried byte-identical
+        deterministic content (volatile timing fields stripped) — the
+        hook the chaos drill's flight timeline diffs on.
+        """
+        if not isinstance(payload, Mapping):
+            return None
+        data = json.dumps(
+            canonical_payload(payload), sort_keys=True, separators=(",", ":")
         )
-        return status, payload, extra
+        return hashlib.sha1(data.encode("utf-8")).hexdigest()[:12]
+
+    def _observe_request(
+        self,
+        request_id: str,
+        route: Tuple[str, str],
+        status: int,
+        payload: object,
+        latency: float,
+    ) -> None:
+        endpoint = route[1]
+        outcome = outcome_for_status(status)
+        if self.slo is not None:
+            self.slo.observe(endpoint, latency, status)
+        epoch = serial = None
+        if isinstance(payload, Mapping):
+            epoch = payload.get("epoch")
+            serial = payload.get("serial")
+        latency_ms = round(latency * 1000.0, 3)
+        slow = (
+            self.config.slow_query_ms is not None
+            and latency_ms >= self.config.slow_query_ms
+        )
+        if slow:
+            self.metrics.inc("log.slow_queries")
+        if self.flight.enabled:
+            entry: Dict[str, object] = {
+                "request_id": request_id,
+                "method": route[0],
+                "path": endpoint,
+                "status": status,
+                "outcome": outcome,
+                "latency_ms": latency_ms,
+                "epoch": epoch,
+                "serial": serial,
+            }
+            if endpoint.startswith("/admin/"):
+                # Canonical-body digests are what the chaos drill's
+                # flight-vs-WAL diff keys on, but hashing every query
+                # response would tax the hot path — admin traffic only.
+                entry["digest"] = self._payload_digest(payload)
+            if endpoint == "/admin/mutate" and isinstance(payload, Mapping):
+                for key in ("op", "u", "v", "applied"):
+                    if key in payload:
+                        entry[key] = payload[key]
+            self.flight.record(entry)
+        if self.access_log is not None:
+            record: Dict[str, object] = {
+                "ts": time.time(),
+                "request_id": request_id,
+                "method": route[0],
+                "path": endpoint,
+                "status": status,
+                "outcome": outcome,
+                "latency_ms": latency_ms,
+                "epoch": epoch,
+                "serial": serial,
+                "slow": slow,
+            }
+            self.access_log.write(record)
+            if slow and self.slow_log is not None:
+                self.slow_log.write(record)
 
     # ------------------------------------------------------------------
     # Endpoints
@@ -509,32 +679,122 @@ class QueryService:
                     payload["qps"] = len(results) / elapsed
         return 200, payload, {}
 
+    #: Counter names (exact or prefix) one ``/healthz`` probe surfaces so
+    #: COW, persistence, and WAL health need no ``/metrics`` spelunking.
+    _HEALTH_COUNTERS = ("snapshot.retired", "snapshot.published",
+                        "persist.mmap.detaches")
+    _HEALTH_COUNTER_PREFIXES = ("wal.",)
+
+    def _cache_health(self, counters: Mapping[str, int]) -> Dict[str, object]:
+        """Aggregate and per-kind cache hit rates from the counters."""
+        hits = counters.get("cache.hit", 0)
+        misses = counters.get("cache.miss", 0)
+        lookups = hits + misses
+        health: Dict[str, object] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else None,
+        }
+        kinds: Dict[str, object] = {}
+        for name, value in counters.items():
+            if name.startswith("cache.hit."):
+                kind = name[len("cache.hit."):]
+                kind_hits = value
+                kind_misses = counters.get(f"cache.miss.{kind}", 0)
+                total = kind_hits + kind_misses
+                kinds[kind] = (kind_hits / total) if total else None
+        if kinds:
+            health["hit_rate_by_kind"] = kinds
+        return health
+
     def handle_healthz(self) -> Response:
         snapshot = self.runtime.current
         stats = self.runtime.stats
+        counters = self.metrics.counters()
+        surfaced = {
+            name: value for name, value in counters.items()
+            if name in self._HEALTH_COUNTERS
+            or name.startswith(self._HEALTH_COUNTER_PREFIXES)
+        }
+        payload: Dict[str, object] = {
+            "status": "ok",
+            "epoch": list(snapshot.epoch),
+            "serial": snapshot.serial,
+            "layers": snapshot.index.num_layers,
+            "layer_sizes": snapshot.index.layer_sizes(),
+            "storage": snapshot.storage_kind,
+            "inflight": self.admission.inflight,
+            "reserved_expansions": self.admission.reserved_expansions,
+            "mutations": stats.mutations,
+            "reloads": stats.reloads,
+            "retired_snapshots": stats.retired,
+            "pinned_snapshots": self.runtime.pinned_snapshots(),
+            "draining": self._draining.is_set(),
+            "uptime_seconds": monotonic_now() - self._started,
+            "counters": surfaced,
+            "cache": self._cache_health(counters),
+        }
+        if self.runtime.wal is not None:
+            payload["wal_records"] = self.runtime.wal.record_count
+        if self.slo is not None:
+            payload["slo"] = self.slo.publish_gauges(self.metrics)
+        return 200, payload, {}
+
+    def handle_metrics(
+        self, headers: Optional[Mapping[str, str]] = None
+    ) -> Response:
+        """The registry snapshot — JSON by default, Prometheus text when
+        the request asks for it (``Accept: text/plain`` or an
+        OpenMetrics type).  The JSON shape is unchanged for existing
+        consumers; negotiation is purely additive."""
+        if self.slo is not None:
+            self.slo.publish_gauges(self.metrics)
+        # Log/flight volume is published at scrape time instead of being
+        # counted per request: the sources already track their own
+        # totals, and two extra locked increments per request would tax
+        # the <=2% observability budget for nothing.
+        if self.access_log is not None:
+            self.metrics.gauge("log.access_lines", self.access_log.lines)
+            self.metrics.gauge("log.rotations", self.access_log.rotations)
+        if self.slow_log is not None:
+            self.metrics.gauge("log.slow_lines", self.slow_log.lines)
+        if self.flight.enabled:
+            self.metrics.gauge("flight.records", len(self.flight))
+        accept = ""
+        if headers:
+            for key, value in headers.items():
+                if str(key).lower() == "accept":
+                    accept = str(value).lower()
+                    break
+        if "text/plain" in accept or "openmetrics" in accept:
+            text = render_prometheus(self.metrics.snapshot())
+            return (
+                200,
+                text,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+            )
+        return 200, self.metrics.snapshot(), {}
+
+    def handle_flight(self) -> Response:
+        """The flight-recorder ring, oldest record first (admin-gated)."""
+        if not self.config.enable_admin:
+            return (
+                403,
+                {"status": "error", "error": "admin endpoints are disabled"},
+                {},
+            )
+        records = self.flight.dump()
         return (
             200,
             {
                 "status": "ok",
-                "epoch": list(snapshot.epoch),
-                "serial": snapshot.serial,
-                "layers": snapshot.index.num_layers,
-                "layer_sizes": snapshot.index.layer_sizes(),
-                "storage": snapshot.storage_kind,
-                "inflight": self.admission.inflight,
-                "reserved_expansions": self.admission.reserved_expansions,
-                "mutations": stats.mutations,
-                "reloads": stats.reloads,
-                "retired_snapshots": stats.retired,
-                "pinned_snapshots": self.runtime.pinned_snapshots(),
-                "draining": self._draining.is_set(),
-                "uptime_seconds": monotonic_now() - self._started,
+                "enabled": self.flight.enabled,
+                "capacity": self.flight.capacity,
+                "count": len(records),
+                "records": records,
             },
             {},
         )
-
-    def handle_metrics(self) -> Response:
-        return 200, self.metrics.snapshot(), {}
 
     def handle_mutate(self, body: bytes) -> Response:
         if not self.config.enable_admin:
@@ -582,6 +842,12 @@ class QueryService:
             {
                 "status": "ok",
                 "applied": applied,
+                # Echo the op so an acked mutation is attributable from
+                # the response alone (the flight recorder and the chaos
+                # drill's timeline diff both key on it).
+                "op": op,
+                "u": u,
+                "v": v,
                 "epoch": list(snapshot.epoch),
                 "serial": snapshot.serial,
                 "durable": self.runtime.wal is not None,

@@ -8,9 +8,12 @@ it can be proved — by actually killing the process.  One round:
    index,
 2. the drill streams admin mutations over HTTP, tracking exactly which
    ops were **acked** (HTTP 200 received),
-3. at a seeded random point mid-stream the drill sends one more op and
-   ``SIGKILL``\\ s the server a few milliseconds later — before, during,
-   or after that op's WAL commit,
+3. at a seeded random point mid-stream the drill captures the server's
+   ``/admin/flight`` ring (the pre-kill request timeline, checked
+   against the ack ledger and later diffed against the recovered WAL
+   prefix so a durability failure names lost request IDs, not just a
+   digest), then sends one more op and ``SIGKILL``\\ s the server a few
+   milliseconds later — before, during, or after that op's WAL commit,
 4. optionally (seeded) the drill then appends garbage to the WAL,
    simulating a write torn mid-``fsync``,
 5. the server restarts; its ``/admin/digest`` must equal an in-process
@@ -65,6 +68,15 @@ class ChaosEvent:
     inflight_resolution: str  # "acked" | "lost" | "durable-unacked" | "none"
     wal_records_after: int
     digest_matched: bool
+    #: Flight-recorder dump captured from the process just before the
+    #: kill: total ring records, how many were acked state-changing
+    #: mutations, whether that count matched the oracle's ack ledger,
+    #: and the request timeline itself (-1/empty on sigterm rounds,
+    #: where the process exits gracefully instead of being killed).
+    flight_records: int = -1
+    flight_acked_mutations: int = -1
+    flight_matched: bool = True
+    flight_timeline: List[Dict[str, object]] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
         return dict(self.__dict__)
@@ -217,6 +229,27 @@ def _tear_wal_tail(index_dir: str, rng: random.Random) -> None:
         f.write(garbage)
 
 
+def _format_timeline(timeline: List[Dict[str, object]]) -> str:
+    """Render a flight dump as one compact attribution line."""
+    if not timeline:
+        return "<empty flight ring>"
+    parts = []
+    for rec in timeline:
+        desc = (
+            f"#{rec.get('seq', '?')} {rec.get('request_id', '?')} "
+            f"{rec.get('method', '?')} {rec.get('path', '?')} "
+            f"-> {rec.get('status', '?')}"
+        )
+        if rec.get("path") == "/admin/mutate":
+            desc += (
+                f" {rec.get('op', '?')}({rec.get('u', '?')},"
+                f"{rec.get('v', '?')})"
+                + (" applied" if rec.get("applied") else " no-op")
+            )
+        parts.append(desc)
+    return " | ".join(parts)
+
+
 def _next_op(rng: random.Random, oracle: BiGIndex) -> Dict[str, int]:
     """A mutation biased to actually apply (so the WAL sees traffic)."""
     edges = sorted(oracle.base_graph.edges())
@@ -276,6 +309,12 @@ def run_chaos_drill(
                 server.url, timeout=10.0, max_retries=0
             )
             kill_at = rng.randrange(1, ops_per_round)
+            # The process serving this round started at the previous
+            # restart, so its flight ring holds exactly this round's
+            # mutations — track them for the pre-kill capture diff.
+            applied_at_round_start = applied_acked
+            acked_this_round = 0
+            applied_this_round = 0
 
             # Stream the pre-kill prefix synchronously: every one of
             # these is acked before the kill, so recovery MUST keep it.
@@ -290,10 +329,16 @@ def run_chaos_drill(
                     )
                     continue
                 report.ops_acked += 1
+                acked_this_round += 1
                 if apply_wal_op(oracle, op):
                     applied_acked += 1
+                    applied_this_round += 1
 
             inflight_resolution = "none"
+            flight_records_seen = -1
+            flight_acked_mutations = -1
+            flight_matched = True
+            flight_timeline: List[Dict[str, object]] = []
             if final_round:
                 # Graceful path: SIGTERM must drain, fsync, and exit 0.
                 kill_kind = "sigterm"
@@ -321,6 +366,57 @@ def run_chaos_drill(
                 # acked — in which case it is durable or the drill
                 # fails.
                 kill_kind = "sigkill"
+                # Pre-kill flight capture: the last-requests ring is
+                # the only per-request record of what the process was
+                # doing when it died, so a recovery mismatch below can
+                # name the request IDs it lost instead of just a
+                # digest.  The dump must show every acked mutation of
+                # this round (the ring capacity far exceeds a round).
+                report.checks += 1
+                flight_response = client.flight()
+                if flight_response.status != 200:
+                    flight_matched = False
+                    report.failures.append(
+                        f"round {round_index}: /admin/flight HTTP "
+                        f"{flight_response.status} before kill"
+                    )
+                else:
+                    flight_timeline = [
+                        dict(rec)
+                        for rec in flight_response.payload.get(
+                            "records", []
+                        )
+                        if isinstance(rec, dict)
+                    ]
+                    flight_records_seen = len(flight_timeline)
+                    acked_mutation_recs = [
+                        rec for rec in flight_timeline
+                        if rec.get("path") == "/admin/mutate"
+                        and rec.get("status") == 200
+                    ]
+                    flight_acked_mutations = len(acked_mutation_recs)
+                    applied_in_flight = sum(
+                        1 for rec in acked_mutation_recs
+                        if rec.get("applied")
+                    )
+                    flight_matched = (
+                        flight_acked_mutations == acked_this_round
+                        and applied_in_flight == applied_this_round
+                        and all(
+                            rec.get("request_id")
+                            for rec in acked_mutation_recs
+                        )
+                    )
+                    report.checks += 1
+                    if not flight_matched:
+                        report.failures.append(
+                            f"round {round_index}: flight recorder saw "
+                            f"{flight_acked_mutations} acked mutation(s) "
+                            f"({applied_in_flight} applied), expected "
+                            f"{acked_this_round} ({applied_this_round} "
+                            f"applied): "
+                            f"{_format_timeline(flight_timeline)}"
+                        )
                 inflight_op = _next_op(rng, oracle)
                 report.ops_sent += 1
                 inflight_response: List[Optional[int]] = [None]
@@ -363,6 +459,10 @@ def run_chaos_drill(
                     acked_before_kill=report.ops_acked,
                     inflight_resolution="unknown",
                     wal_records_after=-1, digest_matched=False,
+                    flight_records=flight_records_seen,
+                    flight_acked_mutations=flight_acked_mutations,
+                    flight_matched=flight_matched,
+                    flight_timeline=flight_timeline,
                 ))
                 continue
             served_digest = digest_response.payload.get("digest")
@@ -422,10 +522,16 @@ def run_chaos_drill(
                     f"({served_digest!r})"
                 )
             if not matched:
-                report.failures.append(
+                detail = (
                     f"round {round_index}: {mismatch}: "
                     f"{server.log_tail()}"
                 )
+                if flight_timeline:
+                    detail += (
+                        f" | pre-kill flight: "
+                        f"{_format_timeline(flight_timeline)}"
+                    )
+                report.failures.append(detail)
 
             # The WAL must hold exactly the applied, durable ops.
             report.checks += 1
@@ -434,6 +540,36 @@ def run_chaos_drill(
                     f"round {round_index}: WAL holds {wal_records} "
                     f"record(s), expected {applied_acked}"
                 )
+            # Diff the pre-kill flight timeline against the recovered
+            # WAL prefix: every applied mutation the dying process had
+            # acked must be durable, and a shortfall names the exact
+            # request IDs that were lost.
+            if kill_kind.startswith("sigkill") and flight_timeline:
+                applied_recs = [
+                    rec for rec in flight_timeline
+                    if rec.get("path") == "/admin/mutate"
+                    and rec.get("status") == 200
+                    and rec.get("applied")
+                ]
+                expected_durable = (
+                    applied_at_round_start + len(applied_recs)
+                )
+                report.checks += 1
+                if matched and 0 <= wal_records < expected_durable:
+                    lost_from = max(
+                        0, wal_records - applied_at_round_start
+                    )
+                    lost_ids = ", ".join(
+                        str(rec.get("request_id", "?"))
+                        for rec in applied_recs[lost_from:]
+                    )
+                    report.failures.append(
+                        f"round {round_index}: recovered WAL holds "
+                        f"{wal_records} record(s) but the pre-kill "
+                        f"flight timeline acked {expected_durable}; "
+                        f"lost request(s): {lost_ids}: "
+                        f"{_format_timeline(flight_timeline)}"
+                    )
             if kill_kind == "sigkill+torn-tail":
                 report.checks += 1
                 if not any(
@@ -450,6 +586,10 @@ def run_chaos_drill(
                 inflight_resolution=inflight_resolution,
                 wal_records_after=wal_records,
                 digest_matched=matched,
+                flight_records=flight_records_seen,
+                flight_acked_mutations=flight_acked_mutations,
+                flight_matched=flight_matched,
+                flight_timeline=flight_timeline,
             ))
         server.sigterm()
     except Exception as exc:  # noqa: BLE001 - the report is the contract

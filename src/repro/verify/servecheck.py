@@ -75,6 +75,11 @@ class ServeReport:
     idle_p99: float = 0.0
     #: Reader p99 latency under the sustained mutation stream.
     mutate_p99: float = 0.0
+    #: Server-side rolling-window /query p99 from /healthz's slo section
+    #: (idle phase / mutation phase), gated alongside the client-side
+    #: numbers above.
+    slo_idle_p99: float = 0.0
+    slo_mutate_p99: float = 0.0
     failures: List[str] = field(default_factory=list)
 
     @property
@@ -106,6 +111,8 @@ class ServeReport:
         self.fuzz_ops += other.fuzz_ops
         self.idle_p99 = max(self.idle_p99, other.idle_p99)
         self.mutate_p99 = max(self.mutate_p99, other.mutate_p99)
+        self.slo_idle_p99 = max(self.slo_idle_p99, other.slo_idle_p99)
+        self.slo_mutate_p99 = max(self.slo_mutate_p99, other.slo_mutate_p99)
         self.failures.extend(other.failures)
 
 
@@ -319,14 +326,41 @@ def run_mutation_stream_drill(
                 report.failures.extend(problems)
             return all_latencies
 
+    def probe_slo(port: int, phase: str) -> float:
+        """The server's own rolling-window /query p99 (from /healthz)."""
+        with ServeClient("127.0.0.1", port, max_retries=0) as probe:
+            response = probe.healthz()
+        slo = response.payload.get("slo")
+        if not isinstance(slo, dict) or "/query" not in slo:
+            report.failures.append(
+                f"{phase}: /healthz has no slo entry for /query "
+                f"(got {sorted(slo) if isinstance(slo, dict) else slo!r})"
+            )
+            return 0.0
+        entry = slo["/query"]
+        if not entry.get("count"):
+            report.failures.append(
+                f"{phase}: slo window for /query is empty after the "
+                f"reader phase"
+            )
+            return 0.0
+        if entry.get("error_rate"):
+            report.failures.append(
+                f"{phase}: slo error_rate {entry['error_rate']:.3f} for "
+                f"/query (want 0 — no request may fault)"
+            )
+        return float(entry.get("p99_seconds") or 0.0)
+
     with serve_in_thread(service) as server:
         mutating = False
         idle = [x for lat in run_phase(server.port) for x in lat]
+        report.slo_idle_p99 = probe_slo(server.port, "idle phase")
         # Reset to the baseline snapshot so phase two replays the same
         # epoch schedule the expectations were computed for.
         service.runtime.reload(index_factory())
         mutating = True
         under = [x for lat in run_phase(server.port) for x in lat]
+        report.slo_mutate_p99 = probe_slo(server.port, "mutation phase")
 
     report.requests = len(idle) + len(under)
     report.idle_p99 = _p99(idle)
@@ -341,6 +375,20 @@ def run_mutation_stream_drill(
             f"{report.idle_p99 * 1000:.1f}ms x{latency_factor:g} + "
             f"{latency_slack * 1000:.0f}ms slack) — a mutation is blocking "
             f"readers"
+        )
+    # Same bound, server-side: the rolling SLO gauges must tell the same
+    # story the client-side stopwatch does (the window spans both phases,
+    # so the mutation-phase probe is an upper bound on recent latency).
+    slo_bound = max(
+        latency_factor * report.slo_idle_p99,
+        report.slo_idle_p99 + latency_slack,
+    )
+    if report.slo_idle_p99 > 0 and report.slo_mutate_p99 > slo_bound:
+        report.failures.append(
+            f"server-side slo /query p99 under mutations "
+            f"{report.slo_mutate_p99 * 1000:.1f}ms exceeds bound "
+            f"{slo_bound * 1000:.1f}ms (idle {report.slo_idle_p99 * 1000:.1f}"
+            f"ms x{latency_factor:g} + {latency_slack * 1000:.0f}ms slack)"
         )
     return report
 

@@ -189,6 +189,41 @@ class TestMetricsThreading:
         run_threads(8, lambda i: merger(i) if i < 4 else recorder(i))
         assert parent.counter("n") == 4 * 1000 + 4 * 1000
 
+    def test_histogram_merge_under_observe_hammer(self):
+        """Merging workers while request threads observe() into the same
+        histogram must not tear count/sum/bucket triples.
+
+        This is the /metrics scrape pattern: per-request threads feed
+        ``serve.latency_seconds`` while a background fold merges worker
+        registries into the parent.
+        """
+        parent = MetricsRegistry()
+        workers = [MetricsRegistry() for _ in range(4)]
+        for registry in workers:
+            for step in range(500):
+                registry.observe("serve.latency_seconds", step * 0.001)
+
+        def merger(i):
+            parent.merge(workers[i])
+
+        def observer(_):
+            for step in range(500):
+                parent.observe("serve.latency_seconds", step * 0.001)
+                if step % 100 == 0:
+                    parent.snapshot()  # concurrent scrape
+
+        run_threads(8, lambda i: merger(i) if i < 4 else observer(i))
+        hist = parent.histograms()["serve.latency_seconds"]
+        assert hist["count"] == 8 * 500
+        expected_sum = 8 * sum(step * 0.001 for step in range(500))
+        assert abs(hist["sum"] - expected_sum) < 1e-6
+        # Cumulative buckets: the +Inf bucket carries every observation,
+        # and no count was torn out of the monotone prefix.
+        buckets = hist["buckets"]
+        assert buckets["+Inf"] == 8 * 500
+        counts = list(buckets.values())
+        assert counts == sorted(counts)
+
 
 # ----------------------------------------------------------------------
 # Graph posting lists

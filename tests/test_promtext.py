@@ -1,0 +1,146 @@
+"""Prometheus text exposition: rendering, strict parsing, round-trip.
+
+The renderer (:func:`repro.obs.promtext.render_prometheus`) turns a
+``MetricsRegistry`` snapshot into ``text/plain; version=0.0.4``
+exposition; the strict parser (:func:`parse_prometheus`) is what the CI
+smoke and these tests hold it to — every histogram family must carry
+cumulative, sorted ``le`` buckets ending in ``+Inf`` that equals
+``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promtext import (
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+
+def registry_with_traffic() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.inc("serve.requests", 7)
+    registry.inc("cache.hit.result", 3)
+    registry.gauge("serve.inflight", 2.0)
+    registry.gauge("slo.query.p99_seconds", 0.125)
+    for value in (0.0007, 0.003, 0.003, 0.04, 1.7):
+        registry.observe("serve.latency_seconds", value)
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_metric_name("serve.latency_seconds") == (
+            "serve_latency_seconds"
+        )
+
+    def test_leading_digit_is_prefixed(self):
+        name = sanitize_metric_name("95th.percentile")
+        assert name[0] not in "0123456789"
+
+    def test_result_always_matches_grammar(self):
+        import re
+
+        for ugly in ("a b c", "x-y", "::", "9lives", "ünïcode"):
+            assert re.fullmatch(
+                r"[a-zA-Z_:][a-zA-Z0-9_:]*", sanitize_metric_name(ugly)
+            )
+
+
+class TestRender:
+    def test_counters_and_gauges_typed(self):
+        text = render_prometheus(registry_with_traffic().snapshot())
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests 7" in text
+        assert "# TYPE serve_inflight gauge" in text
+
+    def test_round_trip_through_strict_parser(self):
+        text = render_prometheus(registry_with_traffic().snapshot())
+        families = parse_prometheus(text)
+        assert families["serve_requests"].type == "counter"
+        assert families["serve_requests"].samples[0][1] == 7.0
+        assert families["serve_latency_seconds"].type == "histogram"
+
+    def test_histogram_buckets_cumulative_with_inf(self):
+        text = render_prometheus(registry_with_traffic().snapshot())
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("serve_latency_seconds_bucket")
+        ]
+        assert bucket_lines, text
+        counts = []
+        for line in bucket_lines:
+            counts.append(float(line.rsplit(" ", 1)[1]))
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert '{le="+Inf"}' in bucket_lines[-1]
+        assert counts[-1] == 5.0
+        assert "serve_latency_seconds_sum" in text
+        assert "serve_latency_seconds_count 5" in text
+
+    def test_quantiles_fall_inside_observed_range(self):
+        registry = registry_with_traffic()
+        p99 = registry.histogram_quantile("serve.latency_seconds", 0.99)
+        assert 0.0007 <= p99 <= 1.7
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_name_collision_after_sanitize_keeps_one(self):
+        registry = MetricsRegistry()
+        registry.inc("a.b", 1)
+        registry.inc("a-b", 2)
+        families = parse_prometheus(
+            render_prometheus(registry.snapshot())
+        )
+        assert list(families) == ["a_b"]
+
+
+class TestStrictParser:
+    def test_rejects_garbage_line(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not exposition\n")
+
+    def test_rejects_bad_metric_name(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("9lives 3\n")
+
+    def test_rejects_histogram_without_inf(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.5"} 1\n'
+            "h_sum 0.2\n"
+            "h_count 1\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_rejects_non_monotone_buckets(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.5"} 3\n'
+            'h_bucket{le="1"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.2\n"
+            "h_count 3\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 0.2\n"
+            "h_count 4\n"
+        )
+        with pytest.raises(ValueError):
+            parse_prometheus(text)
+
+    def test_parses_special_float_values(self):
+        families = parse_prometheus("g NaN\n")
+        assert math.isnan(families["g"].samples[0][1])

@@ -26,6 +26,7 @@ from repro.core.index import BiGIndex
 from repro.core.plugins import boost
 from repro.search.banks import BackwardKeywordSearch
 from repro.search.base import KeywordQuery
+from repro.obs.reqlog import RequestLog, valid_request_id
 from repro.serve.admission import AdmissionController, ShedError
 from repro.serve.client import ServeClient
 from repro.serve.lifecycle import EngineRuntime, RWLock
@@ -948,6 +949,9 @@ class _ScriptedHandler:
             def do_GET(self):  # noqa: N802
                 index = min(state["hits"], len(script) - 1)
                 state["hits"] += 1
+                state.setdefault("ids", []).append(
+                    self.headers.get("X-Request-Id")
+                )
                 status = script[index]
                 body = json.dumps({"status": status}).encode()
                 self.send_response(status)
@@ -1079,3 +1083,315 @@ class TestClientRetry:
                 response = client.healthz()
                 assert response.ok
                 assert response.attempts == 2
+
+    def test_retries_reuse_one_request_id(self):
+        """Every attempt of a logical request carries the same ID."""
+        with self._serve_script([503, 503, 200]) as (port, state):
+            client = ServeClient(
+                "127.0.0.1", port,
+                max_retries=2, backoff_base=0.001, backoff_cap=0.002,
+                rng=random.Random(0),
+            )
+            with client:
+                response = client.request("GET", "/healthz")
+        assert response.attempts == 3
+        assert len(state["ids"]) == 3
+        assert len(set(state["ids"])) == 1
+        assert state["ids"][0] == response.request_id
+        assert valid_request_id(response.request_id)
+
+    def test_caller_supplied_id_survives_retries(self):
+        with self._serve_script([503, 200]) as (port, state):
+            client = ServeClient(
+                "127.0.0.1", port,
+                max_retries=1, backoff_base=0.001, backoff_cap=0.002,
+                rng=random.Random(0),
+            )
+            with client:
+                response = client.request(
+                    "GET", "/healthz", headers={"X-Request-Id": "ride-along-7"}
+                )
+        assert state["ids"] == ["ride-along-7", "ride-along-7"]
+        assert response.request_id == "ride-along-7"
+
+
+# ----------------------------------------------------------------------
+# Observability: correlation, access log, flight, metrics exposition
+# ----------------------------------------------------------------------
+class TestRequestCorrelation:
+    def test_supplied_id_is_echoed(self, service):
+        _, _, extra = post(
+            service, "/query", {"keywords": ["A", "B"]},
+            {"X-Request-Id": "caller-chose-this.1"},
+        )
+        assert extra["X-Request-Id"] == "caller-chose-this.1"
+        assert service.metrics.counter("req.received") == 1
+
+    def test_malformed_id_is_replaced(self, service):
+        _, _, extra = post(
+            service, "/query", {"keywords": ["A", "B"]},
+            {"X-Request-Id": "has spaces and \"quotes\""},
+        )
+        minted = extra["X-Request-Id"]
+        assert minted != "has spaces and \"quotes\""
+        assert valid_request_id(minted)
+        assert service.metrics.counter("req.minted") == 1
+
+    def test_error_responses_still_carry_an_id(self, service):
+        for path, body in (
+            ("/query", b"{not json"),      # 400
+            ("/nowhere", b"{}"),           # 404
+        ):
+            _, _, extra = post(service, path, body)
+            assert valid_request_id(extra["X-Request-Id"])
+
+    def test_minted_ids_unique_under_hammer(self, service):
+        def one(_):
+            _, _, extra = post(service, "/query", {"keywords": ["A", "B"]})
+            return extra["X-Request-Id"]
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            ids = list(pool.map(one, range(64)))
+        assert len(set(ids)) == 64
+
+    def test_request_id_lands_on_the_trace_span(self, service):
+        from repro.obs.runtime import instrumented
+        from repro.obs.tracer import Tracer
+
+        tracer = Tracer()
+        with instrumented(tracer=tracer):
+            post(
+                service, "/query", {"keywords": ["A", "B"]},
+                {"X-Request-Id": "traced-123"},
+            )
+        spans = [s for s in tracer.spans if s.name == "serve.request"]
+        assert len(spans) == 1
+        assert spans[0].attrs["request_id"] == "traced-123"
+        assert spans[0].attrs["path"] == "/query"
+        # The query work is nested under the request span.
+        assert spans[0].children
+
+
+class TestAccessLog:
+    def _logged_service(
+        self, random_graph_factory, small_ontology, tmp_path, **config
+    ):
+        access = RequestLog(str(tmp_path / "access.jsonl"))
+        slow = RequestLog(str(tmp_path / "slow.jsonl"))
+        index = build_index(random_graph_factory, small_ontology)
+
+        def evaluator_factory(idx):
+            return boost(
+                BackwardKeywordSearch(d_max=4, k=10), idx,
+                allow_layer_zero=True,
+            ).evaluator
+
+        service = QueryService(
+            EngineRuntime(index, evaluator_factory),
+            config=ServerConfig(enable_admin=True, **config),
+            access_log=access,
+            slow_log=slow,
+        )
+        return service, access, slow
+
+    def test_every_response_logged_schema_valid_and_attributable(
+        self, random_graph_factory, small_ontology, tmp_path
+    ):
+        from repro.obs.schema import validate_access_record
+
+        service, access, slow = self._logged_service(
+            random_graph_factory, small_ontology, tmp_path
+        )
+        expected = {}
+        for path, body in (
+            ("/query", {"keywords": ["A", "B"]}),   # 200
+            ("/query", b"{not json"),               # 400
+            ("/nowhere", b"{}"),                    # 404
+        ):
+            status, _, extra = post(service, path, body)
+            expected[extra["X-Request-Id"]] = status
+        access.close()
+        slow.close()
+        with open(access.path, encoding="utf-8") as handle:
+            records = [json.loads(line) for line in handle]
+        assert len(records) == 3
+        for record in records:
+            assert validate_access_record(record) == []
+            assert expected.pop(record["request_id"]) == record["status"]
+        assert not expected  # every response attributable to a line
+
+    def test_slow_queries_flagged_and_mirrored(
+        self, random_graph_factory, small_ontology, tmp_path
+    ):
+        # Threshold 0.0 ms: every request counts as slow.
+        service, access, slow = self._logged_service(
+            random_graph_factory, small_ontology, tmp_path,
+            slow_query_ms=0.0,
+        )
+        _, _, extra = post(service, "/query", {"keywords": ["A", "B"]})
+        access.close()
+        slow.close()
+        with open(slow.path, encoding="utf-8") as handle:
+            mirrored = [json.loads(line) for line in handle]
+        assert len(mirrored) == 1
+        assert mirrored[0]["slow"] is True
+        assert mirrored[0]["request_id"] == extra["X-Request-Id"]
+        assert service.metrics.counter("log.slow_queries") == 1
+
+    def test_dark_service_never_touches_a_log(self, service, tmp_path):
+        # The fixture service has no access log: the hot path takes the
+        # no-op branch and there is nothing to close or flush.
+        assert service.access_log is None
+        post(service, "/query", {"keywords": ["A", "B"]})
+
+
+class TestFlightEndpoint:
+    def test_ring_carries_recent_requests_in_order(self, service):
+        post(service, "/query", {"keywords": ["A", "B"]})
+        post(
+            service, "/admin/mutate",
+            {"op": "delete", "u": 0, "v": 1},
+        )
+        status, payload, _ = service.handle("GET", "/admin/flight", b"", {})
+        assert status == 200
+        assert payload["enabled"] is True
+        records = payload["records"]
+        # The /admin/flight read itself is not yet in its own dump.
+        assert [r["path"] for r in records] == ["/query", "/admin/mutate"]
+        assert [r["seq"] for r in records] == sorted(
+            r["seq"] for r in records
+        )
+        for record in records:
+            assert valid_request_id(record["request_id"])
+        mutate = records[-1]
+        assert mutate["op"] == "delete"
+        assert {"u", "v", "applied"} <= set(mutate)
+        assert mutate["digest"]          # admin traffic is fingerprinted
+        assert "digest" not in records[0]  # query traffic is not
+
+    def test_admin_gated(self, random_graph_factory, small_ontology):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(enable_admin=False),
+        )
+        status, payload, _ = service.handle("GET", "/admin/flight", b"", {})
+        assert status == 403
+        assert payload["status"] == "error"
+
+    def test_zero_capacity_reports_disabled(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(enable_admin=True, flight_records=0),
+        )
+        post(service, "/query", {"keywords": ["A", "B"]})
+        status, payload, _ = service.handle("GET", "/admin/flight", b"", {})
+        assert status == 200
+        assert payload["enabled"] is False
+        assert payload["records"] == []
+
+
+class TestMetricsExposition:
+    def test_json_shape_unchanged_by_default(self, service):
+        post(service, "/query", {"keywords": ["A", "B"]})
+        status, payload, extra = service.handle("GET", "/metrics", b"", {})
+        assert status == 200
+        assert isinstance(payload, dict)
+        assert set(payload) == {"counters", "gauges", "histograms"}
+        assert payload["counters"]["serve.requests"] == 1
+
+    def test_accept_text_plain_negotiates_prometheus(self, service):
+        from repro.obs.promtext import parse_prometheus
+
+        post(service, "/query", {"keywords": ["A", "B"]})
+        status, payload, extra = service.handle(
+            "GET", "/metrics", b"", {"Accept": "text/plain"}
+        )
+        assert status == 200
+        assert isinstance(payload, str)
+        assert extra["Content-Type"].startswith("text/plain; version=0.0.4")
+        families = parse_prometheus(payload)
+        latency = families["serve_latency_seconds"]
+        assert latency.type == "histogram"
+        buckets = [s for s in latency.samples if s[0].get("le")]
+        assert buckets and buckets[-1][0]["le"] == "+Inf"
+        # SLO gauges ride along on the same scrape.
+        assert any(name.startswith("slo_query_") for name in families)
+
+    def test_prometheus_over_a_real_socket(
+        self, random_graph_factory, small_ontology
+    ):
+        from repro.obs.promtext import parse_prometheus
+
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(),
+        )
+        with serve_in_thread(service) as server:
+            with ServeClient("127.0.0.1", server.port) as client:
+                assert client.query(["A", "B"]).status == 200
+                scrape = client.metrics(prometheus=True)
+                json_form = client.metrics()
+        assert scrape.status == 200
+        assert scrape.payload == {}  # body is text, not JSON
+        families = parse_prometheus(scrape.text)
+        assert "serve_latency_seconds" in families
+        assert json_form.payload["counters"]["serve.requests"] >= 1
+
+    def test_scrape_time_volume_gauges(
+        self, random_graph_factory, small_ontology, tmp_path
+    ):
+        access = RequestLog(str(tmp_path / "access.jsonl"))
+        service = QueryService(
+            EngineRuntime(
+                build_index(random_graph_factory, small_ontology),
+                lambda idx: boost(
+                    BackwardKeywordSearch(d_max=4, k=10), idx,
+                    allow_layer_zero=True,
+                ).evaluator,
+            ),
+            access_log=access,
+        )
+        post(service, "/query", {"keywords": ["A", "B"]})
+        _, payload, _ = service.handle("GET", "/metrics", b"", {})
+        access.close()
+        assert payload["gauges"]["log.access_lines"] == 1
+        assert payload["gauges"]["flight.records"] == 1
+
+
+class TestHealthzObservability:
+    def test_slo_section_tracks_traffic(self, service):
+        for _ in range(3):
+            post(service, "/query", {"keywords": ["A", "B"]})
+        _, payload, _ = service.handle("GET", "/healthz", b"", {})
+        slo = payload["slo"]["/query"]
+        assert slo["count"] == 3
+        assert 0.0 <= slo["p50_seconds"] <= slo["p99_seconds"]
+        assert slo["error_rate"] == 0.0
+        # ... and the same numbers are mirrored as slo.* gauges.
+        assert service.metrics.gauges()["slo.query.count"] == 3.0
+
+    def test_cache_and_lifecycle_counters_surfaced(self, service):
+        post(service, "/query", {"keywords": ["A", "B"]})
+        post(service, "/query", {"keywords": ["A", "B"]})  # cache hit
+        post(service, "/admin/mutate", {"op": "delete", "u": 0, "v": 1})
+        _, payload, _ = service.handle("GET", "/healthz", b"", {})
+        cache = payload["cache"]
+        assert set(cache) >= {"hits", "misses", "hit_rate"}
+        counters = payload["counters"]
+        assert counters["snapshot.published"] >= 1
+        assert counters.get("snapshot.retired", 0) >= 1
+        # Noise like per-status response counters stays out of /healthz.
+        assert not any(k.startswith("serve.responses") for k in counters)
+
+    def test_zero_width_window_omits_slo(
+        self, random_graph_factory, small_ontology
+    ):
+        service = make_service(
+            build_index(random_graph_factory, small_ontology),
+            ServerConfig(slo_window_seconds=0.0),
+        )
+        post(service, "/query", {"keywords": ["A", "B"]})
+        _, payload, _ = service.handle("GET", "/healthz", b"", {})
+        assert "slo" not in payload
