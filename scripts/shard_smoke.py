@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Sharded-index smoke: parallel build + scatter-gather mixed workload.
+
+CI's ``shard-smoke`` job runs this against the community-structured
+``synt-100k`` dataset: plan the shards, build them with a process pool
+(``--workers 4``), persist the sharded layout, reload it through
+:func:`repro.core.sharding.load_any_index` (manifest verification and
+WAL-tail replay included), and push a mixed 50-query workload through
+the scatter-gather evaluator — plain top-k, budget-starved resilient
+queries (the degraded path), and forced-layer queries.
+
+The artifact JSON records the claims the PR rides on:
+
+* ``build`` — total wall-clock plus **per-shard** build seconds (each
+  locale times its own subprocess), cut-edge count and zone size;
+* ``workload`` — qps, per-query mean, degraded/error counts;
+* ``scatter`` — per-shard scatter timing histograms from the
+  ``shard.scatter.<name>.seconds`` metrics recorded under
+  :func:`repro.obs.runtime.instrumented`.
+
+Any query error (other than the deliberate budget degradations) fails
+the run.
+
+Usage:
+    PYTHONPATH=src python scripts/shard_smoke.py \
+        --dataset synt-100k --shards 4 --workers 4 --queries 50 \
+        --out shard-qps.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import random
+import sys
+import tempfile
+import time
+
+from repro.core.cost import CostParams
+from repro.core.sharding import (
+    ShardedEvaluator,
+    build_sharded,
+    load_any_index,
+)
+from repro.datasets.synthetic import synthetic_dataset
+from repro.obs.runtime import instrumented
+from repro.search.banks import BackwardKeywordSearch
+from repro.search.base import KeywordQuery
+from repro.utils.budget import Budget
+from repro.utils.errors import BigIndexError, BudgetExceeded
+
+
+def probe_pool(graph, count: int = 12):
+    """2- and 3-keyword combinations of the most frequent labels."""
+    histogram = graph.label_histogram()
+    labels = sorted(histogram, key=lambda l: (-histogram[l], l))[:6]
+    pool = [list(pair) for pair in itertools.combinations(labels, 2)]
+    pool.extend(list(t) for t in itertools.combinations(labels, 3))
+    return pool[:count]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="synt-100k")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--halo", type=int, default=6)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--layers", type=int, default=2)
+    parser.add_argument("--samples", type=int, default=25,
+                        help="cost-model sample count")
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default="shard-qps.json")
+    parser.add_argument("--index-dir", default=None,
+                        help="where to persist the sharded index "
+                             "(default: a temporary directory)")
+    args = parser.parse_args()
+
+    graph, ontology = synthetic_dataset(args.dataset, seed=args.seed)
+    print(
+        f"{args.dataset}: |V|={graph.num_vertices} |E|={graph.num_edges}"
+    )
+
+    index_dir = args.index_dir or tempfile.mkdtemp(prefix="shard-smoke-")
+    started = time.perf_counter()
+    sharded = build_sharded(
+        graph,
+        ontology,
+        num_shards=args.shards,
+        halo_radius=args.halo,
+        directory=index_dir,
+        workers=args.workers,
+        num_layers=args.layers,
+        cost_params=CostParams(num_samples=args.samples),
+    )
+    build_seconds = time.perf_counter() - started
+    per_shard = {
+        locale.name: round(locale.build_seconds, 3)
+        for locale in sharded.locales
+    }
+    print(
+        f"built {sharded.num_shards} shard(s) + zone in "
+        f"{build_seconds:.1f}s with {args.workers} worker(s); "
+        f"per-shard {per_shard}"
+    )
+
+    started = time.perf_counter()
+    reloaded = load_any_index(index_dir, ontology)
+    reload_seconds = time.perf_counter() - started
+    if reloaded.state_digest() != sharded.state_digest():
+        print("FAIL: reloaded digest differs from the built index",
+              file=sys.stderr)
+        return 1
+    print(f"reloaded + verified manifests in {reload_seconds:.2f}s")
+
+    evaluator = ShardedEvaluator(
+        reloaded, BackwardKeywordSearch(d_max=args.halo // 2, k=10)
+    )
+    pool = probe_pool(graph)
+    rng = random.Random(args.seed)
+    answers = degraded = errors = 0
+    latencies = []
+    with instrumented(trace=False) as inst:
+        for _ in range(args.queries):
+            keywords = pool[rng.randrange(len(pool))]
+            query = KeywordQuery(keywords)
+            roll = rng.random()
+            t0 = time.perf_counter()
+            try:
+                if roll < 0.7:
+                    result = evaluator.evaluate(query)
+                elif roll < 0.9:
+                    # Budget-starved: must degrade, never drop silently.
+                    result = evaluator.evaluate_resilient(
+                        query, budget=Budget(max_expansions=50)
+                    )
+                    if result.degraded:
+                        degraded += 1
+                else:
+                    result = evaluator.evaluate(query, layer=0)
+                answers += len(result.answers)
+            except BudgetExceeded:
+                degraded += 1
+            except BigIndexError as exc:
+                errors += 1
+                print(f"FAIL: {keywords}: {exc}", file=sys.stderr)
+            latencies.append(time.perf_counter() - t0)
+        scatter = {
+            name: stats
+            for name, stats in inst.metrics.histograms().items()
+            if name.startswith("shard.scatter.")
+        }
+
+    total_seconds = sum(latencies)
+    summary = {
+        "dataset": args.dataset,
+        "graph": {"vertices": graph.num_vertices, "edges": graph.num_edges},
+        "build": {
+            "shards": sharded.num_shards,
+            "workers": args.workers,
+            "seconds": round(build_seconds, 3),
+            "per_shard_seconds": per_shard,
+            "cut_edges": sharded.cut_edge_count(),
+            "zone_vertices": (
+                len(sharded.zone.global_ids)
+                if sharded.zone is not None else 0
+            ),
+            "reload_seconds": round(reload_seconds, 3),
+        },
+        "workload": {
+            "queries": args.queries,
+            "seconds": round(total_seconds, 3),
+            "qps": round(args.queries / total_seconds, 1)
+            if total_seconds else None,
+            "mean_ms": round(total_seconds / args.queries * 1e3, 2),
+            "answers": answers,
+            "degraded": degraded,
+            "errors": errors,
+        },
+        "scatter": scatter,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(summary["workload"], indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+
+    if errors:
+        return 1
+    if answers == 0:
+        print("FAIL: the workload produced no answers", file=sys.stderr)
+        return 1
+    if not scatter:
+        print("FAIL: no shard.scatter.* timings were recorded",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

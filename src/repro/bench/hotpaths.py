@@ -21,6 +21,15 @@ Suite (full mode)
   count, which is machine-independent.
 * ``build.synt-1k`` — a 2-layer ``BiGIndex.build``, serial and with a
   worker pool; best of two runs.
+* ``shard.build.synt-100k`` — the sharded build over the
+  community-structured 100k-vertex dataset: plan once, then build the 4
+  shards + portal zone serially and with 4 worker processes.  Digests
+  must match (worker count can never change the index) and the
+  serial/parallel ratio is gated at ``SHARD_SPEEDUP_FLOOR`` on hosts
+  with >= ``SHARD_SPEEDUP_MIN_CPUS`` cores.
+* ``shard.query.synt-1k`` — scatter-gather top-k through
+  ``ShardedEvaluator`` over a 4-shard synt-1k; every probe answer is
+  byte-checked against the monolithic evaluator before timing.
 * ``persist.save.*`` / ``persist.load.cold.*`` — round-trip the query
   index through both on-disk formats: v3 text files and the v4 mmap
   container.  Cold loads include full manifest verification (every
@@ -111,6 +120,16 @@ OBS_OVERHEAD_LIMIT = 1.02
 #: the gate requires the measured on-off delta to also exceed this
 #: many seconds *per request* before failing.
 OBS_SLACK_PER_REQUEST = 25e-6
+
+#: Floor on ``shard.build.synt-100k.speedup`` — 4 per-shard build
+#: processes must finish the sharded build at least this much faster
+#: than the same builds run serially.
+SHARD_SPEEDUP_FLOOR = 2.0
+
+#: The speedup floor only binds on hosts with at least this many CPUs;
+#: a 1-CPU container runs both arms at the same wall-clock no matter
+#: how parallel the build is, so there the ratio is recorded, not gated.
+SHARD_SPEEDUP_MIN_CPUS = 4
 
 
 def machine_info() -> Dict[str, object]:
@@ -313,6 +332,151 @@ def run_suite(
                 "parallel build diverged from serial: "
                 f"{parallel_index.layer_sizes()} != {index.layer_sizes()}"
             )
+
+    # --- sharded build: per-shard processes vs serial --------------------
+    # The headline sharding claim: K per-shard builds in separate
+    # processes finish ~K/ (K/cpus) faster than the same K builds run
+    # serially.  synt-100k is the community-structured locality dataset
+    # grown for exactly this measurement (small cut => small portal
+    # zone); it is planned once so both arms time pure construction.
+    # Digest equality between the arms is the determinism gate — worker
+    # count must never change the built index.  The >= 2x speedup floor
+    # is enforced by compare(), but only when the measuring host has
+    # >= SHARD_SPEEDUP_MIN_CPUS cores (a single-CPU box cannot show a
+    # wall-clock win no matter how parallel the build is).
+    if not quick:
+        import os as _shard_os
+
+        from repro.core.sharding import (
+            ShardedEvaluator,
+            build_sharded,
+            plan_shards,
+        )
+
+        shard_graph, shard_ontology = synthetic_dataset(
+            "synt-100k", seed=seed
+        )
+        shard_kwargs = dict(
+            num_layers=2, cost_params=CostParams(num_samples=25)
+        )
+        plan_elapsed, shard_plan = _best_of(
+            lambda: plan_shards(shard_graph, 4, halo_radius=6), 1
+        )
+        metrics["shard.build.synt-100k.plan.seconds"] = plan_elapsed
+        metrics["shard.build.synt-100k.cut_edges"] = len(
+            shard_plan.cut_edges
+        )
+        metrics["shard.build.synt-100k.zone_vertices"] = len(
+            shard_plan.zone_vertices
+        )
+        serial_elapsed, serial_sharded = _best_of(
+            lambda: build_sharded(
+                shard_graph.copy(share_label_table=True),
+                shard_ontology,
+                4,
+                halo_radius=6,
+                plan=shard_plan,
+                workers=1,
+                **shard_kwargs,
+            ),
+            1,
+        )
+        shard_workers = max(workers, 4)
+        par_elapsed, par_sharded = _best_of(
+            lambda: build_sharded(
+                shard_graph.copy(share_label_table=True),
+                shard_ontology,
+                4,
+                halo_radius=6,
+                plan=shard_plan,
+                workers=shard_workers,
+                **shard_kwargs,
+            ),
+            1,
+        )
+        if par_sharded.state_digest() != serial_sharded.state_digest():
+            raise AssertionError(
+                "sharded build is worker-count dependent: parallel and "
+                "serial digests differ"
+            )
+        metrics["shard.build.synt-100k.serial.seconds"] = serial_elapsed
+        metrics["shard.build.synt-100k.parallel.seconds"] = par_elapsed
+        metrics["shard.build.synt-100k.parallel.workers"] = shard_workers
+        metrics["shard.build.synt-100k.layer_sizes"] = (
+            serial_sharded.layer_sizes()
+        )
+        metrics["shard.build.synt-100k.host_cpus"] = (
+            _shard_os.cpu_count() or 1
+        )
+        if par_elapsed > 0:
+            metrics["shard.build.synt-100k.speedup"] = round(
+                serial_elapsed / par_elapsed, 2
+            )
+
+        # --- scatter-gather query path vs the monolithic evaluator ------
+        # Same probe workload as query.* but through ShardedEvaluator
+        # over a 4-shard synt-1k; every answer is byte-checked against
+        # the monolithic hierarchy (the exactness claim the shard drill
+        # gates in verify, re-asserted on the bench corpus).
+        from repro.core.evaluator import HierarchicalEvaluator
+
+        query_sharded = build_sharded(
+            search_graph.copy(share_label_table=True),
+            ontology,
+            4,
+            halo_radius=6,
+            workers=1,
+            **shard_kwargs,
+        )
+        shard_algorithm = BackwardKeywordSearch(d_max=3, k=10)
+        shard_eval = ShardedEvaluator(query_sharded, shard_algorithm)
+        mono_index = BiGIndex.build(
+            search_graph.copy(share_label_table=True),
+            ontology,
+            **shard_kwargs,
+        )
+        mono_eval = HierarchicalEvaluator(
+            mono_index, shard_algorithm, allow_layer_zero=True
+        )
+        for query in queries:
+            ours = [
+                (a.score, a.signature())
+                for a in shard_eval.evaluate(query).answers
+            ]
+            theirs = [
+                (a.score, a.signature())
+                for a in mono_eval.evaluate(query).answers
+            ]
+            if ours != theirs:
+                raise AssertionError(
+                    f"scatter-gather diverged from monolithic on "
+                    f"{list(query.keywords)}: {ours!r} != {theirs!r}"
+                )
+
+        def run_scatter() -> int:
+            return sum(
+                len(shard_eval.evaluate(query).answers)
+                for query in queries
+            )
+
+        elapsed, scatter_answers = _best_of(run_scatter, repeats)
+        metrics["shard.query.synt-1k.seconds"] = elapsed
+        metrics["shard.query.synt-1k.answers"] = scatter_answers
+        metrics["shard.query.synt-1k.shards"] = query_sharded.num_shards
+        metrics["shard.query.synt-1k.cut_edges"] = (
+            query_sharded.cut_edge_count()
+        )
+
+        # The synt-100k locales are millions of heap objects; if they
+        # stay reachable, every gen-2 GC pass during the serve sections
+        # below traverses them and the reader p99s measure garbage
+        # collection instead of the server.
+        import gc as _shard_gc
+
+        del shard_graph, shard_ontology, shard_plan
+        del serial_sharded, par_sharded
+        del query_sharded, shard_eval, mono_index, mono_eval
+        _shard_gc.collect()
 
     # --- query serving: cold vs warm vs batched -------------------------
     if quick:
@@ -807,6 +971,24 @@ def compare(
             f"{on_seconds:.6f}s vs off {off_seconds:.6f}s, slack "
             f"{obs_slack:.6f}s; the instrumented serve path may cost "
             f"at most 2%)"
+        )
+
+    # Sharded-build speedup is gated against the current run's own
+    # serial/parallel pair (machine-independent ratio), and only when
+    # the host has enough cores for parallelism to show at all.
+    shard_speedup = current.get("shard.build.synt-100k.speedup")
+    shard_cpus = current.get("shard.build.synt-100k.host_cpus")
+    if (
+        isinstance(shard_speedup, (int, float))
+        and isinstance(shard_cpus, int)
+        and shard_cpus >= SHARD_SPEEDUP_MIN_CPUS
+        and shard_speedup < SHARD_SPEEDUP_FLOOR
+    ):
+        failures.append(
+            f"shard.build.synt-100k.speedup: {shard_speedup:.2f}x is "
+            f"below the {SHARD_SPEEDUP_FLOOR:.1f}x floor on a "
+            f"{shard_cpus}-CPU host (4 per-shard build processes vs "
+            f"serial)"
         )
     return failures
 

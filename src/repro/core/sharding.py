@@ -1,0 +1,1452 @@
+"""Sharded BiG-index: parallel per-shard build + scatter-gather top-k.
+
+The monolithic :class:`~repro.core.index.BiGIndex` keeps one hierarchy
+over the whole data graph; this module splits the graph into ``K``
+vertex-disjoint (hence edge-disjoint) shards, builds one hierarchy per
+shard in a separate *process*, and answers queries by fanning out to
+per-shard evaluators and merging their ranked streams.
+
+Exactness rests on a *portal zone*.  The shard planner extends the
+Blinks partitioner (:func:`repro.graph.partition.partition_bfs_grow`):
+edges crossing shards are collected into a cut table, their endpoints
+are *portals*, and the **zone** is the subgraph induced on every vertex
+within undirected distance ``halo_radius`` of a portal.  For a rooted
+search algorithm whose answers have radius ``d_max`` (so diameter
+``2*d_max``), any data-graph answer either
+
+* uses no cut edge — then it is connected inside one shard and the
+  shard's evaluator reproduces it exactly (the answer's own paths are
+  shard-local, and a subgraph cannot shorten them), or
+* uses a cut edge — then it contains a portal, every one of its
+  vertices lies within ``2*d_max`` of that portal, and as long as
+  ``halo_radius >= 2*d_max`` the zone contains the whole answer.
+
+Every locale (shard or zone) is an induced subgraph of ``G``, so locale
+answers are genuine data-graph answers whose scores can only be equal
+or worse than the global optimum for the same root; merging per-root
+minima and re-ranking therefore reproduces the monolithic top-k
+(checked query-for-query by ``repro.verify.shardcheck``).  The same
+subgraph inequality is what makes per-shard budgets prefix-sound: a
+degraded locale's ``lower_bound`` bounds everything it did not emit, so
+the merged prefix below the *minimum* bound over degraded locales is
+provably complete and the merged outcome degrades via
+:class:`~repro.core.evaluator.DegradedResult` instead of silently
+dropping cross-shard answers.
+
+On disk a sharded index is a directory of ordinary v4 index
+directories (one per locale) under a top-level ``meta.json`` /
+``shards.json`` / ``manifest.json`` (whose ``shards`` section pins each
+locale's own manifest digest) plus one shared ``mutations.wal`` whose
+ops are routed to the owning locale(s) on replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from array import array
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.cost import CostParams
+from repro.core.evaluator import (
+    DegradationStats,
+    DegradedAttempt,
+    DegradedResult,
+    EvalResult,
+    HierarchicalEvaluator,
+    TimeBreakdown,
+)
+from repro.core.index import BiGIndex
+from repro.graph.digraph import Graph
+from repro.graph.partition import partition_bfs_grow
+from repro.obs.runtime import OBS
+from repro.ontology.ontology import OntologyGraph
+from repro.search.base import (
+    Answer,
+    KeywordQuery,
+    KeywordSearchAlgorithm,
+    top_k,
+)
+from repro.utils.budget import Budget
+from repro.utils.errors import (
+    BudgetExceeded,
+    ConfigurationError,
+    GraphError,
+    IndexPersistenceError,
+    QueryError,
+)
+from repro.utils.timers import monotonic_now
+
+#: Name of the zone locale (shards are ``shard-0`` .. ``shard-K-1``).
+ZONE_NAME = "zone"
+
+#: Top-level metadata files of a sharded index directory.
+SHARDED_META_NAME = "meta.json"
+SHARDED_LAYOUT_NAME = "shards.json"
+SHARDED_MANIFEST_NAME = "manifest.json"
+
+#: ``meta.json``'s ``kind`` marker distinguishing a sharded root from an
+#: ordinary index directory (whose ``meta.json`` carries ``version``).
+SHARDED_KIND = "sharded"
+
+SHARDED_FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a graph's vertices split into shards plus the portal zone.
+
+    Everything is deterministic and id-sorted so two plans over equal
+    graphs are equal structure-for-structure (the sharded manifest and
+    the serial/parallel build equivalence both rely on it).
+    """
+
+    num_shards: int
+    halo_radius: int
+    #: shard id for every vertex (dense, indexed by vertex id).
+    shard_of: List[int]
+    #: sorted global vertex ids per shard.
+    shard_vertices: List[List[int]]
+    #: edges crossing shards, sorted by ``(src, dst)``.
+    cut_edges: List[Tuple[int, int]]
+    #: sorted endpoints of cut edges.
+    portals: List[int]
+    #: sorted vertices within ``halo_radius`` (undirected) of a portal.
+    zone_vertices: List[int]
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.shard_of)
+
+    def locale_names(self) -> List[str]:
+        names = [f"shard-{s}" for s in range(self.num_shards)]
+        if self.zone_vertices:
+            names.append(ZONE_NAME)
+        return names
+
+
+def _ball_around(
+    graph: Graph, sources: Iterable[int], radius: int
+) -> Set[int]:
+    """Vertices within undirected distance ``radius`` of ``sources``."""
+    members: Set[int] = set(sources)
+    frontier = sorted(members)
+    for _ in range(radius):
+        nxt: List[int] = []
+        for v in frontier:
+            for w in [*graph.out_neighbors(v), *graph.in_neighbors(v)]:
+                if w not in members:
+                    members.add(w)
+                    nxt.append(w)
+        if not nxt:
+            break
+        frontier = nxt
+    return members
+
+
+def plan_shards(
+    graph: Graph, num_shards: int, halo_radius: int = 6
+) -> ShardPlan:
+    """Split ``graph`` into ``num_shards`` shards plus the portal zone.
+
+    Blocks come from the deterministic BFS-grow partitioner with target
+    block size ``ceil(n / num_shards)`` and are packed greedily (largest
+    block first, onto the currently smallest shard) so shard sizes stay
+    balanced even when the graph has many small components.  Shards
+    that would end up empty are dropped, so the plan's ``num_shards``
+    may be smaller than requested on tiny graphs.
+
+    ``halo_radius`` governs query exactness: a
+    :class:`ShardedEvaluator` for an algorithm with answer radius
+    ``d_max`` requires ``halo_radius >= 2 * d_max``.
+    """
+    if num_shards < 1:
+        raise GraphError("num_shards must be >= 1")
+    if halo_radius < 0:
+        raise GraphError("halo_radius must be >= 0")
+    n = graph.num_vertices
+    if n == 0:
+        raise GraphError("cannot shard an empty graph")
+    target = max(1, math.ceil(n / num_shards))
+    partition = partition_bfs_grow(graph, target)
+
+    # Largest-first greedy packing onto the lightest shard; ties break
+    # on the lowest shard id, block order breaks on the lowest block id.
+    order = sorted(
+        range(partition.num_blocks),
+        key=lambda b: (-len(partition.blocks[b]), b),
+    )
+    loads = [0] * num_shards
+    shard_of_block = [0] * partition.num_blocks
+    for block in order:
+        shard = min(range(num_shards), key=lambda s: (loads[s], s))
+        shard_of_block[block] = shard
+        loads[shard] += len(partition.blocks[block])
+
+    shard_of = [shard_of_block[partition.block_of[v]] for v in range(n)]
+    # Drop empty shards, renumbering densely in ascending old-id order.
+    used = sorted({shard_of[v] for v in range(n)})
+    renumber = {old: new for new, old in enumerate(used)}
+    shard_of = [renumber[s] for s in shard_of]
+    actual = len(used)
+
+    shard_vertices: List[List[int]] = [[] for _ in range(actual)]
+    for v in range(n):
+        shard_vertices[shard_of[v]].append(v)
+
+    cut = sorted(
+        (u, v) for (u, v) in graph.edges() if shard_of[u] != shard_of[v]
+    )
+    portals = sorted({v for edge in cut for v in edge})
+    zone = (
+        sorted(_ball_around(graph, portals, halo_radius)) if portals else []
+    )
+    return ShardPlan(
+        num_shards=actual,
+        halo_radius=halo_radius,
+        shard_of=shard_of,
+        shard_vertices=shard_vertices,
+        cut_edges=cut,
+        portals=portals,
+        zone_vertices=zone,
+    )
+
+
+# ----------------------------------------------------------------------
+# Locales
+# ----------------------------------------------------------------------
+@dataclass
+class Locale:
+    """One independently built hierarchy over a subset of the graph."""
+
+    name: str
+    index: BiGIndex
+    #: global vertex id for every local id (sorted ascending).
+    global_ids: List[int]
+    #: inverse of ``global_ids``.
+    local_of: Dict[int, int] = field(default_factory=dict)
+    build_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.local_of:
+            self.local_of = {g: l for l, g in enumerate(self.global_ids)}
+
+    def contains(self, v: int) -> bool:
+        return v in self.local_of
+
+
+#: Picklable locale snapshot: (labels, CSR offsets, CSR targets, names).
+LocalePayload = Tuple[List[str], array, array, Dict[int, str]]
+
+
+def _locale_payload(graph: Graph, members: Sequence[int]) -> LocalePayload:
+    """Snapshot the subgraph induced on ``members`` for a worker.
+
+    ``members`` must be sorted; local ids are their ranks, matching
+    :class:`Locale.global_ids`.
+    """
+    local_of = {g: l for l, g in enumerate(members)}
+    labels = [graph.label(g) for g in members]
+    names = {
+        local_of[g]: graph.names[g] for g in members if g in graph.names
+    }
+    offsets = array("i")
+    targets = array("i")
+    offsets.append(0)
+    for g in members:
+        row = sorted(
+            local_of[w] for w in graph.out_neighbors(g) if w in local_of
+        )
+        targets.extend(row)
+        offsets.append(len(targets))
+    return (labels, offsets, targets, names)
+
+
+def _payload_to_graph(payload: LocalePayload) -> Graph:
+    labels, offsets, targets, names = payload
+    graph = Graph()
+    for local, label in enumerate(labels):
+        graph.add_vertex(label, name=names.get(local))
+    for v in range(len(labels)):
+        for i in range(offsets[v], offsets[v + 1]):
+            graph.add_edge(v, targets[i])
+    return graph
+
+
+def _build_locale_index(
+    payload: LocalePayload,
+    ontology: OntologyGraph,
+    build_kwargs: Dict[str, object],
+) -> BiGIndex:
+    """The one code path every build mode funnels through.
+
+    Serial, threaded and process builds all reconstruct the locale from
+    the same payload and run the same ``BiGIndex.build``, so the result
+    is bit-identical no matter how many workers built it.
+    """
+    graph = _payload_to_graph(payload)
+    return BiGIndex.build(graph, ontology, **build_kwargs)
+
+
+def _build_locale_task(task: Tuple) -> Tuple[str, float, List[int]]:
+    """Process-pool task: build one locale and persist it to its dir."""
+    name, payload, ontology, build_kwargs, out_dir, fmt = task
+    from repro.core.persistence import save_index
+
+    start = monotonic_now()
+    index = _build_locale_index(payload, ontology, build_kwargs)
+    save_index(index, out_dir, format=fmt)
+    return (name, monotonic_now() - start, index.layer_sizes())
+
+
+def _run_build_tasks(
+    tasks: List[Tuple], workers: Optional[int]
+) -> List[Tuple[str, float, List[int]]]:
+    """Run locale builds on a process pool, degrading gracefully.
+
+    Mirrors :func:`repro.core.parallel.score_candidates`: process pool
+    first (real parallelism — each locale build is a fresh interpreter
+    with no shared state), thread pool when processes are unavailable,
+    inline as the last resort.  All three call the same task function.
+    """
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, min(workers, len(tasks)))
+    if workers > 1:
+        try:
+            import concurrent.futures as futures
+
+            with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_build_locale_task, tasks))
+        except Exception:
+            pass
+        try:
+            import concurrent.futures as futures
+
+            with futures.ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_build_locale_task, tasks))
+        except Exception:
+            pass
+    return [_build_locale_task(task) for task in tasks]
+
+
+# ----------------------------------------------------------------------
+# The sharded index
+# ----------------------------------------------------------------------
+class ShardedIndex:
+    """K shard hierarchies + the portal-zone hierarchy behind one facade.
+
+    Presents the maintenance surface the serve stack expects from a
+    :class:`~repro.core.index.BiGIndex` — ``base_graph`` (the live union
+    graph), ``insert_edge`` / ``delete_edge`` / ``remove_ontology_edge``,
+    ``epoch``, ``cow_clone``, ``state_digest``, ``num_layers`` /
+    ``layer_sizes`` — so :class:`~repro.serve.lifecycle.EngineRuntime`,
+    the WAL replayer and ``/admin/mutate`` work unchanged.  Mutations
+    route to the owning locale(s):
+
+    * an intra-shard edge updates its shard, plus the zone when both
+      endpoints are zone members;
+    * a cross-shard edge lives only in the cut table and the zone;
+    * inserts that can move the portal ball re-derive zone membership
+      and rebuild the zone hierarchy when it grew (deletes only ever
+      shrink the required ball, so the zone is kept as a superset —
+      correct, merely non-minimal, exactly like post-maintenance drift
+      in the monolithic index).
+    """
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shards: List[Locale],
+        zone: Optional[Locale],
+        ontology: OntologyGraph,
+        base_graph: Graph,
+        build_kwargs: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self.plan = plan
+        self.shards = shards
+        self.zone = zone
+        self.ontology = ontology
+        self.base_graph = base_graph
+        self.build_kwargs = dict(build_kwargs or {})
+        self.halo_radius = plan.halo_radius
+        self._shard_of = list(plan.shard_of)
+        self._cut_edges: Set[Tuple[int, int]] = set(plan.cut_edges)
+        self._zone_members: Set[int] = set(plan.zone_vertices)
+        self._maintenance_epoch = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def locales(self) -> List[Locale]:
+        return self.shards + ([self.zone] if self.zone is not None else [])
+
+    @property
+    def epoch(self) -> Tuple[int, int]:
+        return (self._maintenance_epoch, self.base_graph.mutation_epoch)
+
+    @property
+    def num_layers(self) -> int:
+        return max((loc.index.num_layers for loc in self.locales), default=0)
+
+    def layer_sizes(self) -> List[int]:
+        """Per-layer vertex totals summed across locales."""
+        sizes = [0] * (self.num_layers + 1)
+        for locale in self.locales:
+            for m, size in enumerate(locale.index.layer_sizes()):
+                sizes[m] += size
+        return sizes
+
+    def iter_layer_graphs(self) -> Iterator[Graph]:
+        """Every layer graph of every locale (storage-kind probing)."""
+        for locale in self.locales:
+            for m in range(locale.index.num_layers + 1):
+                yield locale.index.layer_graph(m)
+
+    def cut_edge_count(self) -> int:
+        return len(self._cut_edges)
+
+    def total_index_size(self) -> int:
+        """Sum of every locale's index size plus the cut table."""
+        return sum(
+            locale.index.total_index_size() for locale in self.locales
+        ) + len(self._cut_edges)
+
+    def shard_of(self, v: int) -> int:
+        return self._shard_of[v]
+
+    def state_digest(self) -> str:
+        """sha256 over locale digests + the cut table + the assignment."""
+        hasher = hashlib.sha256()
+        for locale in self.locales:
+            hasher.update(locale.name.encode("utf-8"))
+            hasher.update(locale.index.state_digest().encode("ascii"))
+            hasher.update(b"\x1e")
+        hasher.update(
+            ",".join(f"{u}-{v}" for u, v in sorted(self._cut_edges)).encode(
+                "ascii"
+            )
+        )
+        hasher.update(b"\x1e")
+        hasher.update(",".join(map(str, self._shard_of)).encode("ascii"))
+        return hasher.hexdigest()
+
+    def cow_clone(self) -> "ShardedIndex":
+        """Copy-on-write clone (snapshot isolation for the serve runtime)."""
+        clone = ShardedIndex.__new__(ShardedIndex)
+        clone.plan = self.plan
+        clone.shards = [
+            Locale(
+                name=s.name,
+                index=s.index.cow_clone(),
+                global_ids=s.global_ids,
+                local_of=s.local_of,
+                build_seconds=s.build_seconds,
+            )
+            for s in self.shards
+        ]
+        clone.zone = (
+            Locale(
+                name=self.zone.name,
+                index=self.zone.index.cow_clone(),
+                global_ids=self.zone.global_ids,
+                local_of=self.zone.local_of,
+                build_seconds=self.zone.build_seconds,
+            )
+            if self.zone is not None
+            else None
+        )
+        clone.ontology = self.ontology
+        clone.base_graph = self.base_graph.cow_clone()
+        clone.build_kwargs = dict(self.build_kwargs)
+        clone.halo_radius = self.halo_radius
+        clone._shard_of = list(self._shard_of)
+        clone._cut_edges = set(self._cut_edges)
+        clone._zone_members = set(self._zone_members)
+        clone._maintenance_epoch = self._maintenance_epoch
+        if OBS.enabled:
+            OBS.metrics.inc("cow.sharded.clones")
+        return clone
+
+    # -- maintenance ---------------------------------------------------
+    def insert_edge(self, u: int, v: int) -> None:
+        """Insert a data-graph edge, routing it to the owning locale(s)."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if not self.base_graph.add_edge(u, v):
+            return
+        if OBS.enabled:
+            OBS.metrics.inc("shard.mutations.insert")
+        if self._shard_of[u] == self._shard_of[v]:
+            shard = self.shards[self._shard_of[u]]
+            shard.index.insert_edge(shard.local_of[u], shard.local_of[v])
+            if u in self._zone_members or v in self._zone_members:
+                # The new edge may pull vertices into the portal ball.
+                self._refresh_zone(incremental_edge=(u, v))
+        else:
+            # Cross-shard: the shards stay edge-disjoint; the edge lives
+            # in the cut table and the zone, and both endpoints become
+            # portals (growing the ball around them).
+            self._cut_edges.add((u, v))
+            self._refresh_zone(incremental_edge=(u, v))
+        self._maintenance_epoch += 1
+
+    def delete_edge(self, u: int, v: int) -> None:
+        """Delete a data-graph edge from every locale that holds it."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if not self.base_graph.has_edge(u, v):
+            raise GraphError(f"edge ({u}, {v}) does not exist")
+        self.base_graph.remove_edge(u, v)
+        if OBS.enabled:
+            OBS.metrics.inc("shard.mutations.delete")
+        if (u, v) in self._cut_edges:
+            self._cut_edges.discard((u, v))
+        else:
+            shard = self.shards[self._shard_of[u]]
+            shard.index.delete_edge(shard.local_of[u], shard.local_of[v])
+        # Deleting only lengthens portal distances: the required ball
+        # shrinks, so current membership stays a valid superset and the
+        # zone just drops the edge when it held it.
+        zone = self.zone
+        if (
+            zone is not None
+            and u in zone.local_of
+            and v in zone.local_of
+            and zone.index.base_graph.has_edge(
+                zone.local_of[u], zone.local_of[v]
+            )
+        ):
+            zone.index.delete_edge(zone.local_of[u], zone.local_of[v])
+        self._maintenance_epoch += 1
+
+    def remove_ontology_edge(self, subtype: str, supertype: str) -> None:
+        """Drop an ontology mapping in every locale that uses it."""
+        for locale in self.locales:
+            locale.index.remove_ontology_edge(subtype, supertype)
+        self._maintenance_epoch += 1
+
+    def note_ontology_addition(self) -> None:
+        for locale in self.locales:
+            locale.index.note_ontology_addition()
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < len(self._shard_of):
+            raise GraphError(f"vertex {v} not in the sharded index")
+
+    def _current_portals(self) -> List[int]:
+        return sorted({v for edge in self._cut_edges for v in edge})
+
+    def _refresh_zone(
+        self, incremental_edge: Optional[Tuple[int, int]] = None
+    ) -> None:
+        """Re-derive zone membership; rebuild the zone when it grew.
+
+        When membership is unchanged the mutation is applied to the zone
+        hierarchy incrementally (both endpoints inside the zone); when
+        the portal ball grew — or a first cut edge appeared — the zone
+        is rebuilt from scratch over the new member set, the sharded
+        analogue of the paper's occasional-recompute maintenance rule.
+        """
+        portals = self._current_portals()
+        required: Set[int] = (
+            _ball_around(self.base_graph, portals, self.halo_radius)
+            if portals
+            else set()
+        )
+        zone = self.zone
+        if required <= self._zone_members and zone is not None:
+            if incremental_edge is not None:
+                u, v = incremental_edge
+                if u in zone.local_of and v in zone.local_of:
+                    zone.index.insert_edge(zone.local_of[u], zone.local_of[v])
+            return
+        if not required:
+            self.zone = None
+            self._zone_members = set()
+            return
+        members = sorted(required | self._zone_members)
+        self._zone_members = set(members)
+        payload = _locale_payload(self.base_graph, members)
+        start = monotonic_now()
+        index = _build_locale_index(payload, self.ontology, self.build_kwargs)
+        self.zone = Locale(
+            name=ZONE_NAME,
+            index=index,
+            global_ids=members,
+            build_seconds=monotonic_now() - start,
+        )
+        if OBS.enabled:
+            OBS.metrics.inc("shard.zone.rebuilds")
+
+
+# ----------------------------------------------------------------------
+# Building
+# ----------------------------------------------------------------------
+def build_sharded(
+    graph: Graph,
+    ontology: OntologyGraph,
+    num_shards: int,
+    halo_radius: int = 6,
+    *,
+    plan: Optional[ShardPlan] = None,
+    workers: Optional[int] = 1,
+    directory: Optional[str] = None,
+    format: int = 4,
+    num_layers: Optional[int] = None,
+    theta: float = 1.0,
+    max_mappings: Optional[int] = None,
+    cost_params: Optional[CostParams] = None,
+) -> ShardedIndex:
+    """Plan, build and (optionally) persist a sharded BiG-index.
+
+    ``workers`` is *whole-shard* parallelism: each locale's hierarchy is
+    built by one process-pool task (falling back to threads, then
+    inline — always through the same task function, so the result is
+    identical at any worker count).  With ``directory`` set, locales are
+    persisted as ordinary v4 index directories under the sharded layout
+    and the returned index is the loaded (mmap-backed) one; without it
+    everything stays on the heap.
+    """
+    if plan is None:
+        plan = plan_shards(graph, num_shards, halo_radius)
+    build_kwargs: Dict[str, object] = {
+        "num_layers": num_layers,
+        "theta": theta,
+        "max_mappings": max_mappings,
+        "cost_params": cost_params,
+    }
+    member_sets: List[Tuple[str, List[int]]] = [
+        (f"shard-{s}", plan.shard_vertices[s])
+        for s in range(plan.num_shards)
+    ]
+    if plan.zone_vertices:
+        member_sets.append((ZONE_NAME, plan.zone_vertices))
+    payloads = {
+        name: _locale_payload(graph, members)
+        for name, members in member_sets
+    }
+
+    if directory is None:
+        locales: Dict[str, Locale] = {}
+        for name, members in member_sets:
+            start = monotonic_now()
+            index = _build_locale_index(
+                payloads[name], ontology, build_kwargs
+            )
+            locales[name] = Locale(
+                name=name,
+                index=index,
+                global_ids=list(members),
+                build_seconds=monotonic_now() - start,
+            )
+        return _assemble(plan, locales, ontology, graph, build_kwargs)
+
+    staging = directory.rstrip(os.sep) + f".staging-{os.getpid()}"
+    if os.path.exists(staging):
+        import shutil
+
+        shutil.rmtree(staging)
+    os.makedirs(staging)
+    tasks = [
+        (
+            name,
+            payloads[name],
+            ontology,
+            build_kwargs,
+            os.path.join(staging, name),
+            format,
+        )
+        for name, _members in member_sets
+    ]
+    results = _run_build_tasks(tasks, workers)
+    timings = {name: seconds for name, seconds, _sizes in results}
+    _write_sharded_layout(
+        staging, plan, member_sets, graph, timings, build_kwargs
+    )
+    if os.path.exists(directory):
+        import shutil
+
+        shutil.rmtree(directory)
+    os.replace(staging, directory)
+    return load_sharded_index(directory, ontology, base_graph=graph)
+
+
+def _assemble(
+    plan: ShardPlan,
+    locales: Dict[str, Locale],
+    ontology: OntologyGraph,
+    base_graph: Graph,
+    build_kwargs: Dict[str, object],
+) -> ShardedIndex:
+    shards = [locales[f"shard-{s}"] for s in range(plan.num_shards)]
+    zone = locales.get(ZONE_NAME)
+    return ShardedIndex(
+        plan=plan,
+        shards=shards,
+        zone=zone,
+        ontology=ontology,
+        base_graph=base_graph,
+        build_kwargs=build_kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# Persistence
+# ----------------------------------------------------------------------
+def _sha256_file(path: str) -> str:
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            hasher.update(chunk)
+    return hasher.hexdigest()
+
+
+def _write_sharded_layout(
+    directory: str,
+    plan: ShardPlan,
+    member_sets: List[Tuple[str, List[int]]],
+    graph: Graph,
+    timings: Dict[str, float],
+    build_kwargs: Dict[str, object],
+) -> None:
+    meta = {
+        "kind": SHARDED_KIND,
+        "sharded_version": SHARDED_FORMAT_VERSION,
+        "num_shards": plan.num_shards,
+        "halo_radius": plan.halo_radius,
+        "num_vertices": plan.num_vertices,
+    }
+    with open(
+        os.path.join(directory, SHARDED_META_NAME), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(meta, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+    cost = build_kwargs.get("cost_params")
+    layout = {
+        "halo_radius": plan.halo_radius,
+        "num_vertices": plan.num_vertices,
+        "locales": [
+            {
+                "name": name,
+                "global_ids": list(members),
+                "build_seconds": round(timings.get(name, 0.0), 6),
+            }
+            for name, members in member_sets
+        ],
+        "cut_edges": [list(edge) for edge in plan.cut_edges],
+        "names": {
+            str(v): graph.names[v] for v in sorted(graph.names)
+        },
+        "build_kwargs": {
+            "num_layers": build_kwargs.get("num_layers"),
+            "theta": build_kwargs.get("theta"),
+            "max_mappings": build_kwargs.get("max_mappings"),
+            "cost_exact": bool(getattr(cost, "exact", False)),
+            "cost_num_samples": getattr(cost, "num_samples", None),
+        },
+    }
+    with open(
+        os.path.join(directory, SHARDED_LAYOUT_NAME), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(layout, handle, sort_keys=True)
+        handle.write("\n")
+
+    manifest = {
+        "files": {
+            SHARDED_META_NAME: _sha256_file(
+                os.path.join(directory, SHARDED_META_NAME)
+            ),
+            SHARDED_LAYOUT_NAME: _sha256_file(
+                os.path.join(directory, SHARDED_LAYOUT_NAME)
+            ),
+        },
+        "shards": {
+            name: _sha256_file(
+                os.path.join(directory, name, "manifest.json")
+            )
+            for name, _members in member_sets
+        },
+    }
+    with open(
+        os.path.join(directory, SHARDED_MANIFEST_NAME), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(manifest, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def is_sharded_index(directory: str) -> bool:
+    """Whether ``directory`` holds a sharded index layout."""
+    meta_path = os.path.join(directory, SHARDED_META_NAME)
+    try:
+        with open(meta_path, "r", encoding="utf-8") as handle:
+            meta = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(meta, dict) and meta.get("kind") == SHARDED_KIND
+
+
+def _verify_sharded_manifest(directory: str) -> Dict[str, object]:
+    path = os.path.join(directory, SHARDED_MANIFEST_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError:
+        raise IndexPersistenceError(
+            f"sharded index has no manifest: {path}"
+        ) from None
+    except json.JSONDecodeError as exc:
+        raise IndexPersistenceError(f"corrupt sharded manifest: {exc}")
+    for rel, expected in manifest.get("files", {}).items():
+        actual = _sha256_file(os.path.join(directory, rel))
+        if actual != expected:
+            raise IndexPersistenceError(
+                f"sharded manifest mismatch for {rel}: "
+                f"expected {expected}, found {actual}"
+            )
+    for name, expected in manifest.get("shards", {}).items():
+        shard_manifest = os.path.join(directory, name, "manifest.json")
+        if not os.path.exists(shard_manifest):
+            raise IndexPersistenceError(
+                f"sharded manifest lists missing locale {name!r}"
+            )
+        actual = _sha256_file(shard_manifest)
+        if actual != expected:
+            raise IndexPersistenceError(
+                f"sharded manifest mismatch for locale {name!r}: "
+                f"expected {expected}, found {actual}"
+            )
+    return manifest
+
+
+def _reconstruct_union(
+    locales: Dict[str, Locale],
+    shard_names: List[str],
+    cut_edges: List[Tuple[int, int]],
+    names: Dict[int, str],
+    num_vertices: int,
+) -> Graph:
+    """Rebuild the live union graph from shard subgraphs + cut table."""
+    labels: List[Optional[str]] = [None] * num_vertices
+    for shard_name in shard_names:
+        locale = locales[shard_name]
+        for local, g in enumerate(locale.global_ids):
+            labels[g] = locale.index.base_graph.label(local)
+    if any(label is None for label in labels):
+        raise IndexPersistenceError(
+            "sharded layout does not cover every vertex"
+        )
+    graph = Graph()
+    for v, label in enumerate(labels):
+        graph.add_vertex(label, name=names.get(v))
+    for shard_name in shard_names:
+        locale = locales[shard_name]
+        ids = locale.global_ids
+        for lu, lv in locale.index.base_graph.edges():
+            graph.add_edge(ids[lu], ids[lv])
+    for u, v in cut_edges:
+        graph.add_edge(u, v)
+    return graph
+
+
+def load_sharded_index(
+    directory: str,
+    ontology: OntologyGraph,
+    replay_wal_tail: bool = True,
+    base_graph: Optional[Graph] = None,
+) -> ShardedIndex:
+    """Load a sharded index: locales, union graph, then the WAL tail.
+
+    Every locale is an ordinary v4/v3 index directory loaded through
+    :func:`repro.core.persistence.load_index` (manifest-verified,
+    mmap-backed for v4); the top-level manifest additionally pins each
+    locale manifest's digest.  WAL ops recovered from the shared
+    ``mutations.wal`` replay through the facade, which routes them to
+    the owning locale(s).
+    """
+    from repro.core.persistence import load_index
+    from repro.core.wal import WAL_NAME, recover_wal, replay_wal
+
+    if not is_sharded_index(directory):
+        raise IndexPersistenceError(
+            f"not a sharded index directory: {directory}"
+        )
+    _verify_sharded_manifest(directory)
+    with open(
+        os.path.join(directory, SHARDED_LAYOUT_NAME), "r", encoding="utf-8"
+    ) as handle:
+        layout = json.load(handle)
+
+    locales: Dict[str, Locale] = {}
+    for entry in layout["locales"]:
+        name = entry["name"]
+        index = load_index(os.path.join(directory, name), ontology)
+        locales[name] = Locale(
+            name=name,
+            index=index,
+            global_ids=list(entry["global_ids"]),
+            build_seconds=float(entry.get("build_seconds", 0.0)),
+        )
+    shard_names = sorted(
+        (name for name in locales if name != ZONE_NAME),
+        key=lambda n: int(n.split("-")[1]),
+    )
+    cut_edges = [tuple(edge) for edge in layout["cut_edges"]]
+    num_vertices = int(layout["num_vertices"])
+    names = {int(v): n for v, n in layout.get("names", {}).items()}
+
+    if base_graph is None:
+        base_graph = _reconstruct_union(
+            locales, shard_names, cut_edges, names, num_vertices
+        )
+
+    shard_of = [0] * num_vertices
+    shard_vertices: List[List[int]] = []
+    for s, shard_name in enumerate(shard_names):
+        members = locales[shard_name].global_ids
+        shard_vertices.append(list(members))
+        for v in members:
+            shard_of[v] = s
+    zone = locales.get(ZONE_NAME)
+    plan = ShardPlan(
+        num_shards=len(shard_names),
+        halo_radius=int(layout["halo_radius"]),
+        shard_of=shard_of,
+        shard_vertices=shard_vertices,
+        cut_edges=sorted(cut_edges),
+        portals=sorted({v for edge in cut_edges for v in edge}),
+        zone_vertices=list(zone.global_ids) if zone is not None else [],
+    )
+    stored = layout.get("build_kwargs", {})
+    cost_kwargs = {}
+    if stored.get("cost_exact"):
+        cost_kwargs["exact"] = True
+    if stored.get("cost_num_samples") is not None:
+        cost_kwargs["num_samples"] = stored["cost_num_samples"]
+    build_kwargs: Dict[str, object] = {
+        "num_layers": stored.get("num_layers"),
+        "theta": stored.get("theta", 1.0),
+        "max_mappings": stored.get("max_mappings"),
+        "cost_params": CostParams(**cost_kwargs) if cost_kwargs else None,
+    }
+    sharded = _assemble(plan, locales, ontology, base_graph, build_kwargs)
+
+    if replay_wal_tail:
+        wal_path = os.path.join(directory, WAL_NAME)
+        if os.path.exists(wal_path):
+            records, _tail = recover_wal(wal_path)
+            replay_wal(sharded, records)
+    return sharded
+
+
+def load_any_index(
+    directory: str, ontology: OntologyGraph, replay_wal_tail: bool = True
+):
+    """Load ``directory`` as a sharded or monolithic index (auto-detect)."""
+    from repro.core.persistence import load_index
+
+    if is_sharded_index(directory):
+        return load_sharded_index(
+            directory, ontology, replay_wal_tail=replay_wal_tail
+        )
+    return load_index(directory, ontology, replay_wal_tail=replay_wal_tail)
+
+
+# ----------------------------------------------------------------------
+# Scatter-gather evaluation
+# ----------------------------------------------------------------------
+class ShardedEvaluator:
+    """Fan a query out to per-locale evaluators and merge the top-k.
+
+    Mirrors :class:`~repro.core.evaluator.HierarchicalEvaluator`'s
+    ``evaluate`` / ``evaluate_resilient`` / ``evaluate_many`` surface so
+    the serve stack and CLI treat it as a drop-in evaluator.
+
+    Scatter: locales that lack one of the query's keywords cannot host
+    an answer containing all of them (answers are locale-connected) and
+    are pruned.  Unbudgeted queries fan out on a thread pool; budgeted
+    queries run locales *sequentially* with :meth:`Budget.sub` children
+    (the ledger is not thread-safe, and sequential scatter keeps the
+    remainder flowing to later locales, mirroring
+    ``evaluate_resilient``'s attempt plan).
+
+    Gather: answers translate to global vertex ids, the best answer per
+    root wins (min ``(score, signature)``), and the union re-ranks
+    through :func:`~repro.search.base.top_k`.  Degraded locales merge
+    into one :class:`DegradedResult` whose ``lower_bound`` is the
+    minimum over the degraded locales' bounds — the prefix-soundness
+    cut-off: anything a degraded locale failed to emit scores at or
+    above its bound, so the merged ranking is provably complete below
+    the minimum.
+    """
+
+    def __init__(
+        self,
+        sharded: ShardedIndex,
+        algorithm: KeywordSearchAlgorithm,
+        *,
+        beta: float = 0.5,
+        generation: Optional[str] = None,
+        use_spec_order: bool = True,
+        verify_mode: str = "exact",
+        allow_layer_zero: bool = True,
+        cache_size: int = 128,
+        scatter_workers: int = 4,
+    ) -> None:
+        if not hasattr(algorithm, "best_answer_for_root"):
+            raise ConfigurationError(
+                f"sharded evaluation requires a rooted algorithm "
+                f"(per-root merge); {algorithm.name!r} does not expose "
+                f"best_answer_for_root"
+            )
+        d_max = getattr(algorithm, "d_max", None)
+        if d_max is not None and sharded.halo_radius < 2 * d_max:
+            raise ConfigurationError(
+                f"halo radius {sharded.halo_radius} is too small for "
+                f"d_max={d_max}: portal-spanning answers need "
+                f"halo_radius >= 2*d_max = {2 * d_max}"
+            )
+        if generation is None:
+            generation = "root-verify"
+        self.sharded = sharded
+        self.algorithm = algorithm
+        self.scatter_workers = max(1, scatter_workers)
+        self._evaluators: List[Tuple[Locale, HierarchicalEvaluator]] = [
+            (
+                locale,
+                HierarchicalEvaluator(
+                    locale.index,
+                    algorithm,
+                    beta=beta,
+                    generation=generation,
+                    use_spec_order=use_spec_order,
+                    verify_mode=verify_mode,
+                    allow_layer_zero=allow_layer_zero,
+                    cache_size=cache_size,
+                ),
+            )
+            for locale in sharded.locales
+        ]
+
+    # -- scatter helpers ----------------------------------------------
+    def _check_query(self, query: KeywordQuery) -> None:
+        graph = self.sharded.base_graph
+        for keyword in query.keywords:
+            if graph.label_support(keyword) == 0:
+                raise QueryError(
+                    f"keyword {keyword!r} does not occur in the graph"
+                )
+
+    def _active(
+        self, query: KeywordQuery
+    ) -> List[Tuple[Locale, HierarchicalEvaluator]]:
+        """Locales holding every keyword (the others cannot answer)."""
+        active = []
+        for locale, evaluator in self._evaluators:
+            graph = locale.index.base_graph
+            if all(graph.label_support(kw) > 0 for kw in query.keywords):
+                active.append((locale, evaluator))
+        return active
+
+    def _locale_layer(
+        self, locale: Locale, layer: Optional[int]
+    ) -> Optional[int]:
+        """Clamp a forced layer to what the locale actually has.
+
+        A forced layer is a per-locale *hint*: locales are built
+        independently, so layer ``m``'s configurations differ between
+        them and a layer that collides (or does not exist) in one
+        locale falls back to that locale's own cost-optimal choice.
+        """
+        if layer is None:
+            return None
+        return min(layer, locale.index.num_layers)
+
+    def _translate(self, locale: Locale, answer: Answer) -> Answer:
+        ids = locale.global_ids
+        return Answer.make(
+            {kw: ids[v] for kw, v in answer.keyword_nodes},
+            score=answer.score,
+            root=ids[answer.root] if answer.root is not None else None,
+            vertices=tuple(ids[v] for v in answer.vertices),
+            edges=tuple((ids[u], ids[v]) for u, v in answer.edges),
+        )
+
+    @staticmethod
+    def _merge_pool(pool: Dict[object, Answer], answers: Iterable[Answer]):
+        for answer in answers:
+            key = answer.root
+            best = pool.get(key)
+            if best is None or (answer.score, answer.signature()) < (
+                best.score,
+                best.signature(),
+            ):
+                pool[key] = answer
+
+    def _canonicalize(self, pool: Dict[object, Answer], query: KeywordQuery):
+        """Re-materialize each merged answer on the union graph.
+
+        A locale reproduces the globally optimal *score* for its roots,
+        but shortest-path trees (and equal-distance keyword nodes) can
+        tie, and the locale's adjacency order may break those ties
+        differently than the full graph's.  The monolithic root-verify
+        pipeline emits ``best_answer_for_root`` over the base graph, so
+        running the merged roots through the same function on the union
+        graph makes the sharded output byte-identical, signatures and
+        trees included.
+        """
+        graph = self.sharded.base_graph
+        canonical: List[Answer] = []
+        for answer in pool.values():
+            best = (
+                self.algorithm.best_answer_for_root(
+                    graph, answer.root, query
+                )
+                if answer.root is not None
+                else None
+            )
+            canonical.append(best if best is not None else answer)
+        return canonical
+
+    def _evaluate_locale(
+        self,
+        locale: Locale,
+        evaluator: HierarchicalEvaluator,
+        query: KeywordQuery,
+        *,
+        layer: Optional[int],
+        k: Optional[int],
+        max_generalized: Optional[int],
+        budget: Optional[Budget],
+        resilient: bool,
+    ):
+        """One locale's evaluation, with forced-layer fallback + timing."""
+        start = monotonic_now()
+        hint = self._locale_layer(locale, layer)
+        try:
+            if resilient:
+                try:
+                    result = evaluator.evaluate_resilient(
+                        query,
+                        budget=budget,
+                        layer=hint,
+                        k=k,
+                        max_generalized=max_generalized,
+                    )
+                except QueryError:
+                    if hint is None:
+                        raise
+                    result = evaluator.evaluate_resilient(
+                        query,
+                        budget=budget,
+                        layer=None,
+                        k=k,
+                        max_generalized=max_generalized,
+                    )
+            else:
+                try:
+                    result = evaluator.evaluate(
+                        query,
+                        layer=hint,
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=budget,
+                    )
+                except QueryError:
+                    if hint is None:
+                        raise
+                    result = evaluator.evaluate(
+                        query,
+                        layer=None,
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=budget,
+                    )
+            return result
+        finally:
+            if OBS.enabled:
+                OBS.metrics.observe(
+                    f"shard.scatter.{locale.name}.seconds",
+                    monotonic_now() - start,
+                )
+
+    # -- the evaluator surface ----------------------------------------
+    def evaluate(
+        self,
+        query: KeywordQuery,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        budget: Optional[Budget] = None,
+    ) -> EvalResult:
+        """Exact scatter-gather ``eval_Ont`` across all locales.
+
+        Raises :class:`BudgetExceeded` on exhaustion like the monolithic
+        evaluator; because unscanned locales may hold arbitrarily good
+        answers, the exception carries *no* proven prefix (use
+        :meth:`evaluate_resilient` for sound partial results).
+        """
+        self._check_query(query)
+        if k is None:
+            k = getattr(self.algorithm, "k", None)
+        if OBS.enabled:
+            OBS.metrics.inc("shard.queries")
+        active = self._active(query)
+        results: List[EvalResult] = []
+        if budget is None and len(active) > 1 and self.scatter_workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.scatter_workers, len(active))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._evaluate_locale,
+                        locale,
+                        evaluator,
+                        query,
+                        layer=layer,
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=None,
+                        resilient=False,
+                    )
+                    for locale, evaluator in active
+                ]
+                results = [f.result() for f in futures]
+        else:
+            for locale, evaluator in active:
+                try:
+                    results.append(
+                        self._evaluate_locale(
+                            locale,
+                            evaluator,
+                            query,
+                            layer=layer,
+                            k=k,
+                            max_generalized=max_generalized,
+                            budget=budget,
+                            resilient=False,
+                        )
+                    )
+                except BudgetExceeded as exc:
+                    # A partial scatter proves nothing globally.
+                    exc.partial = []
+                    exc.lower_bound = None
+                    exc.unproven = []
+                    exc.partial_result = None
+                    raise
+        pool_best: Dict[object, Answer] = {}
+        for (locale, _evaluator), result in zip(active, results):
+            self._merge_pool(
+                pool_best,
+                (self._translate(locale, a) for a in result.answers),
+            )
+        merged = top_k(self._canonicalize(pool_best, query), k)
+        return EvalResult(
+            answers=merged,
+            layer=max((r.layer for r in results), default=0),
+            breakdown=TimeBreakdown(),
+            num_generalized=sum(r.num_generalized for r in results),
+            num_candidates=sum(r.num_candidates for r in results),
+            num_verified=sum(r.num_verified for r in results),
+        )
+
+    def evaluate_resilient(
+        self,
+        query: KeywordQuery,
+        budget: Optional[Budget] = None,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        retry_coarser: bool = True,
+    ):
+        """Scatter-gather that degrades instead of raising on exhaustion.
+
+        Budgeted scatter is sequential: locale ``i`` of ``n`` still
+        pending gets ``budget.sub(1/(n-i))`` — an even split of the
+        *remaining* ledger — and the final locale inherits the whole
+        remainder, so an early locale finishing under budget donates its
+        slack to later ones.
+        """
+        self._check_query(query)
+        if k is None:
+            k = getattr(self.algorithm, "k", None)
+        if OBS.enabled:
+            OBS.metrics.inc("shard.queries")
+        active = self._active(query)
+        outcomes: List[object] = []
+        if budget is None and len(active) > 1 and self.scatter_workers > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(self.scatter_workers, len(active))
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._evaluate_locale,
+                        locale,
+                        evaluator,
+                        query,
+                        layer=layer,
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=None,
+                        resilient=True,
+                    )
+                    for locale, evaluator in active
+                ]
+                outcomes = [f.result() for f in futures]
+        else:
+            for i, (locale, evaluator) in enumerate(active):
+                if budget is None:
+                    sub = None
+                elif i == len(active) - 1:
+                    sub = budget
+                else:
+                    sub = budget.sub(1.0 / (len(active) - i))
+                outcomes.append(
+                    self._evaluate_locale(
+                        locale,
+                        evaluator,
+                        query,
+                        layer=layer,
+                        k=k,
+                        max_generalized=max_generalized,
+                        budget=sub,
+                        resilient=True,
+                    )
+                )
+
+        degraded = [
+            (locale, outcome)
+            for (locale, _e), outcome in zip(active, outcomes)
+            if isinstance(outcome, DegradedResult)
+        ]
+        pool_best: Dict[object, Answer] = {}
+        for (locale, _evaluator), outcome in zip(active, outcomes):
+            self._merge_pool(
+                pool_best,
+                (self._translate(locale, a) for a in outcome.answers),
+            )
+            if isinstance(outcome, DegradedResult):
+                self._merge_pool(
+                    pool_best,
+                    (self._translate(locale, a) for a in outcome.unranked),
+                )
+        merged = top_k(self._canonicalize(pool_best, query), k)
+        layer_used = max((o.layer for o in outcomes), default=0)
+        if not degraded:
+            return EvalResult(
+                answers=merged,
+                layer=layer_used,
+                breakdown=TimeBreakdown(),
+                num_generalized=sum(o.num_generalized for o in outcomes),
+                num_candidates=sum(o.num_candidates for o in outcomes),
+                num_verified=sum(o.num_verified for o in outcomes),
+            )
+
+        if OBS.enabled:
+            OBS.metrics.inc("shard.degraded")
+        lower_bound = min(o.lower_bound for _l, o in degraded)
+        proven = [a for a in merged if a.score < lower_bound]
+        unranked = [a for a in merged if a.score >= lower_bound]
+        attempts: List[DegradedAttempt] = []
+        for locale, outcome in degraded:
+            for attempt in outcome.attempts:
+                attempts.append(
+                    DegradedAttempt(
+                        layer=attempt.layer,
+                        reason=f"{locale.name}: {attempt.reason}",
+                        expansions=attempt.expansions,
+                        num_generalized=attempt.num_generalized,
+                        num_candidates=attempt.num_candidates,
+                        proven=attempt.proven,
+                        unproven=attempt.unproven,
+                    )
+                )
+        stats = None
+        if budget is not None:
+            stats = DegradationStats(
+                expansions_consumed=budget.expansions,
+                expansions_remaining=budget.remaining_expansions(),
+                time_remaining_seconds=budget.remaining_time(),
+                layers_attempted=sorted(
+                    {a.layer for a in attempts}
+                ),
+            )
+        first = degraded[0][1]
+        return DegradedResult(
+            answers=proven,
+            layer=layer_used,
+            reason=(
+                f"{len(degraded)}/{len(active)} locale(s) degraded "
+                f"({degraded[0][0].name}: {first.reason})"
+            ),
+            lower_bound=lower_bound,
+            unranked=unranked,
+            attempts=attempts,
+            breakdown=TimeBreakdown(),
+            stats=stats,
+        )
+
+    def evaluate_many(
+        self,
+        queries: Sequence[KeywordQuery],
+        *,
+        layer: Optional[int] = None,
+        k: Optional[int] = None,
+        max_generalized: Optional[int] = None,
+        budget_factory: Optional[Callable[[], Optional[Budget]]] = None,
+        workers: Optional[int] = None,
+        resilient: bool = True,
+        return_exceptions: bool = False,
+    ) -> List[object]:
+        """Batched scatter-gather; mirrors the monolithic signature."""
+
+        def run_one(query: KeywordQuery) -> object:
+            budget = budget_factory() if budget_factory is not None else None
+            try:
+                if resilient:
+                    return self.evaluate_resilient(
+                        query,
+                        budget=budget,
+                        layer=layer,
+                        k=k,
+                        max_generalized=max_generalized,
+                    )
+                return self.evaluate(
+                    query,
+                    layer=layer,
+                    k=k,
+                    max_generalized=max_generalized,
+                    budget=budget,
+                )
+            except Exception as exc:  # noqa: BLE001 - mirrored contract
+                if return_exceptions:
+                    return exc
+                raise
+
+        if workers is not None and workers > 1 and len(queries) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(workers, len(queries))
+            ) as pool:
+                return list(pool.map(run_one, queries))
+        return [run_one(query) for query in queries]

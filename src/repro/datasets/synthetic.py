@@ -13,6 +13,8 @@ the regime in which BiG-index's cost model has real decisions to make.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
+from itertools import accumulate
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.digraph import Graph
@@ -33,12 +35,45 @@ DEEP_SCALES: Dict[str, Tuple[int, int, int]] = {
     "synt-deep-3k": (30, 100, 2),
 }
 
+#: (name, |V|, |E|, community size, bridge edges per adjacent community)
+#: for the locality-structured graphs that sharding benchmarks use.
+COMMUNITY_SCALES: Dict[str, Tuple[int, int, int, int]] = {
+    "synt-100k": (100_000, 220_000, 1_000, 4),
+}
+
 
 def zipf_choice(rng: random.Random, items: Sequence[str], exponent: float = 1.0) -> str:
     """Draw one item with probability proportional to ``1 / rank**exponent``."""
     n = len(items)
     weights = [1.0 / (rank + 1) ** exponent for rank in range(n)]
     return rng.choices(items, weights=weights, k=1)[0]
+
+
+class ZipfSampler:
+    """Zipf-skewed sampler with O(n) setup and O(log n) draws.
+
+    :func:`zipf_choice` rebuilds its weight vector on every call, which
+    is fine for thousand-vertex graphs but makes labeling a 100k-vertex
+    graph quadratic-ish in practice.  This sampler folds the weights
+    into a cumulative table once and draws by binary search, so
+    streaming construction stays O(V log L) with no per-draw
+    temporaries.
+    """
+
+    def __init__(self, items: Sequence[str], exponent: float = 1.0) -> None:
+        if not items:
+            raise GraphError("cannot sample from an empty item list")
+        self.items = list(items)
+        self._cumulative = list(
+            accumulate(
+                1.0 / (rank + 1) ** exponent
+                for rank in range(len(self.items))
+            )
+        )
+
+    def draw(self, rng: random.Random) -> str:
+        point = rng.random() * self._cumulative[-1]
+        return self.items[bisect_right(self._cumulative, point)]
 
 
 def generate_synthetic_graph(
@@ -97,6 +132,116 @@ def generate_synthetic_graph(
             if len(popular) > 1000:
                 popular = popular[-1000:]
     return graph
+
+
+def generate_community_graph(
+    num_vertices: int,
+    num_edges: int,
+    ontology: OntologyGraph,
+    seed: int = 0,
+    community_size: int = 1_000,
+    bridge_edges: int = 4,
+    zipf_exponent: float = 1.0,
+) -> Graph:
+    """A chain-of-communities graph with streamed construction.
+
+    Vertices form consecutive communities of ``community_size``; edges
+    are random *within* a community except for ``bridge_edges`` edges
+    linking each community to the next.  The locality is what massive
+    real graphs have (and what uniform random graphs lack): a balanced
+    partitioner can split the chain into near-edge-disjoint shards
+    whose cut stays a tiny fraction of the edge set, which is the
+    regime the sharded BiG-index benchmarks need to exhibit.
+
+    Construction is streamed: labels come from a precomputed
+    :class:`ZipfSampler` table and edges are drawn community by
+    community, so beyond the graph itself nothing O(V) or O(E) is ever
+    materialized.  Deterministic in ``seed``.
+    """
+    if num_vertices <= 0:
+        raise GraphError("num_vertices must be positive")
+    if community_size <= 1:
+        raise GraphError("community_size must be at least 2")
+    rng = random.Random(seed)
+    leaves = ontology.leaves()
+    if not leaves:
+        raise GraphError("ontology has no leaf types to label with")
+    shuffled = list(leaves)
+    rng.shuffle(shuffled)
+    sampler = ZipfSampler(shuffled, zipf_exponent)
+
+    graph = Graph()
+    for _ in range(num_vertices):
+        graph.add_vertex(sampler.draw(rng))
+
+    num_communities = (num_vertices + community_size - 1) // community_size
+    num_bridges = bridge_edges * max(0, num_communities - 1)
+    intra_total = max(0, num_edges - num_bridges)
+    base_quota = intra_total // num_communities
+    remainder = intra_total - base_quota * num_communities
+    for c in range(num_communities):
+        lo = c * community_size
+        hi = min(num_vertices, lo + community_size)
+        quota = base_quota + (1 if c < remainder else 0)
+        added = 0
+        attempts = 0
+        while added < quota and attempts < quota * 10:
+            attempts += 1
+            u = rng.randrange(lo, hi)
+            v = rng.randrange(lo, hi)
+            if u != v and graph.add_edge(u, v):
+                added += 1
+        if c + 1 < num_communities:
+            next_lo = (c + 1) * community_size
+            next_hi = min(num_vertices, next_lo + community_size)
+            added = 0
+            attempts = 0
+            while added < bridge_edges and attempts < bridge_edges * 10:
+                attempts += 1
+                u = rng.randrange(lo, hi)
+                v = rng.randrange(next_lo, next_hi)
+                if graph.add_edge(u, v):
+                    added += 1
+    return graph
+
+
+def community_dataset(
+    name: str,
+    seed: int = 0,
+    ontology_types: int = 500,
+    ontology_fanout: int = 5,
+    ontology_height: int = 7,
+) -> Tuple[Graph, OntologyGraph]:
+    """One of the ``COMMUNITY_SCALES`` datasets with its ontology.
+
+    Same ontology shape as :func:`synthetic_dataset`; the graph is the
+    locality-structured chain of communities that the sharding
+    benchmarks partition.
+    """
+    try:
+        num_vertices, num_edges, community_size, bridges = COMMUNITY_SCALES[
+            name
+        ]
+    except KeyError:
+        raise GraphError(
+            f"unknown community dataset {name!r}; "
+            f"choose from {sorted(COMMUNITY_SCALES)}"
+        ) from None
+    ontology = generate_ontology(
+        ontology_types,
+        avg_fanout=ontology_fanout,
+        height=ontology_height,
+        seed=seed,
+    )
+    graph = generate_community_graph(
+        num_vertices,
+        num_edges,
+        ontology,
+        seed=seed,
+        community_size=community_size,
+        bridge_edges=bridges,
+    )
+    return graph, ontology
 
 
 def generate_deep_graph(
@@ -259,16 +404,29 @@ def synthetic_dataset(
     height 7 ("consistent with the heights and average degrees of the real
     ontology graphs"), with the type count scaled alongside the graph.
 
+    Community-structured names (``synt-100k``) dispatch to
+    :func:`community_dataset` so callers can treat every synthetic
+    dataset uniformly.
+
     >>> graph, ontology = synthetic_dataset("synt-1k")
     >>> graph.num_vertices
     1000
     """
+    if name in COMMUNITY_SCALES:
+        return community_dataset(
+            name,
+            seed=seed,
+            ontology_types=ontology_types,
+            ontology_fanout=ontology_fanout,
+            ontology_height=ontology_height,
+        )
     try:
         num_vertices, num_edges = SYNTHETIC_SCALES[name]
     except KeyError:
         raise GraphError(
             f"unknown synthetic dataset {name!r}; "
-            f"choose from {sorted(SYNTHETIC_SCALES)}"
+            f"choose from "
+            f"{sorted([*SYNTHETIC_SCALES, *COMMUNITY_SCALES])}"
         ) from None
     ontology = generate_ontology(
         ontology_types,

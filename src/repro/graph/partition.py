@@ -51,12 +51,17 @@ class Partition:
         return v in self.portals
 
     def cut_edges(self, graph: Graph) -> List[Tuple[int, int]]:
-        """All edges whose endpoints live in different blocks."""
-        return [
+        """All edges whose endpoints live in different blocks.
+
+        Sorted by ``(src, dst)`` so the ordering is deterministic no
+        matter how the graph stores adjacency — shard planning and the
+        sharded manifest digests both key off this list.
+        """
+        return sorted(
             (u, v)
             for (u, v) in graph.edges()
             if self.block_of[u] != self.block_of[v]
-        ]
+        )
 
 
 def partition_bfs_grow(graph: Graph, target_block_size: int) -> Partition:

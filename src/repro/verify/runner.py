@@ -23,7 +23,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.cost import CostParams
 from repro.core.index import BiGIndex
-from repro.datasets.synthetic import verification_corpus
+from repro.core.sharding import build_sharded
+from repro.datasets.synthetic import synthetic_dataset, verification_corpus
 from repro.graph.digraph import Graph
 from repro.obs.runtime import instrumented
 from repro.search.banks import BackwardKeywordSearch
@@ -38,6 +39,11 @@ from repro.verify.faults import FaultReport, run_fault_injection
 from repro.verify.fuzzer import FuzzReport, Op, _random_op, apply_op, fuzz_index
 from repro.verify.oracle import DifferentialOracle, OracleReport
 from repro.verify.persistcheck import PersistReport, run_persistence_drill
+from repro.verify.shardcheck import (
+    ShardReport,
+    run_plan_sanity,
+    run_shard_drill,
+)
 from repro.verify.servecheck import (
     ServeReport,
     fuzz_serve,
@@ -63,6 +69,8 @@ class CaseResult:
     cache: Optional[CacheReport] = None
     #: On-disk round-trip identity drill (see repro.verify.persistcheck).
     persist: Optional[PersistReport] = None
+    #: Sharded==monolithic scatter-gather drill (repro.verify.shardcheck).
+    shard: Optional[ShardReport] = None
     #: Telemetry counters captured while the oracle leg ran (search and
     #: evaluator activity for this case; empty when instrumentation was
     #: unavailable).
@@ -76,13 +84,19 @@ class CaseResult:
             and (self.fuzz is None or self.fuzz.ok)
             and (self.cache is None or self.cache.ok)
             and (self.persist is None or self.persist.ok)
+            and (self.shard is None or self.shard.ok)
         )
 
     def format(self) -> str:
         status = "OK" if self.ok else "FAIL"
         lines = [f"[{status}] {self.name}"]
         for part in (
-            self.audit, self.oracle, self.fuzz, self.cache, self.persist
+            self.audit,
+            self.oracle,
+            self.fuzz,
+            self.cache,
+            self.persist,
+            self.shard,
         ):
             if part is not None:
                 lines.append("  " + part.format().replace("\n", "\n  "))
@@ -112,6 +126,10 @@ class VerifyReport:
     #: Process-level crash-recovery drill (full ``--serve`` only);
     #: ``None`` when it did not run.
     chaos: Optional[ChaosReport] = None
+    #: Structural plan sanity over the big locality dataset (full mode
+    #: only — building synt-100k belongs to the bench, planning it here
+    #: is cheap); ``None`` when it did not run.
+    shard_plan: Optional[ShardReport] = None
 
     @property
     def ok(self) -> bool:
@@ -120,6 +138,7 @@ class VerifyReport:
             and (self.faults is None or self.faults.ok)
             and (self.serve is None or self.serve.ok)
             and (self.chaos is None or self.chaos.ok)
+            and (self.shard_plan is None or self.shard_plan.ok)
         )
 
     def format(self) -> str:
@@ -135,6 +154,8 @@ class VerifyReport:
             lines.append(self.serve.format())
         if self.chaos is not None:
             lines.append(self.chaos.format())
+        if self.shard_plan is not None:
+            lines.append("synt-100k " + self.shard_plan.format())
         return "\n".join(lines)
 
 
@@ -255,6 +276,31 @@ def run_verification(
             persist_report = run_persistence_drill(
                 build, algorithms[:1], queries[:2]
             )
+        # Scatter-gather == monolithic, including under shard-routed WAL
+        # mutations.  Sampled cost params keep the double build (sharded
+        # + its monolithic oracle) affordable on the full corpus; both
+        # sides share them, so the comparison itself loses nothing.
+        drill_kwargs = dict(
+            num_layers=num_layers,
+            cost_params=CostParams(num_samples=25),
+        )
+        shard_report = run_shard_drill(
+            sharded_factory=lambda g=graph, o=ontology: build_sharded(
+                g.copy(share_label_table=True), o, 3, 2 * _D_MAX,
+                **drill_kwargs,
+            ),
+            mono_factory=lambda g=graph, o=ontology: BiGIndex.build(
+                g.copy(share_label_table=True), o, **drill_kwargs
+            ),
+            algorithms=[
+                BackwardKeywordSearch(d_max=_D_MAX),
+                BidirectionalSearch(d_max=_D_MAX),
+            ],
+            queries=queries,
+            mutation_rounds=2 if quick else 3,
+            ops_per_round=3,
+            seed=seed + case_index,
+        )
         report.cases.append(
             CaseResult(
                 name=name,
@@ -263,6 +309,7 @@ def run_verification(
                 fuzz=fuzz_report,
                 cache=cache_report,
                 persist=persist_report,
+                shard=shard_report,
                 counters=inst.metrics.counters(),
             )
         )
@@ -281,6 +328,14 @@ def run_verification(
     if serve:
         # Process-level crash recovery: real subprocesses, real SIGKILL.
         report.chaos = run_chaos_drill(seed=seed)
+    if not quick:
+        # The locality dataset the sharding bench partitions: cheap to
+        # generate and plan, so its structural invariants gate here.
+        big_graph, _big_ontology = synthetic_dataset("synt-100k", seed=seed)
+        report.shard_plan = run_plan_sanity(
+            big_graph, num_shards=4, halo_radius=2 * _D_MAX,
+            name="synt-100k",
+        )
     return report
 
 

@@ -108,3 +108,24 @@ class TestPartition:
         part = partition_bfs_grow(Graph(), 5)
         assert part.num_blocks == 0
         assert part.portals == set()
+
+    def test_cut_edges_sorted_and_portals_are_exact_endpoints(
+        self, random_graph_factory
+    ):
+        # Property: for any seeded graph and block size, the portal set
+        # is *exactly* the endpoints of the cut edges — nothing more
+        # (no interior vertex leaks in) and nothing less (every cut
+        # endpoint is a portal) — and the cut list is sorted.
+        for seed in range(8):
+            g = random_graph_factory(
+                num_vertices=40 + 5 * seed, num_edges=110, seed=seed
+            )
+            part = partition_bfs_grow(g, target_block_size=9 + seed)
+            cut = part.cut_edges(g)
+            assert cut == sorted(cut)
+            assert set(cut) == {
+                (u, v)
+                for (u, v) in g.edges()
+                if part.block_of[u] != part.block_of[v]
+            }
+            assert part.portals == {v for edge in cut for v in edge}
